@@ -1,0 +1,135 @@
+// Package analyze provides static query analysis under RDFS constraints.
+// Its central notion is the paper's footnote 3 (Section 5.1): a query
+// triple is *redundant* when it can be inferred from the query's other
+// triples based on the RDFS constraints — e.g. asking for "x a Person"
+// alongside "x hasSocialSecurityNumber y" when only people have such
+// numbers. The paper designs its benchmark queries so that no triple is
+// redundant; this package checks that property (and is used by the test
+// suite to verify this reproduction's query sets meet it).
+package analyze
+
+import (
+	"repro/internal/bgp"
+	"repro/internal/dict"
+	"repro/internal/saturate"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// frozenBase maps query variables into a dictionary ID range that cannot
+// collide with real constants (dictionary IDs grow from 1; queries never
+// carry billions of constants).
+const frozenBase dict.ID = 1 << 30
+
+// RedundantAtoms returns the indexes of the atoms of q that are entailed
+// by the query's remaining atoms under the closed schema — atoms whose
+// removal leaves the query equivalent. The check is the
+// canonical-instance chase: the other atoms are frozen into facts
+// (variables become fresh constants), saturated with the schema, and the
+// candidate atom is matched against the result. Only the candidate's
+// *exclusive non-distinguished* variables are existentials: a variable
+// that is distinguished (in the head) or shared with another atom is
+// pinned, since its binding contributes to the answers. The check is
+// sound (a reported atom is always redundant); like any
+// homomorphism-free containment test it may miss redundancies that
+// require remapping shared variables.
+func RedundantAtoms(q bgp.CQ, sch *schema.Closed) []int {
+	distinguished := make(map[uint32]bool)
+	for _, h := range q.Head {
+		if h.Var {
+			distinguished[h.ID] = true
+		}
+	}
+	var out []int
+	for i := range q.Atoms {
+		rest := make([]bgp.Atom, 0, len(q.Atoms)-1)
+		for j, a := range q.Atoms {
+			if j != i {
+				rest = append(rest, a)
+			}
+		}
+		if Entails(rest, q.Atoms[i], distinguished, sch) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Entails reports whether the conjunction of atoms entails the candidate
+// atom under the closed schema, by the frozen-instance chase described on
+// RedundantAtoms. Variables in pinned (and variables the candidate shares
+// with atoms) are treated as fixed constants; the candidate's remaining
+// variables are existentials.
+func Entails(atoms []bgp.Atom, candidate bgp.Atom, pinned map[uint32]bool, sch *schema.Closed) bool {
+	freeze := func(t bgp.Term) dict.ID {
+		if t.Var {
+			return frozenBase + dict.ID(t.ID)
+		}
+		return t.Const()
+	}
+	facts := make([]storage.Triple, 0, len(atoms))
+	for _, a := range atoms {
+		facts = append(facts, storage.Triple{S: freeze(a.S), P: freeze(a.P), O: freeze(a.O)})
+	}
+	st, _ := saturate.Store(facts, sch)
+
+	// Candidate positions: pinned variables, variables appearing in the
+	// other atoms, and constants are fixed; exclusive variables are
+	// existentials (wildcards, with repeated-variable equality).
+	shared := make(map[uint32]bool, len(pinned))
+	for v, ok := range pinned {
+		if ok {
+			shared[v] = true
+		}
+	}
+	var buf []uint32
+	for _, a := range atoms {
+		buf = a.Vars(buf[:0])
+		for _, v := range buf {
+			shared[v] = true
+		}
+	}
+	fix := func(t bgp.Term) dict.ID {
+		if t.Var && !shared[t.ID] {
+			return dict.None // existential
+		}
+		return freeze(t)
+	}
+	pat := storage.Pattern{S: fix(candidate.S), P: fix(candidate.P), O: fix(candidate.O)}
+
+	// Equality constraints between existential positions with the same
+	// variable.
+	type pos uint8
+	var exVars []uint32
+	var exPos []pos
+	record := func(t bgp.Term, p pos) {
+		if t.Var && !shared[t.ID] {
+			exVars = append(exVars, t.ID)
+			exPos = append(exPos, p)
+		}
+	}
+	record(candidate.S, 0)
+	record(candidate.P, 1)
+	record(candidate.O, 2)
+
+	found := false
+	st.Scan(pat, func(tr storage.Triple) bool {
+		vals := [3]dict.ID{tr.S, tr.P, tr.O}
+		bound := make(map[uint32]dict.ID, len(exVars))
+		ok := true
+		for k, v := range exVars {
+			val := vals[exPos[k]]
+			if prev, seen := bound[v]; seen && prev != val {
+				ok = false
+				break
+			}
+			bound[v] = val
+		}
+		if ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,129 @@
+package analyze_test
+
+import (
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/benchkit"
+	"repro/internal/bgp"
+	"repro/internal/dict"
+	"repro/internal/rdf"
+	"repro/internal/schema"
+	"repro/internal/testkit"
+)
+
+// The paper's footnote-3 example: "when looking for x such that x is a
+// person and x has a social security number, if we know that only people
+// have such numbers, the triple 'x is a person' is redundant".
+func TestPaperFootnoteExample(t *testing.T) {
+	d := dict.New()
+	vocab := schema.EncodeVocab(d)
+	sch := schema.New(vocab)
+	person := d.Encode(rdf.NewIRI("http://x/Person"))
+	hasSSN := d.Encode(rdf.NewIRI("http://x/hasSSN"))
+	sch.AddDomain(hasSSN, person)
+	closed := sch.Close()
+
+	q := bgp.CQ{
+		Head: []bgp.Term{bgp.V(0)},
+		Atoms: []bgp.Atom{
+			{S: bgp.V(0), P: bgp.C(vocab.Type), O: bgp.C(person)}, // redundant
+			{S: bgp.V(0), P: bgp.C(hasSSN), O: bgp.V(1)},
+		},
+	}
+	red := analyze.RedundantAtoms(q, closed)
+	if len(red) != 1 || red[0] != 0 {
+		t.Errorf("RedundantAtoms = %v, want [0]", red)
+	}
+}
+
+func TestSubclassRedundancy(t *testing.T) {
+	e := testkit.Paper()
+	book, pub := e.ID("Book"), e.ID("Publication")
+	// (x type Publication) is implied by (x type Book).
+	q := bgp.CQ{
+		Head: []bgp.Term{bgp.V(0)},
+		Atoms: []bgp.Atom{
+			{S: bgp.V(0), P: bgp.C(e.Vocab.Type), O: bgp.C(book)},
+			{S: bgp.V(0), P: bgp.C(e.Vocab.Type), O: bgp.C(pub)}, // redundant
+		},
+	}
+	red := analyze.RedundantAtoms(q, e.Closed)
+	if len(red) != 1 || red[0] != 1 {
+		t.Errorf("RedundantAtoms = %v, want [1]", red)
+	}
+}
+
+func TestSubpropertyRedundancy(t *testing.T) {
+	e := testkit.Paper()
+	writtenBy, hasAuthor := e.ID("writtenBy"), e.ID("hasAuthor")
+	q := bgp.CQ{
+		Head: []bgp.Term{bgp.V(0)},
+		Atoms: []bgp.Atom{
+			{S: bgp.V(0), P: bgp.C(writtenBy), O: bgp.V(1)},
+			{S: bgp.V(0), P: bgp.C(hasAuthor), O: bgp.V(1)}, // redundant
+		},
+	}
+	red := analyze.RedundantAtoms(q, e.Closed)
+	if len(red) != 1 || red[0] != 1 {
+		t.Errorf("RedundantAtoms = %v, want [1]", red)
+	}
+	// But with a *different* object variable appearing elsewhere, the
+	// hasAuthor atom is NOT redundant (it constrains a shared variable).
+	q2 := bgp.CQ{
+		Head: []bgp.Term{bgp.V(0), bgp.V(2)},
+		Atoms: []bgp.Atom{
+			{S: bgp.V(0), P: bgp.C(writtenBy), O: bgp.V(1)},
+			{S: bgp.V(0), P: bgp.C(hasAuthor), O: bgp.V(2)},
+			{S: bgp.V(2), P: bgp.C(e.ID("hasName")), O: bgp.V(3)},
+		},
+	}
+	if red := analyze.RedundantAtoms(q2, e.Closed); len(red) != 0 {
+		t.Errorf("constraining atom reported redundant: %v", red)
+	}
+}
+
+func TestRangeRedundancy(t *testing.T) {
+	e := testkit.Paper()
+	q := bgp.CQ{
+		Head: []bgp.Term{bgp.V(1)},
+		Atoms: []bgp.Atom{
+			{S: bgp.V(0), P: bgp.C(e.ID("writtenBy")), O: bgp.V(1)},
+			{S: bgp.V(1), P: bgp.C(e.Vocab.Type), O: bgp.C(e.ID("Person"))}, // redundant: range
+		},
+	}
+	red := analyze.RedundantAtoms(q, e.Closed)
+	if len(red) != 1 || red[0] != 1 {
+		t.Errorf("RedundantAtoms = %v, want [1]", red)
+	}
+}
+
+func TestNoFalsePositives(t *testing.T) {
+	e := testkit.Paper()
+	q := bgp.CQ{
+		Head: []bgp.Term{bgp.V(0)},
+		Atoms: []bgp.Atom{
+			{S: bgp.V(0), P: bgp.C(e.ID("hasTitle")), O: bgp.V(1)},
+			{S: bgp.V(0), P: bgp.C(e.ID("publishedIn")), O: bgp.V(2)},
+		},
+	}
+	if red := analyze.RedundantAtoms(q, e.Closed); len(red) != 0 {
+		t.Errorf("independent atoms reported redundant: %v", red)
+	}
+}
+
+// The paper designs its benchmark queries so that no triple is redundant
+// (Section 5.1 criterion (iv)); ours must satisfy the same criterion.
+func TestBenchmarkQueriesHaveNoRedundantTriples(t *testing.T) {
+	for _, db := range []*benchkit.Database{
+		benchkit.BuildLUBM(benchkit.ScaleTiny),
+		benchkit.BuildDBLP(benchkit.ScaleTiny),
+	} {
+		for i, spec := range db.Specs {
+			red := analyze.RedundantAtoms(db.Encoded[i], db.Closed)
+			if len(red) != 0 {
+				t.Errorf("%s %s has redundant triples %v", db.Name, spec.Name, red)
+			}
+		}
+	}
+}

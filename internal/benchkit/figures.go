@@ -1,0 +1,152 @@
+package benchkit
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// StrategyMatrix renders the data behind the paper's Figures 4, 5 and 6:
+// per query and per engine profile, the evaluation time of the UCQ, SCQ,
+// ECov-JUCQ and GCov-JUCQ reformulations (log-scale bars in the paper;
+// a text matrix here). Failures appear as FAIL(kind), the paper's
+// missing bars.
+func (db *Database) StrategyMatrix(w io.Writer, profiles []engine.Profile) error {
+	strategies := []core.Strategy{core.UCQ, core.SCQ, core.ECov, core.GCov}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "query")
+	for _, p := range profiles {
+		for _, s := range strategies {
+			fmt.Fprintf(tw, "\t%s/%s", p.Name, s)
+		}
+	}
+	fmt.Fprintln(tw)
+
+	for qi, spec := range db.Specs {
+		fmt.Fprintf(tw, "%s", spec.Name)
+		for _, p := range profiles {
+			a := db.Answerer(p, core.Options{SearchBudget: 30 * time.Second})
+			for _, s := range strategies {
+				out := db.Run(a, qi, s)
+				if out.Failed() {
+					fmt.Fprintf(tw, "\t%s", failureLabel(out.Err))
+				} else {
+					fmt.Fprintf(tw, "\t%.1f", ms(out.Evaluate))
+				}
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// SearchEffort renders the data behind the paper's Figures 7 and 8: per
+// query, the number of covers explored by ECov and by GCov (top plots)
+// and the optimizer running times, including the time to build the plain
+// UCQ and SCQ reformulations (bottom plots). A non-exhaustive ECov run
+// (cover-space explosion) is marked with a trailing '+', the paper's
+// timeout case.
+func (db *Database) SearchEffort(w io.Writer) error {
+	a := db.Answerer(engine.Native, core.Options{SearchBudget: 30 * time.Second})
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "query\tecov covers\tgcov covers\tecov ms\tgcov ms\tucq build ms\tscq build ms\n")
+	for qi, spec := range db.Specs {
+		choose := func(s core.Strategy) (core.Report, bool) {
+			_, rep, err := a.ChooseCover(db.Encoded[qi], s)
+			return rep, err == nil
+		}
+		ecov, ecovOK := choose(core.ECov)
+		gcov, gcovOK := choose(core.GCov)
+		ucq, ucqOK := choose(core.UCQ)
+		scq, scqOK := choose(core.SCQ)
+
+		covers := func(rep core.Report, ok bool, markInexhaustive bool) string {
+			if !ok {
+				return "FAIL"
+			}
+			mark := ""
+			if markInexhaustive && !rep.Exhaustive {
+				mark = "+" // the paper's ECov timeout case
+			}
+			return fmt.Sprintf("%d%s", rep.CoversExplored, mark)
+		}
+		millis := func(rep core.Report, ok bool) string {
+			if !ok {
+				return "FAIL"
+			}
+			return fmt.Sprintf("%.2f", ms(rep.OptimizeTime))
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			spec.Name,
+			covers(ecov, ecovOK, true), covers(gcov, gcovOK, false),
+			millis(ecov, ecovOK), millis(gcov, gcovOK),
+			millis(ucq, ucqOK), millis(scq, scqOK))
+	}
+	return tw.Flush()
+}
+
+// CostSourceComparison renders the data behind the paper's Figure 9: the
+// evaluation time of the ECov- and GCov-chosen JUCQs when the search is
+// guided by our cost model versus by the engine's internal estimate (the
+// paper's Postgres-EXPLAIN variant), on the Postgres-like profile.
+func (db *Database) CostSourceComparison(w io.Writer) error {
+	own := db.Answerer(engine.PostgresLike, core.Options{Source: core.OwnModel, SearchBudget: 30 * time.Second})
+	internal := db.Answerer(engine.PostgresLike, core.Options{Source: core.EngineInternal, SearchBudget: 30 * time.Second})
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "query\tecov(own)\tecov(engine)\tgcov(own)\tgcov(engine)\n")
+	for qi, spec := range db.Specs {
+		fmt.Fprintf(tw, "%s", spec.Name)
+		for _, s := range []core.Strategy{core.ECov, core.GCov} {
+			for _, a := range []*core.Answerer{own, internal} {
+				out := db.Run(a, qi, s)
+				if out.Failed() {
+					fmt.Fprintf(tw, "\t%s", failureLabel(out.Err))
+				} else {
+					fmt.Fprintf(tw, "\t%.1f", ms(out.Evaluate))
+				}
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// SaturationComparison renders the data behind the paper's Figure 10:
+// query answering times through UCQ reformulation, the GCov JUCQ, and
+// saturation-based answering, on the RDBMS-style Postgres-like profile
+// and on the unconstrained native profile (the paper's Virtuoso).
+func (db *Database) SaturationComparison(w io.Writer) error {
+	pg := db.Answerer(engine.PostgresLike, core.Options{SearchBudget: 30 * time.Second})
+	native := db.Answerer(engine.Native, core.Options{SearchBudget: 30 * time.Second})
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "query\tucq(pg)\tgcov jucq(pg)\tsaturation(pg)\tsaturation(native)\n")
+	for qi, spec := range db.Specs {
+		fmt.Fprintf(tw, "%s", spec.Name)
+		for _, run := range []struct {
+			a *core.Answerer
+			s core.Strategy
+		}{
+			{pg, core.UCQ},
+			{pg, core.GCov},
+			{pg, core.Saturation},
+			{native, core.Saturation},
+		} {
+			out := db.Run(run.a, qi, run.s)
+			if out.Failed() {
+				fmt.Fprintf(tw, "\t%s", failureLabel(out.Err))
+			} else {
+				fmt.Fprintf(tw, "\t%.1f", ms(out.Evaluate))
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,182 @@
+package bgp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dict"
+)
+
+func TestTermConstructors(t *testing.T) {
+	v := V(3)
+	if !v.Var || v.ID != 3 {
+		t.Errorf("V(3) = %+v", v)
+	}
+	c := C(dict.ID(9))
+	if c.Var || c.Const() != 9 {
+		t.Errorf("C(9) = %+v", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Const on a variable did not panic")
+		}
+	}()
+	v.Const()
+}
+
+func TestTermString(t *testing.T) {
+	if V(2).String() != "?v2" || C(7).String() != "#7" {
+		t.Errorf("String: %q %q", V(2).String(), C(7).String())
+	}
+}
+
+func TestAtomVarsAndSharing(t *testing.T) {
+	a := Atom{S: V(0), P: C(1), O: V(2)}
+	b := Atom{S: V(2), P: C(3), O: V(4)}
+	c := Atom{S: V(5), P: C(1), O: C(6)}
+
+	if got := a.Vars(nil); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Vars = %v", got)
+	}
+	if !a.HasVar(0) || a.HasVar(1) {
+		t.Error("HasVar wrong")
+	}
+	if !a.SharesVar(b) {
+		t.Error("a and b share ?v2")
+	}
+	if a.SharesVar(c) {
+		t.Error("a and c share only a constant, not a variable")
+	}
+}
+
+func TestAtomVarsRepeated(t *testing.T) {
+	a := Atom{S: V(1), P: C(2), O: V(1)}
+	if got := a.Vars(nil); len(got) != 2 {
+		t.Errorf("repeated variable should appear twice: %v", got)
+	}
+}
+
+func TestSubst(t *testing.T) {
+	a := Atom{S: V(0), P: V(1), O: V(0)}
+	got := a.Subst(0, C(9))
+	want := Atom{S: C(9), P: V(1), O: C(9)}
+	if got != want {
+		t.Errorf("Subst = %v, want %v", got, want)
+	}
+	// Original unchanged.
+	if a.S != V(0) {
+		t.Error("Subst mutated the receiver")
+	}
+}
+
+func TestCQSubstAndClone(t *testing.T) {
+	q := CQ{
+		Head:  []Term{V(0), V(1)},
+		Atoms: []Atom{{S: V(0), P: C(5), O: V(1)}},
+	}
+	sub := q.Subst(1, C(7))
+	if sub.Head[1] != C(7) || sub.Atoms[0].O != C(7) {
+		t.Errorf("CQ.Subst = %v", sub)
+	}
+	if q.Head[1] != V(1) {
+		t.Error("CQ.Subst mutated the receiver")
+	}
+	cl := q.Clone()
+	cl.Atoms[0].S = C(99)
+	if q.Atoms[0].S == C(99) {
+		t.Error("Clone shares atom storage")
+	}
+}
+
+func TestMaxVar(t *testing.T) {
+	q := CQ{Head: []Term{V(2)}, Atoms: []Atom{{S: V(0), P: C(1), O: V(7)}}}
+	if max, ok := q.MaxVar(); !ok || max != 7 {
+		t.Errorf("MaxVar = %d, %v", max, ok)
+	}
+	empty := CQ{Head: []Term{C(1)}, Atoms: []Atom{{S: C(1), P: C(2), O: C(3)}}}
+	if _, ok := empty.MaxVar(); ok {
+		t.Error("MaxVar on variable-free query should report !ok")
+	}
+}
+
+func TestVarSet(t *testing.T) {
+	q := CQ{Atoms: []Atom{
+		{S: V(0), P: C(1), O: V(2)},
+		{S: V(2), P: V(3), O: C(4)},
+	}}
+	set := q.VarSet()
+	for _, v := range []uint32{0, 2, 3} {
+		if _, ok := set[v]; !ok {
+			t.Errorf("VarSet missing %d", v)
+		}
+	}
+	if len(set) != 3 {
+		t.Errorf("VarSet = %v", set)
+	}
+}
+
+// Key must be invariant under variable renaming and sensitive to
+// structure.
+func TestKeyRenamingInvariance(t *testing.T) {
+	q1 := CQ{Head: []Term{V(0)}, Atoms: []Atom{{S: V(0), P: C(1), O: V(5)}}}
+	q2 := CQ{Head: []Term{V(9)}, Atoms: []Atom{{S: V(9), P: C(1), O: V(3)}}}
+	if q1.Key() != q2.Key() {
+		t.Error("keys differ under pure renaming")
+	}
+	q3 := CQ{Head: []Term{V(0)}, Atoms: []Atom{{S: V(5), P: C(1), O: V(0)}}}
+	if q1.Key() == q3.Key() {
+		t.Error("structurally different queries share a key")
+	}
+}
+
+func TestKeyQuick(t *testing.T) {
+	// Renaming all variables by +k must preserve the key.
+	f := func(a, b, c uint8, shift uint8) bool {
+		k := uint32(shift) + 1
+		q := CQ{
+			Head:  []Term{V(uint32(a))},
+			Atoms: []Atom{{S: V(uint32(a)), P: V(uint32(b)), O: V(uint32(c))}},
+		}
+		renamed := CQ{
+			Head:  []Term{V(uint32(a) + k)},
+			Atoms: []Atom{{S: V(uint32(a) + k), P: V(uint32(b) + k), O: V(uint32(c) + k)}},
+		}
+		return q.Key() == renamed.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUCQValidate(t *testing.T) {
+	good := UCQ{Vars: []uint32{0}, CQs: []CQ{{Head: []Term{V(0)}, Atoms: []Atom{{S: V(0), P: C(1), O: V(2)}}}}}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := UCQ{Vars: []uint32{0, 1}, CQs: good.CQs}
+	if bad.Validate() == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if good.Arity() != 1 {
+		t.Error("Arity wrong")
+	}
+}
+
+func TestJUCQValidate(t *testing.T) {
+	arm := UCQ{Vars: []uint32{0}, CQs: []CQ{{Head: []Term{V(0)}, Atoms: []Atom{{S: V(0), P: C(1), O: V(2)}}}}}
+	good := JUCQ{Head: []uint32{0}, Arms: []UCQ{arm}}
+	if err := good.Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := JUCQ{Head: []uint32{7}, Arms: []UCQ{arm}}
+	if bad.Validate() == nil {
+		t.Error("unproduced head variable accepted")
+	}
+}
+
+func TestCQString(t *testing.T) {
+	q := CQ{Head: []Term{V(0)}, Atoms: []Atom{{S: V(0), P: C(1), O: C(2)}}}
+	if q.String() != "q(?v0) :- ?v0 #1 #2" {
+		t.Errorf("String = %q", q.String())
+	}
+}

@@ -1,0 +1,301 @@
+// Package core assembles the paper's contribution: reformulation-based
+// query answering that selects, from the space of cover-based JUCQ
+// reformulations, the one with the lowest estimated cost (Definition 3.5),
+// using either the exhaustive ECov search (Section 4.2) or the greedy
+// anytime GCov search (Algorithm 1, Section 4.3), and evaluates it through
+// a relational engine profile. The classic UCQ reformulation, the SCQ
+// reformulation of Thomazo et al., and saturation-based answering are
+// provided as the comparison strategies of the paper's Section 5.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/cost"
+	"repro/internal/cover"
+	"repro/internal/dict"
+	"repro/internal/engine"
+	"repro/internal/reformulate"
+	"repro/internal/schema"
+)
+
+// Strategy selects how a query is answered.
+type Strategy string
+
+// The five strategies of the experimental comparison.
+const (
+	// Saturation evaluates the query directly against a saturated store.
+	Saturation Strategy = "saturation"
+	// UCQ evaluates the single-fragment cover: the whole query
+	// reformulated into one (possibly enormous) union.
+	UCQ Strategy = "ucq"
+	// SCQ evaluates the one-atom-per-fragment cover: a join of per-triple
+	// unions (Thomazo's semi-conjunctive queries).
+	SCQ Strategy = "scq"
+	// ECov evaluates the best cover found by exhaustive enumeration.
+	ECov Strategy = "ecov"
+	// GCov evaluates the best cover found by the greedy search.
+	GCov Strategy = "gcov"
+)
+
+// Strategies lists all strategies in the order the paper's figures use.
+func Strategies() []Strategy { return []Strategy{UCQ, SCQ, ECov, GCov, Saturation} }
+
+// CostSource selects which cost estimate guides ECov and GCov.
+type CostSource uint8
+
+const (
+	// OwnModel uses the paper's cost model (Section 4.1) over the
+	// calibrated Params — the default.
+	OwnModel CostSource = iota
+	// EngineInternal asks the engine for its internal estimate of each
+	// candidate plan, the paper's "Postgres EXPLAIN" alternative
+	// (Figure 9). Much slower: every candidate must be priced by
+	// streaming its member CQs through the engine's estimator.
+	EngineInternal
+)
+
+// ErrNoSaturatedStore is returned when the Saturation strategy is
+// requested on an answerer built without a saturated engine.
+var ErrNoSaturatedStore = errors.New("core: no saturated store configured for saturation-based answering")
+
+// Options tunes an Answerer.
+type Options struct {
+	// Params are the cost-model constants (calibrated per engine);
+	// cost.DefaultParams when zero.
+	Params cost.Params
+	// Source selects the cost estimate guiding the search.
+	Source CostSource
+	// MaxCovers bounds ECov's enumeration; 0 means DefaultMaxCovers.
+	// Hitting the bound marks the search non-exhaustive, reproducing the
+	// paper's ECov timeout on its 10-atom DBLP query.
+	MaxCovers int
+	// GCovMaxCovers bounds the covers GCov prices; 0 means
+	// DefaultGCovMaxCovers. Algorithm 1 admits equal-cost moves, so on
+	// cost plateaus the frontier can wander; the bound keeps the greedy
+	// search anytime, as Section 4.3's "one could easily change the stop
+	// condition" remark anticipates.
+	GCovMaxCovers int
+	// SearchBudget bounds the optimization wall-clock time of ECov and
+	// GCov; 0 means no limit.
+	SearchBudget time.Duration
+	// MaxUCQMembers bounds per-fragment reformulation materialization in
+	// the EngineInternal cost source; 0 means DefaultMaxUCQMembers.
+	MaxUCQMembers int
+	// NoRedundancyElimination disables GCov's removal of redundant
+	// fragments after each move — an ablation knob for measuring how
+	// much that step of Algorithm 1 contributes.
+	NoRedundancyElimination bool
+}
+
+// DefaultMaxCovers bounds ECov's enumeration when Options.MaxCovers is 0.
+const DefaultMaxCovers = 100_000
+
+// DefaultGCovMaxCovers bounds GCov's exploration when
+// Options.GCovMaxCovers is 0 — generous next to the tens-to-hundreds of
+// covers the paper's Figure 7 reports GCov visiting.
+const DefaultGCovMaxCovers = 2_000
+
+// DefaultMaxUCQMembers bounds EngineInternal pricing when
+// Options.MaxUCQMembers is 0.
+const DefaultMaxUCQMembers = 100_000
+
+// Answerer answers BGP queries over one RDF database through one engine
+// profile.
+type Answerer struct {
+	sch  *schema.Closed
+	raw  *engine.Engine // over the non-saturated store
+	sat  *engine.Engine // over the saturated store; may be nil
+	opts Options
+}
+
+// NewAnswerer builds an answerer. raw evaluates reformulations against the
+// non-saturated store (which must include the closed constraint triples);
+// sat, if non-nil, evaluates the Saturation strategy against a saturated
+// store.
+func NewAnswerer(sch *schema.Closed, raw, sat *engine.Engine, opts Options) *Answerer {
+	if opts.Params == (cost.Params{}) {
+		opts.Params = cost.DefaultParams
+	}
+	if opts.MaxCovers == 0 {
+		opts.MaxCovers = DefaultMaxCovers
+	}
+	if opts.GCovMaxCovers == 0 {
+		opts.GCovMaxCovers = DefaultGCovMaxCovers
+	}
+	if opts.MaxUCQMembers == 0 {
+		opts.MaxUCQMembers = DefaultMaxUCQMembers
+	}
+	return &Answerer{sch: sch, raw: raw, sat: sat, opts: opts}
+}
+
+// Raw returns the engine over the non-saturated store.
+func (a *Answerer) Raw() *engine.Engine { return a.raw }
+
+// Schema returns the closed schema.
+func (a *Answerer) Schema() *schema.Closed { return a.sch }
+
+// Report describes how a query was answered: the chosen cover, the search
+// effort, the estimated cost, and the evaluation metrics — the quantities
+// the paper's Tables 2–4 and Figures 7–8 report.
+type Report struct {
+	Strategy Strategy
+	// Cover is the evaluated cover (nil for Saturation).
+	Cover cover.Cover
+	// FragmentCQs is |q_ref| per cover fragment.
+	FragmentCQs []int64
+	// TotalCQs is the summed number of member CQs across fragments.
+	TotalCQs int64
+	// EstimatedCost is the cost-model value of the evaluated plan.
+	EstimatedCost float64
+	// CoversExplored counts the covers the search priced (1 for the
+	// fixed UCQ and SCQ covers; 0 for Saturation).
+	CoversExplored int
+	// Exhaustive reports whether ECov visited the whole space.
+	Exhaustive bool
+	// OptimizeTime is the time spent choosing the cover (reformulating
+	// fragments, estimating costs, searching).
+	OptimizeTime time.Duration
+	// EvalTime is the time spent evaluating the chosen reformulation.
+	EvalTime time.Duration
+	// Metrics are the engine's evaluation counters.
+	Metrics engine.Metrics
+}
+
+// Answer holds the answer relation and the report.
+type Answer struct {
+	Rel    *engine.Relation
+	Report Report
+}
+
+// Answer answers q with the given strategy.
+func (a *Answerer) Answer(q bgp.CQ, strategy Strategy) (*Answer, error) {
+	if strategy == Saturation {
+		if a.sat == nil {
+			return nil, ErrNoSaturatedStore
+		}
+		start := time.Now()
+		rel, m, err := a.sat.EvalCQ(q)
+		if err != nil {
+			return nil, err
+		}
+		return &Answer{Rel: rel, Report: Report{
+			Strategy: Saturation,
+			EvalTime: time.Since(start),
+			Metrics:  m,
+		}}, nil
+	}
+
+	c, rep, err := a.ChooseCover(q, strategy)
+	if err != nil {
+		return nil, err
+	}
+	return a.EvaluateCover(q, c, rep)
+}
+
+// ChooseCover runs only the optimization stage: it returns the cover the
+// strategy would evaluate, with the search effort filled into the report.
+func (a *Answerer) ChooseCover(q bgp.CQ, strategy Strategy) (cover.Cover, Report, error) {
+	if err := checkQuery(q); err != nil {
+		return nil, Report{}, err
+	}
+	s := newSearcher(a, q)
+	start := time.Now()
+	rep := Report{Strategy: strategy, Exhaustive: true}
+	var c cover.Cover
+	switch strategy {
+	case UCQ:
+		c = cover.WholeQuery(len(q.Atoms))
+		rep.CoversExplored = 1
+	case SCQ:
+		c = cover.PerAtom(len(q.Atoms))
+		rep.CoversExplored = 1
+	case GCov:
+		c, rep.CoversExplored = s.gcov()
+	case ECov:
+		c, rep.CoversExplored, rep.Exhaustive = s.ecov()
+	default:
+		return nil, Report{}, fmt.Errorf("core: unknown strategy %q", strategy)
+	}
+	rep.Cover = c
+	rep.EstimatedCost = s.coverCost(c)
+	for _, f := range c {
+		info := s.frag(f)
+		rep.FragmentCQs = append(rep.FragmentCQs, info.numCQs)
+		rep.TotalCQs += info.numCQs
+	}
+	rep.OptimizeTime = time.Since(start)
+	return c, rep, nil
+}
+
+// EvaluateCover evaluates the cover-based JUCQ reformulation of q induced
+// by cover c (Theorem 3.1) through the raw engine, completing the report.
+func (a *Answerer) EvaluateCover(q bgp.CQ, c cover.Cover, rep Report) (*Answer, error) {
+	arms := make([]engine.ArmSource, len(c))
+	for i, f := range c {
+		cq := cover.Query(q, f)
+		ref := reformulate.Reformulate(cq, a.sch)
+		arms[i] = armSource(cq, ref)
+	}
+	head := make([]uint32, len(q.Head))
+	for i, h := range q.Head {
+		head[i] = h.ID
+	}
+	start := time.Now()
+	rel, m, err := a.raw.EvalArms(head, arms)
+	rep.EvalTime = time.Since(start)
+	rep.Metrics = m
+	if err != nil {
+		return &Answer{Report: rep}, err
+	}
+	return &Answer{Rel: rel, Report: rep}, nil
+}
+
+// ExplainPlan renders the engine's physical-plan description for the
+// cover-based reformulation of q induced by cover c — the EXPLAIN
+// counterpart of EvaluateCover. name, if non-nil, decodes dictionary
+// constants for display.
+func (a *Answerer) ExplainPlan(q bgp.CQ, c cover.Cover, name func(dict.ID) string) string {
+	arms := make([]engine.ArmSource, len(c))
+	for i, f := range c {
+		cq := cover.Query(q, f)
+		arms[i] = armSource(cq, reformulate.Reformulate(cq, a.sch))
+	}
+	head := make([]uint32, len(q.Head))
+	for i, h := range q.Head {
+		head[i] = h.ID
+	}
+	return a.raw.ExplainArms(head, arms, name)
+}
+
+// armSource streams a fragment's factorized reformulation as an engine
+// arm, without materializing the union.
+func armSource(cq bgp.CQ, ref *reformulate.Reformulation) engine.ArmSource {
+	n := ref.NumCQs()
+	return engine.ArmSource{
+		Vars:   ref.Vars,
+		NumCQs: n,
+		Leaves: n * int64(len(cq.Atoms)),
+		Each:   ref.Each,
+	}
+}
+
+func checkQuery(q bgp.CQ) error {
+	if len(q.Atoms) == 0 {
+		return errors.New("core: query has no atoms")
+	}
+	if len(q.Atoms) > cover.MaxAtoms {
+		return fmt.Errorf("core: query has %d atoms; the cover search supports up to %d", len(q.Atoms), cover.MaxAtoms)
+	}
+	// An empty head is a boolean query (Section 2.2's x̄ = ∅ case): the
+	// answer set is {()} or {}.
+	for i, h := range q.Head {
+		if !h.Var {
+			return fmt.Errorf("core: head position %d is not a variable", i)
+		}
+	}
+	return nil
+}

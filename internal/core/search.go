@@ -1,0 +1,352 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/cost"
+	"repro/internal/cover"
+	"repro/internal/engine"
+	"repro/internal/reformulate"
+)
+
+// searcher carries the per-query state of a cover search: the sharing
+// graph, memoized fragment reformulations and statistics, and memoized
+// cover costs. Fragment information is shared across all covers the
+// search prices, which is what keeps ECov affordable on spaces of
+// thousands of covers.
+type searcher struct {
+	a     *Answerer
+	q     bgp.CQ
+	g     *cover.Graph
+	final float64 // estimated |q| — the JUCQ result size for the model
+
+	frags  map[cover.Fragment]*fragInfo
+	costs  map[string]float64
+	start  time.Time
+	budget time.Duration
+}
+
+// fragInfo caches everything the search needs about one fragment.
+type fragInfo struct {
+	cq        bgp.CQ
+	ref       *reformulate.Reformulation
+	numCQs    int64
+	stats     cost.ArmStats
+	aloneCost float64 // cost of the fragment evaluated by itself
+}
+
+func newSearcher(a *Answerer, q bgp.CQ) *searcher {
+	return &searcher{
+		a:      a,
+		q:      q,
+		g:      cover.NewGraph(q),
+		final:  a.raw.Stats().CQCard(q),
+		frags:  make(map[cover.Fragment]*fragInfo),
+		costs:  make(map[string]float64),
+		start:  time.Now(),
+		budget: a.opts.SearchBudget,
+	}
+}
+
+func (s *searcher) expired() bool {
+	return s.budget > 0 && time.Since(s.start) > s.budget
+}
+
+// frag returns the memoized fragment information, computing it on first
+// use: the cover query (Definition 3.4), its factorized reformulation,
+// and the arm statistics the cost model consumes.
+func (s *searcher) frag(f cover.Fragment) *fragInfo {
+	if info, ok := s.frags[f]; ok {
+		return info
+	}
+	cq := cover.Query(s.q, f)
+	ref := reformulate.Reformulate(cq, s.a.sch)
+	info := &fragInfo{cq: cq, ref: ref, numCQs: ref.NumCQs()}
+	info.stats = s.armStats(ref)
+	info.aloneCost = s.a.opts.Params.UCQ(info.stats)
+	s.frags[f] = info
+	return info
+}
+
+// armStats derives the cost model's per-arm quantities from the
+// factorized reformulation, without materializing the union.
+//
+// ScanTuples models what the engine actually retrieves to evaluate every
+// member CQ of the arm. Evaluation is an index bind-join, so per member
+// the most selective atom is scanned in full and every later atom is
+// probed under bindings. Summed over the members of one instantiation
+// block (slots ordered by increasing union size):
+//
+//   - first-atom scans: every member scans its own first alternative's
+//     extent, Σ_{alt ∈ first slot} |alt| · Π_{other slots} #alts in total;
+//   - probe work: the bind-join over the slot *unions*, charged once —
+//     Σ over later slots of the running intermediate-result size, with
+//     each slot's cardinality discounted by the distinct counts of the
+//     variables already bound.
+//
+// ResultTuples is the block's join-of-unions cardinality estimate. The
+// paper's formulas assume the sequential-scan cost shape of its host
+// RDBMSs and let calibration absorb the constants; this estimate plays
+// the same role for the index-native engine of this reproduction.
+func (s *searcher) armStats(ref *reformulate.Reformulation) cost.ArmStats {
+	st := s.a.raw.Stats()
+	out := cost.ArmStats{Arms: ref.NumCQs()}
+	for _, b := range ref.Blocks {
+		arms := 1.0
+		for _, alts := range b.Slots {
+			arms *= float64(len(alts))
+		}
+
+		type slotInfo struct {
+			alts     []bgp.Atom
+			sum      float64            // Σ_alt |alt|
+			distinct map[uint32]float64 // per shared variable
+		}
+		slots := make([]slotInfo, len(b.Slots))
+		var buf []uint32
+		for i, alts := range b.Slots {
+			si := slotInfo{alts: alts, distinct: make(map[uint32]float64)}
+			for _, alt := range alts {
+				c := st.AtomCard(alt)
+				si.sum += c
+				buf = alt.Vars(buf[:0])
+				handled := make(map[uint32]bool, len(buf))
+				for _, v := range buf {
+					if !handled[v] {
+						handled[v] = true
+						si.distinct[v] += st.DistinctForVar(alt, v)
+					}
+				}
+			}
+			slots[i] = si
+		}
+		order := make([]int, len(slots))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, c int) bool { return slots[order[a]].sum < slots[order[c]].sum })
+
+		// First-atom scans, per member.
+		first := slots[order[0]]
+		if n := float64(len(first.alts)); n > 0 {
+			out.ScanTuples += first.sum * (arms / n)
+		}
+
+		// Probe work over the slot unions.
+		bound := make(map[uint32]float64) // var -> smallest distinct so far
+		bindings := first.sum
+		for v, d := range first.distinct {
+			bound[v] = d
+		}
+		for _, idx := range order[1:] {
+			sl := slots[idx]
+			eff := sl.sum
+			for v, d := range sl.distinct {
+				if prev, ok := bound[v]; ok {
+					if m := maxFloat(prev, d); m > 1 {
+						eff /= m
+					}
+					bound[v] = minFloat(prev, d)
+				} else {
+					bound[v] = d
+				}
+			}
+			out.ScanTuples += bindings * maxFloat(eff, 1)
+			bindings *= maxFloat(eff, 0.001)
+		}
+		out.ResultTuples += st.JoinOfUnionsCard(b.Slots)
+	}
+	return out
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// coverCost prices one cover's induced JUCQ reformulation, memoized.
+func (s *searcher) coverCost(c cover.Cover) float64 {
+	key := c.Key()
+	if v, ok := s.costs[key]; ok {
+		return v
+	}
+	var v float64
+	switch s.a.opts.Source {
+	case EngineInternal:
+		v = s.engineCost(c)
+	default:
+		arms := make([]cost.ArmStats, len(c))
+		for i, f := range c {
+			arms[i] = s.frag(f).stats
+		}
+		v = s.a.opts.Params.JUCQ(arms, s.final)
+	}
+	s.costs[key] = v
+	return v
+}
+
+// engineCost prices a cover with the engine's internal estimator (the
+// EXPLAIN-style source of the paper's Figure 9). Covers whose member
+// count exceeds the materialization bound are priced +Inf — the analogue
+// of the paper's observation that the engine sometimes "failed to execute
+// the explain" on huge reformulations.
+func (s *searcher) engineCost(c cover.Cover) float64 {
+	arms := make([]engine.ArmSource, len(c))
+	var total int64
+	for i, f := range c {
+		info := s.frag(f)
+		total += info.numCQs
+		if total > int64(s.a.opts.MaxUCQMembers) {
+			return math.Inf(1)
+		}
+		arms[i] = armSource(info.cq, info.ref)
+	}
+	return s.a.raw.EstimateArms(arms)
+}
+
+// ecov is the exhaustive search of Section 4.2: enumerate every valid
+// minimal cover, price each, return the cheapest. The enumeration bound
+// and the search budget reproduce the paper's ECov timeout on its largest
+// query.
+func (s *searcher) ecov() (best cover.Cover, explored int, exhaustive bool) {
+	bestCost := math.Inf(1)
+	timedOut := false
+	enumerated := s.g.EnumerateMinimal(s.a.opts.MaxCovers, func(c cover.Cover) bool {
+		v := s.coverCost(c)
+		explored++
+		if v < bestCost {
+			best, bestCost = c, v
+		}
+		if s.expired() {
+			timedOut = true
+			return false
+		}
+		return true
+	})
+	if best == nil {
+		best = cover.WholeQuery(len(s.q.Atoms))
+	}
+	return best, explored, enumerated && !timedOut
+}
+
+// gcov is Algorithm 1: start from the one-triple-per-fragment cover,
+// develop "add a joining triple to a fragment" moves, keep the move list
+// sorted by the estimated cost of the resulting cover, and greedily apply
+// the most promising move while it does not worsen the best cover found.
+func (s *searcher) gcov() (cover.Cover, int) {
+	n := len(s.q.Atoms)
+	c0 := cover.PerAtom(n)
+	best, bestCost := c0, s.coverCost(c0)
+	explored := 1
+	analysed := map[string]bool{c0.Key(): true}
+
+	type move struct {
+		c cover.Cover
+		v float64
+	}
+	var moves []move
+	insert := func(m move) {
+		i := sort.Search(len(moves), func(i int) bool { return moves[i].v >= m.v })
+		moves = append(moves, move{})
+		copy(moves[i+1:], moves[i:])
+		moves[i] = m
+	}
+	maxCovers := s.a.opts.GCovMaxCovers
+	develop := func(c cover.Cover) {
+		for fi, f := range c {
+			for t := 0; t < n; t++ {
+				if f.Has(t) || !s.g.Joins(t, f) {
+					continue
+				}
+				if explored >= maxCovers {
+					return
+				}
+				c2 := s.apply(c, fi, t)
+				k := c2.Key()
+				if analysed[k] {
+					continue
+				}
+				analysed[k] = true
+				v := s.coverCost(c2)
+				explored++
+				if v <= bestCost {
+					insert(move{c2, v})
+				}
+			}
+		}
+	}
+
+	develop(c0)
+	for len(moves) > 0 && explored < maxCovers && !s.expired() {
+		m := moves[0]
+		moves = moves[1:]
+		if m.v <= bestCost {
+			best, bestCost = m.c, m.v
+		}
+		develop(m.c)
+	}
+	return best, explored
+}
+
+// apply performs one GCov move: extend fragment fi with atom t, then
+// restore cover validity — drop fragments included in another, and remove
+// redundant fragments costliest-first (the cover's fragments are checked
+// in decreasing cost order, as Section 4.3 describes).
+func (s *searcher) apply(c cover.Cover, fi int, t int) cover.Cover {
+	frags := append([]cover.Fragment(nil), c...)
+	frags[fi] = frags[fi].With(t)
+
+	// Drop fragments strictly included in another (keep one of equals).
+	kept := frags[:0]
+	for i, f := range frags {
+		dominated := false
+		for j, h := range frags {
+			if i == j {
+				continue
+			}
+			if h.ContainsAll(f) && (f != h || j < i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, f)
+		}
+	}
+
+	if s.a.opts.NoRedundancyElimination {
+		return cover.NewCover(kept...)
+	}
+
+	// Redundancy elimination, costliest fragments first.
+	all := cover.Cover(kept).Union()
+	sort.Slice(kept, func(i, j int) bool {
+		return s.frag(kept[i]).aloneCost > s.frag(kept[j]).aloneCost
+	})
+	for i := 0; i < len(kept); {
+		var others cover.Fragment
+		for j, h := range kept {
+			if j != i {
+				others |= h
+			}
+		}
+		if len(kept) > 1 && others == all {
+			kept = append(kept[:i], kept[i+1:]...)
+			continue
+		}
+		i++
+	}
+	return cover.NewCover(kept...)
+}

@@ -1,0 +1,117 @@
+package dblp
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+func TestOntologyWellFormed(t *testing.T) {
+	seen := make(map[rdf.Triple]bool)
+	for _, tr := range Ontology() {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("invalid ontology triple %v: %v", tr, err)
+		}
+		if !rdf.IsSchemaTriple(tr) {
+			t.Errorf("non-constraint triple in ontology: %v", tr)
+		}
+		if seen[tr] {
+			t.Errorf("duplicate ontology triple %v", tr)
+		}
+		seen[tr] = true
+	}
+}
+
+func TestOntologyAnchors(t *testing.T) {
+	have := make(map[rdf.Triple]bool)
+	for _, tr := range Ontology() {
+		have[tr] = true
+	}
+	for _, want := range []rdf.Triple{
+		rdf.NewTriple(Prop("author"), rdf.SubPropertyOf, Prop("creator")),
+		rdf.NewTriple(Prop("editor"), rdf.SubPropertyOf, Prop("creator")),
+		rdf.NewTriple(Prop("journal"), rdf.SubPropertyOf, Prop("publishedIn")),
+		rdf.NewTriple(Class("PhDThesis"), rdf.SubClassOf, Class("Thesis")),
+		rdf.NewTriple(Class("Thesis"), rdf.SubClassOf, Class("Publication")),
+	} {
+		if !have[want] {
+			t.Errorf("ontology missing %v", want)
+		}
+	}
+}
+
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	run := func() []rdf.Triple {
+		var out []rdf.Triple
+		Generate(300, 7, func(tr rdf.Triple) { out = append(out, tr) })
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic triple at %d", i)
+		}
+		if err := a[i].Validate(); err != nil {
+			t.Fatalf("invalid triple %v: %v", a[i], err)
+		}
+	}
+	// Density: roughly 5-10 triples per record.
+	if len(a) < 300*4 || len(a) > 300*12 {
+		t.Errorf("density off: %d triples for 300 records", len(a))
+	}
+}
+
+// Persons are deliberately not explicitly typed (the range/domain
+// constraints must type them) — the property that makes reformulation
+// necessary on this workload.
+func TestPersonsNotExplicitlyTyped(t *testing.T) {
+	person := Class("Person")
+	Generate(200, 7, func(tr rdf.Triple) {
+		if tr.P == rdf.Type && tr.O == person {
+			t.Fatalf("explicit Person typing found: %v", tr)
+		}
+	})
+}
+
+func TestCitationsPointBackward(t *testing.T) {
+	ids := make(map[string]int)
+	i := 0
+	Generate(200, 7, func(tr rdf.Triple) {
+		if tr.P == rdf.Type {
+			if _, ok := ids[tr.S.Value]; !ok {
+				ids[tr.S.Value] = i
+				i++
+			}
+		}
+	})
+	Generate(200, 7, func(tr rdf.Triple) {
+		if tr.P == Prop("cites") {
+			from, okF := ids[tr.S.Value]
+			to, okT := ids[tr.O.Value]
+			if okF && okT && to >= from {
+				t.Fatalf("citation points forward: %v", tr)
+			}
+		}
+	})
+}
+
+func TestQueriesParse(t *testing.T) {
+	specs := Queries()
+	if len(specs) != 10 {
+		t.Fatalf("got %d queries, want 10", len(specs))
+	}
+	for _, s := range specs {
+		if _, err := sparql.Parse(s.Text); err != nil {
+			t.Errorf("%s does not parse: %v", s.Name, err)
+		}
+	}
+	// Q10 must have ten atoms — the ECov-infeasible shape.
+	q10 := sparql.MustParse(specs[9].Text)
+	if len(q10.Where) != 10 {
+		t.Errorf("Q10 has %d atoms, want 10", len(q10.Where))
+	}
+}

@@ -1,0 +1,130 @@
+package dict
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func TestEncodeLookupRoundTrip(t *testing.T) {
+	d := New()
+	a := rdf.NewIRI("http://example.org/a")
+	b := rdf.NewLiteral("hello")
+
+	ida := d.Encode(a)
+	idb := d.Encode(b)
+	if ida == None || idb == None {
+		t.Fatal("Encode returned the reserved None ID")
+	}
+	if ida == idb {
+		t.Fatal("distinct terms got the same ID")
+	}
+	if again := d.Encode(a); again != ida {
+		t.Errorf("re-encoding gave %d, want %d", again, ida)
+	}
+	if got := d.Term(ida); got != a {
+		t.Errorf("Term(%d) = %v, want %v", ida, got, a)
+	}
+	if got, ok := d.Lookup(b); !ok || got != idb {
+		t.Errorf("Lookup = (%d,%v)", got, ok)
+	}
+	if _, ok := d.Lookup(rdf.NewIRI("http://absent")); ok {
+		t.Error("Lookup found an absent term")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestTermPanicsOnUnassigned(t *testing.T) {
+	d := New()
+	d.Encode(rdf.NewIRI("x"))
+	for _, id := range []ID{None, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Term(%d) did not panic", id)
+				}
+			}()
+			d.Term(id)
+		}()
+	}
+}
+
+func TestEncodeTriple(t *testing.T) {
+	d := New()
+	tr := rdf.NewTriple(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewLiteral("o"))
+	s, p, o := d.EncodeTriple(tr)
+	if got := d.DecodeTriple(s, p, o); got != tr {
+		t.Errorf("DecodeTriple = %v, want %v", got, tr)
+	}
+}
+
+// Encoding is injective and stable: equal terms share an ID, distinct
+// terms never do, and decoding returns the original term.
+func TestEncodeProperty(t *testing.T) {
+	d := New()
+	f := func(values []string) bool {
+		ids := make(map[ID]rdf.Term)
+		for _, v := range values {
+			term := rdf.NewLiteral(v)
+			id := d.Encode(term)
+			if prev, ok := ids[id]; ok && prev != term {
+				return false
+			}
+			ids[id] = term
+			if d.Term(id) != term {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentEncode(t *testing.T) {
+	d := New()
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	results := make([][]ID, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = make([]ID, perG)
+			for i := 0; i < perG; i++ {
+				// All goroutines encode the same value sequence, racing
+				// on assignment.
+				results[g][i] = d.Encode(rdf.NewIRI(fmt.Sprintf("http://x/%d", i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Len() != perG {
+		t.Fatalf("Len = %d, want %d", d.Len(), perG)
+	}
+	for g := 1; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d got ID %d for value %d, goroutine 0 got %d",
+					g, results[g][i], i, results[0][i])
+			}
+		}
+	}
+}
+
+func TestNewWithCapacity(t *testing.T) {
+	d := NewWithCapacity(100)
+	if d.Len() != 0 {
+		t.Error("fresh dictionary not empty")
+	}
+	if id := d.Encode(rdf.NewIRI("a")); id != 1 {
+		t.Errorf("first ID = %d, want 1", id)
+	}
+}

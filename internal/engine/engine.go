@@ -1,0 +1,210 @@
+// Package engine is the query evaluation engine the reformulated queries
+// are handed to — the role PostgreSQL, DB2 and MySQL play in the paper's
+// experiments (Section 5.1). It evaluates CQs by index bind-joins over the
+// triple store (greedy join ordering, statistics-driven), UCQs by
+// evaluating members under a shared duplicate-elimination set, and JUCQs
+// by materializing the arm results and joining them with a
+// profile-selected algorithm.
+//
+// Engine *profiles* reproduce the paper's observation that well-established
+// engines differ sharply in their ability to process reformulated queries:
+//
+//   - a maximum plan size (union fan-in × atoms), whose violation emulates
+//     DB2's "stack depth limit exceeded" on the 318,096-member UCQ of the
+//     paper's Motivating Example 2;
+//   - a materialization budget, whose violation emulates the I/O
+//     exceptions the paper reports when an engine fails to materialize an
+//     intermediary result;
+//   - a work budget, whose violation emulates the paper's 2-hour timeout;
+//   - the join algorithm available for combining arm results: hash and
+//     sort-merge for the Postgres- and DB2-like profiles, nested loops
+//     only for the MySQL-5.6-like profile (hash joins arrived in MySQL
+//     8.0.18), which is what makes SCQ-style reformulations pathological
+//     there.
+//
+// All failures are typed sentinel errors so the benchmark harness can
+// report "missing bars" exactly as the paper's figures do.
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bgp"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+// Typed failures, mirroring the failure modes of Section 5's experiments.
+var (
+	// ErrPlanTooComplex reports a query whose physical plan exceeds the
+	// profile's plan-size limit (the DB2-like stack overflow).
+	ErrPlanTooComplex = errors.New("engine: query plan exceeds the profile's plan-size limit")
+	// ErrMemoryBudget reports an intermediate result too large to
+	// materialize under the profile's memory budget.
+	ErrMemoryBudget = errors.New("engine: intermediate result exceeds the profile's materialization budget")
+	// ErrWorkBudget reports an evaluation that exceeded the profile's
+	// work budget (the experiment timeout).
+	ErrWorkBudget = errors.New("engine: evaluation exceeded the profile's work budget")
+)
+
+// JoinAlgorithm selects how materialized arm relations are joined.
+type JoinAlgorithm uint8
+
+const (
+	// HashJoin builds a hash table on the smaller input. Linear in the
+	// inputs and the output.
+	HashJoin JoinAlgorithm = iota
+	// MergeJoin sorts both inputs on the join key and merges.
+	MergeJoin
+	// NestedLoopJoin compares every pair of rows; quadratic, the only
+	// choice on engines without hash joins for unindexed intermediates.
+	NestedLoopJoin
+)
+
+// String names the algorithm.
+func (a JoinAlgorithm) String() string {
+	switch a {
+	case HashJoin:
+		return "hash"
+	case MergeJoin:
+		return "merge"
+	case NestedLoopJoin:
+		return "nested-loop"
+	default:
+		return fmt.Sprintf("JoinAlgorithm(%d)", uint8(a))
+	}
+}
+
+// Profile is an engine personality: the resource limits and operator
+// repertoire that distinguish the three RDBMSs of the paper's study.
+// A zero limit means "unlimited".
+type Profile struct {
+	Name string
+	// MaxPlanLeaves bounds the physical plan size, measured in scan
+	// leaves (union arms × atoms per arm, summed over JUCQ arms).
+	MaxPlanLeaves int64
+	// MaxMaterializedRows bounds every materialized intermediate
+	// (arm results, duplicate-elimination sets, join outputs).
+	MaxMaterializedRows int
+	// WorkBudget bounds total work units (tuples scanned, rows compared,
+	// hashed or emitted) for one query; exceeding it is the timeout.
+	WorkBudget int64
+	// ArmJoin is the algorithm used to join materialized arm relations.
+	ArmJoin JoinAlgorithm
+	// DisableJoinOrdering evaluates member CQs in textual atom order
+	// instead of the greedy statistics-driven order — an ablation knob,
+	// not a realistic engine behaviour.
+	DisableJoinOrdering bool
+}
+
+// The three profiles of the experimental study. The limits are scaled to
+// this reproduction's dataset sizes (about 10^5–10^7 triples) the same way
+// the originals' limits related to the paper's 10^6–10^8: low enough that
+// the pathological reformulations fail, high enough that reasonable ones
+// run.
+var (
+	// DB2Like fails first on plan size: large UCQs blow its stack.
+	DB2Like = Profile{
+		Name:                "db2like",
+		MaxPlanLeaves:       8_000,
+		MaxMaterializedRows: 6_000_000,
+		WorkBudget:          3_000_000_000,
+		ArmJoin:             MergeJoin,
+	}
+	// PostgresLike accepts bigger plans but has a tighter memory budget
+	// for materialized intermediates.
+	PostgresLike = Profile{
+		Name:                "postgreslike",
+		MaxPlanLeaves:       120_000,
+		MaxMaterializedRows: 4_000_000,
+		WorkBudget:          3_000_000_000,
+		ArmJoin:             HashJoin,
+	}
+	// MySQLLike tolerates huge unions but joins intermediates with
+	// nested loops only, so large-arm SCQ plans time out while the
+	// small-arm covers GCov selects still fit the budget.
+	MySQLLike = Profile{
+		Name:                "mysqllike",
+		MaxPlanLeaves:       600_000,
+		MaxMaterializedRows: 8_000_000,
+		WorkBudget:          4_000_000_000,
+		ArmJoin:             NestedLoopJoin,
+	}
+	// Native is an unconstrained profile with the best operators — used
+	// as the Virtuoso-like native RDF engine in the saturation
+	// comparison, and for correctness tests.
+	Native = Profile{Name: "native", ArmJoin: HashJoin}
+)
+
+// Profiles lists the three RDBMS-like profiles in the order the paper's
+// figures show them.
+func Profiles() []Profile { return []Profile{DB2Like, PostgresLike, MySQLLike} }
+
+// Metrics accumulates observable work for one evaluation; the cost-model
+// calibration fits its counters against wall-clock time.
+type Metrics struct {
+	TuplesScanned    int64 // tuples read from store indexes
+	RowsMaterialized int64 // rows written to materialized intermediates
+	RowsJoined       int64 // rows emitted by arm joins
+	RowsDeduped      int64 // rows dropped by duplicate elimination
+	UnionArms        int64 // member CQs evaluated
+	Work             int64 // total charged work units
+}
+
+// Engine evaluates encoded queries against one store under one profile.
+// It is safe for concurrent use; each evaluation carries its own context.
+type Engine struct {
+	store *storage.Store
+	st    *stats.Stats
+	prof  Profile
+}
+
+// New returns an engine over the store with the given statistics and
+// profile.
+func New(store *storage.Store, st *stats.Stats, prof Profile) *Engine {
+	return &Engine{store: store, st: st, prof: prof}
+}
+
+// Profile returns the engine's profile.
+func (e *Engine) Profile() Profile { return e.prof }
+
+// Stats returns the statistics the engine plans with.
+func (e *Engine) Stats() *stats.Stats { return e.st }
+
+// Store returns the underlying triple store.
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// evalCtx tracks budgets and metrics for one evaluation.
+type evalCtx struct {
+	prof    Profile
+	metrics Metrics
+}
+
+// charge adds n work units, failing when the budget is exhausted.
+func (c *evalCtx) charge(n int64) error {
+	c.metrics.Work += n
+	if c.prof.WorkBudget > 0 && c.metrics.Work > c.prof.WorkBudget {
+		return fmt.Errorf("%w (%s: %d units)", ErrWorkBudget, c.prof.Name, c.metrics.Work)
+	}
+	return nil
+}
+
+// checkRows fails when a materialized intermediate exceeds the budget.
+func (c *evalCtx) checkRows(n int) error {
+	if c.prof.MaxMaterializedRows > 0 && n > c.prof.MaxMaterializedRows {
+		return fmt.Errorf("%w (%s: %d rows)", ErrMemoryBudget, c.prof.Name, n)
+	}
+	return nil
+}
+
+// planLeaves returns the scan-leaf count of a JUCQ plan.
+func planLeaves(j bgp.JUCQ) int64 {
+	var n int64
+	for _, arm := range j.Arms {
+		for _, cq := range arm.CQs {
+			n += int64(len(cq.Atoms))
+		}
+	}
+	return n
+}

@@ -1,0 +1,355 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bgp"
+	"repro/internal/dict"
+	"repro/internal/storage"
+)
+
+// ArmSource supplies the member CQs of one UCQ arm without requiring the
+// union to be materialized first — reformulations with hundreds of
+// thousands of members are streamed straight out of their factorized form.
+type ArmSource struct {
+	// Vars names the arm's head columns.
+	Vars []uint32
+	// NumCQs is the member count (used for reporting).
+	NumCQs int64
+	// Leaves is the scan-leaf count (members × atoms), used for the
+	// plan-size admission check.
+	Leaves int64
+	// Each streams the member CQs; it must stop when f returns false.
+	Each func(f func(bgp.CQ) bool) bool
+}
+
+// SourceFromUCQ wraps a materialized UCQ as an ArmSource.
+func SourceFromUCQ(u bgp.UCQ) ArmSource {
+	var leaves int64
+	for _, cq := range u.CQs {
+		leaves += int64(len(cq.Atoms))
+	}
+	return ArmSource{
+		Vars:   u.Vars,
+		NumCQs: int64(len(u.CQs)),
+		Leaves: leaves,
+		Each: func(f func(bgp.CQ) bool) bool {
+			for _, cq := range u.CQs {
+				if !f(cq) {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// EvalCQ evaluates a single conjunctive query.
+func (e *Engine) EvalCQ(q bgp.CQ) (*Relation, Metrics, error) {
+	vars := make([]uint32, len(q.Head))
+	for i, h := range q.Head {
+		if h.Var {
+			vars[i] = h.ID
+		}
+	}
+	u := bgp.UCQ{Vars: vars, CQs: []bgp.CQ{q}}
+	return e.EvalUCQ(u)
+}
+
+// EvalUCQ evaluates a union of conjunctive queries under set semantics.
+func (e *Engine) EvalUCQ(u bgp.UCQ) (*Relation, Metrics, error) {
+	return e.EvalArms(u.Vars, []ArmSource{SourceFromUCQ(u)})
+}
+
+// EvalJUCQ evaluates a join of UCQs: arms are admission-checked,
+// evaluated, joined with the profile's arm-join algorithm, projected on
+// the head and deduplicated.
+func (e *Engine) EvalJUCQ(j bgp.JUCQ) (*Relation, Metrics, error) {
+	arms := make([]ArmSource, len(j.Arms))
+	for i, arm := range j.Arms {
+		arms[i] = SourceFromUCQ(arm)
+	}
+	return e.EvalArms(j.Head, arms)
+}
+
+// EvalArms is the general entry point: a join of streamed UCQ arms,
+// projected on head. A single arm is a plain UCQ evaluation.
+func (e *Engine) EvalArms(head []uint32, arms []ArmSource) (*Relation, Metrics, error) {
+	ctx := &evalCtx{prof: e.prof}
+
+	// Admission control: total plan size.
+	var leaves int64
+	for _, a := range arms {
+		leaves += a.Leaves
+	}
+	if e.prof.MaxPlanLeaves > 0 && leaves > e.prof.MaxPlanLeaves {
+		return nil, ctx.metrics, fmt.Errorf("%w (%s: %d scan leaves)", ErrPlanTooComplex, e.prof.Name, leaves)
+	}
+
+	// Evaluate each arm into a materialized relation.
+	rels := make([]*Relation, len(arms))
+	for i, a := range arms {
+		rel, err := e.evalArm(ctx, a)
+		if err != nil {
+			return nil, ctx.metrics, err
+		}
+		rels[i] = rel
+	}
+	// The largest-result arm is pipelined into the top join (the cost
+	// model's assumption); every other arm is a materialized
+	// intermediate.
+	if len(rels) > 1 {
+		largest := 0
+		for i, r := range rels {
+			if r.Len() > rels[largest].Len() {
+				largest = i
+			}
+		}
+		for i, r := range rels {
+			if i != largest {
+				ctx.metrics.RowsMaterialized += int64(r.Len())
+			}
+		}
+	}
+
+	// Join the arms, smallest first, always picking a connected arm so
+	// no cartesian product is formed (covers guarantee one exists).
+	order := make([]int, len(rels))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return rels[order[a]].Len() < rels[order[b]].Len() })
+
+	cur := rels[order[0]]
+	used := map[int]bool{order[0]: true}
+	for len(used) < len(rels) {
+		next := -1
+		for _, i := range order {
+			if used[i] {
+				continue
+			}
+			if sharesVars(cur.Vars, rels[i].Vars) {
+				next = i
+				break
+			}
+		}
+		if next == -1 { // disconnected: fall back to the smallest remaining
+			for _, i := range order {
+				if !used[i] {
+					next = i
+					break
+				}
+			}
+		}
+		used[next] = true
+		joined, err := joinRelations(ctx, cur, rels[next], e.prof.ArmJoin)
+		if err != nil {
+			return nil, ctx.metrics, err
+		}
+		cur = joined
+	}
+
+	// Final projection on the head, with duplicate elimination.
+	pos := cur.colIndex()
+	cols := make([]int, len(head))
+	for i, v := range head {
+		c, ok := pos[v]
+		if !ok {
+			return nil, ctx.metrics, fmt.Errorf("engine: head variable ?v%d not produced by any arm", v)
+		}
+		cols[i] = c
+	}
+	out := &Relation{Vars: head}
+	dedup := newDedupSet(ctx)
+	for _, row := range cur.Rows {
+		proj := make([]dict.ID, len(cols))
+		for i, c := range cols {
+			proj[i] = row[c]
+		}
+		fresh, err := dedup.add(proj)
+		if err != nil {
+			return nil, ctx.metrics, err
+		}
+		if fresh {
+			out.Rows = append(out.Rows, proj)
+		}
+	}
+	return out, ctx.metrics, nil
+}
+
+func sharesVars(a, b []uint32) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// evalArm evaluates one UCQ arm: every member CQ is bind-joined against
+// the store and its head rows flow into a shared duplicate-elimination
+// set.
+func (e *Engine) evalArm(ctx *evalCtx, arm ArmSource) (*Relation, error) {
+	out := &Relation{Vars: arm.Vars}
+	dedup := newDedupSet(ctx)
+	var failure error
+	arm.Each(func(cq bgp.CQ) bool {
+		ctx.metrics.UnionArms++
+		if err := e.evalMember(ctx, cq, dedup, out); err != nil {
+			failure = err
+			return false
+		}
+		return true
+	})
+	if failure != nil {
+		return nil, failure
+	}
+	return out, nil
+}
+
+// evalMember evaluates one member CQ by an index bind-join in a greedily
+// chosen atom order, emitting projected head rows.
+func (e *Engine) evalMember(ctx *evalCtx, cq bgp.CQ, dedup *dedupSet, out *Relation) error {
+	order := e.joinOrder(cq)
+	bind := make(map[uint32]dict.ID)
+	row := make([]dict.ID, len(cq.Head))
+	var rec func(depth int) error
+	rec = func(depth int) error {
+		if depth == len(order) {
+			for i, h := range cq.Head {
+				if h.Var {
+					row[i] = bind[h.ID]
+				} else {
+					row[i] = h.Const()
+				}
+			}
+			fresh, err := dedup.add(row)
+			if err != nil {
+				return err
+			}
+			if fresh {
+				out.Rows = append(out.Rows, append([]dict.ID(nil), row...))
+			}
+			return nil
+		}
+		a := cq.Atoms[order[depth]]
+		pat := storage.Pattern{}
+		term := func(t bgp.Term) dict.ID {
+			if !t.Var {
+				return t.Const()
+			}
+			return bind[t.ID] // dict.None when unbound
+		}
+		pat.S, pat.P, pat.O = term(a.S), term(a.P), term(a.O)
+
+		var failure error
+		e.store.Scan(pat, func(tr storage.Triple) bool {
+			ctx.metrics.TuplesScanned++
+			if err := ctx.charge(1); err != nil {
+				failure = err
+				return false
+			}
+			vals := [3]dict.ID{tr.S, tr.P, tr.O}
+			terms := a.Positions()
+			var newly []uint32
+			ok := true
+			for i, t := range terms {
+				if !t.Var {
+					continue
+				}
+				if v, bound := bind[t.ID]; bound {
+					if v != vals[i] {
+						ok = false
+						break
+					}
+				} else {
+					bind[t.ID] = vals[i]
+					newly = append(newly, t.ID)
+				}
+			}
+			if ok {
+				if err := rec(depth + 1); err != nil {
+					failure = err
+				}
+			}
+			for _, v := range newly {
+				delete(bind, v)
+			}
+			return failure == nil
+		})
+		return failure
+	}
+	return rec(0)
+}
+
+// joinOrder picks a static atom order greedily: start from the atom with
+// the smallest estimated cardinality, then repeatedly take the connected
+// atom whose bound-variable-discounted estimate is smallest, falling back
+// to disconnected atoms only when no connected one remains.
+func (e *Engine) joinOrder(cq bgp.CQ) []int {
+	n := len(cq.Atoms)
+	if e.prof.DisableJoinOrdering {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return order
+	}
+	order := make([]int, 0, n)
+	usedAtoms := make([]bool, n)
+	bound := make(map[uint32]bool)
+
+	est := func(i int) float64 {
+		a := cq.Atoms[i]
+		card := e.st.AtomCard(a)
+		var buf []uint32
+		buf = a.Vars(buf)
+		seen := make(map[uint32]bool, len(buf))
+		for _, v := range buf {
+			if bound[v] && !seen[v] {
+				seen[v] = true
+				if d := e.st.DistinctForVar(a, v); d > 1 {
+					card /= d
+				}
+			}
+		}
+		return card
+	}
+	connected := func(i int) bool {
+		a := cq.Atoms[i]
+		var buf []uint32
+		buf = a.Vars(buf)
+		for _, v := range buf {
+			if bound[v] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for len(order) < n {
+		best, bestEst := -1, 0.0
+		bestConn := false
+		for i := 0; i < n; i++ {
+			if usedAtoms[i] {
+				continue
+			}
+			conn := len(order) == 0 || connected(i)
+			c := est(i)
+			if best == -1 || (conn && !bestConn) || (conn == bestConn && c < bestEst) {
+				best, bestEst, bestConn = i, c, conn
+			}
+		}
+		order = append(order, best)
+		usedAtoms[best] = true
+		var buf []uint32
+		buf = cq.Atoms[best].Vars(buf)
+		for _, v := range buf {
+			bound[v] = true
+		}
+	}
+	return order
+}

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bgp"
+	"repro/internal/dict"
+)
+
+// ExplainArms renders a human-readable description of the physical plan
+// EvalArms would run for the given head and arms: per-arm member counts,
+// scan leaves and estimated cardinalities, the sample bind-join order of
+// each arm's first member, the arm-join order and algorithm, and the
+// final projection — the engine's answer to an RDBMS EXPLAIN. name, if
+// non-nil, renders dictionary constants (callers holding the dictionary
+// pass a decoder; the engine itself only knows IDs).
+func (e *Engine) ExplainArms(head []uint32, arms []ArmSource, name func(dict.ID) string) string {
+	if name == nil {
+		name = func(id dict.ID) string { return fmt.Sprintf("#%d", id) }
+	}
+	renderAtom := func(a bgp.Atom) string {
+		term := func(t bgp.Term) string {
+			if t.Var {
+				return fmt.Sprintf("?v%d", t.ID)
+			}
+			return name(t.Const())
+		}
+		return term(a.S) + " " + term(a.P) + " " + term(a.O)
+	}
+	return e.explainArms(head, arms, renderAtom)
+}
+
+func (e *Engine) explainArms(head []uint32, arms []ArmSource, renderAtom func(bgp.Atom) string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "JUCQ plan (profile %s, %s arm joins)\n", e.prof.Name, e.prof.ArmJoin)
+
+	var leaves int64
+	for _, a := range arms {
+		leaves += a.Leaves
+	}
+	if e.prof.MaxPlanLeaves > 0 && leaves > e.prof.MaxPlanLeaves {
+		fmt.Fprintf(&b, "  REJECTED: %d scan leaves exceed the profile limit of %d\n",
+			leaves, e.prof.MaxPlanLeaves)
+		return b.String()
+	}
+
+	type armInfo struct {
+		idx  int
+		card float64
+	}
+	infos := make([]armInfo, len(arms))
+	for i, arm := range arms {
+		var card float64
+		var sample bgp.CQ
+		first := true
+		arm.Each(func(cq bgp.CQ) bool {
+			if first {
+				sample = cq
+				first = false
+			}
+			_, c := e.estimateMember(cq)
+			card += c
+			return true
+		})
+		infos[i] = armInfo{idx: i, card: card}
+
+		fmt.Fprintf(&b, "  arm %d: vars %s, %d member CQs, %d scan leaves, est. %.0f rows\n",
+			i+1, varList(arm.Vars), arm.NumCQs, arm.Leaves, card)
+		if !first {
+			order := e.joinOrder(sample)
+			parts := make([]string, len(order))
+			for j, idx := range order {
+				parts[j] = renderAtom(sample.Atoms[idx])
+			}
+			fmt.Fprintf(&b, "    sample member bind-join order: %s\n", strings.Join(parts, "  ->  "))
+		}
+	}
+
+	if len(arms) > 1 {
+		// Mirror EvalArms's smallest-first, connected-next ordering,
+		// using estimated instead of actual cardinalities.
+		order := make([]int, len(infos))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, c int) bool { return infos[order[a]].card < infos[order[c]].card })
+		used := map[int]bool{order[0]: true}
+		joinSeq := []string{fmt.Sprintf("arm %d", order[0]+1)}
+		curVars := arms[order[0]].Vars
+		for len(used) < len(arms) {
+			next := -1
+			for _, i := range order {
+				if !used[i] {
+					if sharesVars(curVars, arms[i].Vars) {
+						next = i
+						break
+					}
+					if next == -1 {
+						next = i
+					}
+				}
+			}
+			used[next] = true
+			curVars = append(curVars, arms[next].Vars...)
+			joinSeq = append(joinSeq, fmt.Sprintf("arm %d", next+1))
+		}
+		fmt.Fprintf(&b, "  arm join order (estimated): %s\n", strings.Join(joinSeq, " ⨝ "))
+		if e.prof.ArmJoin == NestedLoopJoin {
+			fmt.Fprintf(&b, "  note: nested-loop arm joins; cost is quadratic in arm sizes\n")
+		}
+	}
+	fmt.Fprintf(&b, "  project on %s, eliminate duplicates\n", varList(head))
+	fmt.Fprintf(&b, "  estimated cost: %.4g\n", e.EstimateArms(arms))
+	return b.String()
+}
+
+func varList(vars []uint32) string {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		parts[i] = fmt.Sprintf("?v%d", v)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

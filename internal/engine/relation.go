@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"repro/internal/dict"
+)
+
+// Relation is a materialized set of answer rows. Vars names the columns;
+// rows have set semantics (duplicate elimination happens at build time).
+type Relation struct {
+	Vars []uint32
+	Rows [][]dict.ID
+}
+
+// Arity returns the number of columns.
+func (r *Relation) Arity() int { return len(r.Vars) }
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// colIndex returns the column position of each variable.
+func (r *Relation) colIndex() map[uint32]int {
+	m := make(map[uint32]int, len(r.Vars))
+	for i, v := range r.Vars {
+		m[v] = i
+	}
+	return m
+}
+
+// rowKey packs a row into a map key.
+func rowKey(row []dict.ID) string {
+	b := make([]byte, len(row)*4)
+	for i, v := range row {
+		b[i*4] = byte(v)
+		b[i*4+1] = byte(v >> 8)
+		b[i*4+2] = byte(v >> 16)
+		b[i*4+3] = byte(v >> 24)
+	}
+	return string(b)
+}
+
+// keyOf packs selected columns of a row into a map key.
+func keyOf(row []dict.ID, cols []int) string {
+	b := make([]byte, len(cols)*4)
+	for i, c := range cols {
+		v := row[c]
+		b[i*4] = byte(v)
+		b[i*4+1] = byte(v >> 8)
+		b[i*4+2] = byte(v >> 16)
+		b[i*4+3] = byte(v >> 24)
+	}
+	return string(b)
+}
+
+// dedupSet is a streaming duplicate-elimination set with budget checks.
+type dedupSet struct {
+	seen map[string]struct{}
+	ctx  *evalCtx
+}
+
+func newDedupSet(ctx *evalCtx) *dedupSet {
+	return &dedupSet{seen: make(map[string]struct{}), ctx: ctx}
+}
+
+// add reports whether the row was new; it charges one work unit per row
+// and enforces the materialization budget on the set size.
+func (d *dedupSet) add(row []dict.ID) (bool, error) {
+	if err := d.ctx.charge(1); err != nil {
+		return false, err
+	}
+	k := rowKey(row)
+	if _, dup := d.seen[k]; dup {
+		d.ctx.metrics.RowsDeduped++
+		return false, nil
+	}
+	d.seen[k] = struct{}{}
+	if err := d.ctx.checkRows(len(d.seen)); err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,259 @@
+package lubm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// Config sets the generator's cardinality profile. Default mirrors the
+// published LUBM (UBA 1.7) profile; Tiny scales it down for unit tests.
+type Config struct {
+	DeptsMin, DeptsMax           int // departments per university
+	FullProfMin, FullProfMax     int
+	AssocProfMin, AssocProfMax   int
+	AssistProfMin, AssistProfMax int
+	LecturerMin, LecturerMax     int
+	UndergradRatioMin            int // undergraduates per faculty member
+	UndergradRatioMax            int
+	GradRatioMin, GradRatioMax   int
+	CoursesPerFaculty            int // courses (and graduate courses) taught
+	UndergradCoursesMin          int // courses an undergraduate takes
+	UndergradCoursesMax          int
+	GradCoursesMin               int
+	GradCoursesMax               int
+	PubsFullMin, PubsFullMax     int
+	PubsOtherMin, PubsOtherMax   int
+	GroupsMin, GroupsMax         int
+	AdvisedUndergradFraction     int // one in N undergraduates has an advisor
+	ResearchAssistantFraction    int // one in N graduate students
+	TeachingAssistantFraction    int // one in N graduate students
+}
+
+// Default returns the LUBM-like profile (one university ≈ 10^5 triples,
+// matching the original generator's density).
+func Default() Config {
+	return Config{
+		DeptsMin: 15, DeptsMax: 25,
+		FullProfMin: 7, FullProfMax: 10,
+		AssocProfMin: 10, AssocProfMax: 14,
+		AssistProfMin: 8, AssistProfMax: 11,
+		LecturerMin: 5, LecturerMax: 7,
+		UndergradRatioMin: 8, UndergradRatioMax: 14,
+		GradRatioMin: 3, GradRatioMax: 4,
+		CoursesPerFaculty:   2,
+		UndergradCoursesMin: 2, UndergradCoursesMax: 4,
+		GradCoursesMin: 1, GradCoursesMax: 3,
+		PubsFullMin: 15, PubsFullMax: 20,
+		PubsOtherMin: 5, PubsOtherMax: 10,
+		GroupsMin: 10, GroupsMax: 20,
+		AdvisedUndergradFraction:  5,
+		ResearchAssistantFraction: 5,
+		TeachingAssistantFraction: 4,
+	}
+}
+
+// Tiny returns a scaled-down profile for unit tests (one university ≈
+// 4,000 triples) that still exercises every class and property.
+func Tiny() Config {
+	return Config{
+		DeptsMin: 2, DeptsMax: 3,
+		FullProfMin: 2, FullProfMax: 3,
+		AssocProfMin: 2, AssocProfMax: 3,
+		AssistProfMin: 2, AssistProfMax: 3,
+		LecturerMin: 1, LecturerMax: 2,
+		UndergradRatioMin: 2, UndergradRatioMax: 3,
+		GradRatioMin: 1, GradRatioMax: 2,
+		CoursesPerFaculty:   1,
+		UndergradCoursesMin: 1, UndergradCoursesMax: 2,
+		GradCoursesMin: 1, GradCoursesMax: 2,
+		PubsFullMin: 1, PubsFullMax: 3,
+		PubsOtherMin: 0, PubsOtherMax: 2,
+		GroupsMin: 1, GroupsMax: 3,
+		AdvisedUndergradFraction:  3,
+		ResearchAssistantFraction: 3,
+		TeachingAssistantFraction: 3,
+	}
+}
+
+// UniversityIRI returns the IRI of university n.
+func UniversityIRI(n int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("http://www.University%d.edu", n))
+}
+
+// DepartmentIRI returns the IRI of department d of university u.
+func DepartmentIRI(u, d int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("http://www.Department%d.University%d.edu", d, u))
+}
+
+// memberIRI returns the IRI of an entity inside a department.
+func memberIRI(u, d int, kind string, n int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("http://www.Department%d.University%d.edu/%s%d", d, u, kind, n))
+}
+
+// Generate emits the data triples of nUniv universities to emit,
+// deterministically for a given seed. The triple stream follows the LUBM
+// generator's structure: department organization, faculty with degrees
+// and courses, students with enrollments and advisors, publications with
+// authors, and research groups.
+func Generate(nUniv int, seed int64, cfg Config, emit func(rdf.Triple)) {
+	rng := rand.New(rand.NewSource(seed))
+	between := func(lo, hi int) int {
+		if hi <= lo {
+			return lo
+		}
+		return lo + rng.Intn(hi-lo+1)
+	}
+	t := func(s, p, o rdf.Term) { emit(rdf.NewTriple(s, p, o)) }
+	typ := func(s rdf.Term, class string) { t(s, rdf.Type, Class(class)) }
+	lit := func(s rdf.Term, prop, val string) { t(s, Prop(prop), rdf.NewLiteral(val)) }
+
+	randUniv := func() rdf.Term { return UniversityIRI(rng.Intn(nUniv * 5)) } // degrees may come from unseen universities
+
+	for u := 0; u < nUniv; u++ {
+		univ := UniversityIRI(u)
+		typ(univ, "University")
+		lit(univ, "name", fmt.Sprintf("University%d", u))
+
+		nDepts := between(cfg.DeptsMin, cfg.DeptsMax)
+		for d := 0; d < nDepts; d++ {
+			dept := DepartmentIRI(u, d)
+			typ(dept, "Department")
+			t(dept, Prop("subOrganizationOf"), univ)
+			lit(dept, "name", fmt.Sprintf("Department%d", d))
+
+			// Faculty roster.
+			type facultyMember struct {
+				iri  rdf.Term
+				rank string
+			}
+			var faculty []facultyMember
+			addFaculty := func(kind string, n int) {
+				for i := 0; i < n; i++ {
+					f := memberIRI(u, d, kind, i)
+					faculty = append(faculty, facultyMember{f, kind})
+				}
+			}
+			addFaculty("FullProfessor", between(cfg.FullProfMin, cfg.FullProfMax))
+			addFaculty("AssociateProfessor", between(cfg.AssocProfMin, cfg.AssocProfMax))
+			addFaculty("AssistantProfessor", between(cfg.AssistProfMin, cfg.AssistProfMax))
+			addFaculty("Lecturer", between(cfg.LecturerMin, cfg.LecturerMax))
+
+			// Courses: every faculty member teaches CoursesPerFaculty
+			// undergraduate courses and one graduate course.
+			nCourses := len(faculty) * cfg.CoursesPerFaculty
+			nGradCourses := len(faculty)
+			course := func(i int) rdf.Term { return memberIRI(u, d, "Course", i) }
+			gradCourse := func(i int) rdf.Term { return memberIRI(u, d, "GraduateCourse", i) }
+			for i := 0; i < nCourses; i++ {
+				typ(course(i), "Course")
+			}
+			for i := 0; i < nGradCourses; i++ {
+				typ(gradCourse(i), "GraduateCourse")
+			}
+
+			professors := faculty[:0:0]
+			for fi, f := range faculty {
+				typ(f.iri, f.rank)
+				if f.rank != "Lecturer" {
+					professors = append(professors, f)
+				}
+				t(f.iri, Prop("worksFor"), dept)
+				t(f.iri, Prop("undergraduateDegreeFrom"), randUniv())
+				t(f.iri, Prop("mastersDegreeFrom"), randUniv())
+				t(f.iri, Prop("doctoralDegreeFrom"), randUniv())
+				lit(f.iri, "name", fmt.Sprintf("%s%d", f.rank, fi))
+				lit(f.iri, "emailAddress", fmt.Sprintf("%s%d@Department%d.University%d.edu", f.rank, fi, d, u))
+				lit(f.iri, "telephone", fmt.Sprintf("xxx-%04d", rng.Intn(10000)))
+				lit(f.iri, "researchInterest", fmt.Sprintf("Research%d", rng.Intn(30)))
+				for c := 0; c < cfg.CoursesPerFaculty; c++ {
+					t(f.iri, Prop("teacherOf"), course((fi*cfg.CoursesPerFaculty+c)%nCourses))
+				}
+				t(f.iri, Prop("teacherOf"), gradCourse(fi%nGradCourses))
+			}
+			// The department head is the first full professor.
+			t(faculty[0].iri, Prop("headOf"), dept)
+
+			// Publications: authored by faculty, co-authored by a later
+			// graduate student when available (emitted after students).
+			type pub struct {
+				iri    rdf.Term
+				author rdf.Term
+			}
+			var pubs []pub
+			pubCount := 0
+			for fi, f := range faculty {
+				lo, hi := cfg.PubsOtherMin, cfg.PubsOtherMax
+				if f.rank == "FullProfessor" {
+					lo, hi = cfg.PubsFullMin, cfg.PubsFullMax
+				}
+				n := between(lo, hi)
+				for i := 0; i < n; i++ {
+					p := memberIRI(u, d, "Publication", pubCount)
+					pubCount++
+					pubs = append(pubs, pub{p, f.iri})
+					kind := [...]string{"JournalArticle", "ConferencePaper", "TechnicalReport", "Book"}[rng.Intn(4)]
+					typ(p, kind)
+					t(p, Prop("publicationAuthor"), f.iri)
+					lit(p, "name", fmt.Sprintf("Publication%d.%d", fi, i))
+				}
+			}
+
+			// Students.
+			nUndergrad := len(faculty) * between(cfg.UndergradRatioMin, cfg.UndergradRatioMax)
+			nGrad := len(faculty) * between(cfg.GradRatioMin, cfg.GradRatioMax)
+			for i := 0; i < nUndergrad; i++ {
+				s := memberIRI(u, d, "UndergraduateStudent", i)
+				typ(s, "UndergraduateStudent")
+				t(s, Prop("memberOf"), dept)
+				lit(s, "name", fmt.Sprintf("UndergraduateStudent%d", i))
+				lit(s, "telephone", fmt.Sprintf("xxx-%04d", rng.Intn(10000)))
+				for c, n := 0, between(cfg.UndergradCoursesMin, cfg.UndergradCoursesMax); c < n; c++ {
+					t(s, Prop("takesCourse"), course(rng.Intn(nCourses)))
+				}
+				if cfg.AdvisedUndergradFraction > 0 && i%cfg.AdvisedUndergradFraction == 0 {
+					t(s, Prop("advisor"), professors[rng.Intn(len(professors))].iri)
+				}
+			}
+			for i := 0; i < nGrad; i++ {
+				s := memberIRI(u, d, "GraduateStudent", i)
+				typ(s, "GraduateStudent")
+				t(s, Prop("memberOf"), dept)
+				t(s, Prop("undergraduateDegreeFrom"), randUniv())
+				lit(s, "name", fmt.Sprintf("GraduateStudent%d", i))
+				lit(s, "emailAddress", fmt.Sprintf("GraduateStudent%d@Department%d.University%d.edu", i, d, u))
+				t(s, Prop("advisor"), professors[rng.Intn(len(professors))].iri)
+				for c, n := 0, between(cfg.GradCoursesMin, cfg.GradCoursesMax); c < n; c++ {
+					t(s, Prop("takesCourse"), gradCourse(rng.Intn(nGradCourses)))
+				}
+				if cfg.ResearchAssistantFraction > 0 && i%cfg.ResearchAssistantFraction == 0 {
+					typ(s, "ResearchAssistant")
+				}
+				if cfg.TeachingAssistantFraction > 0 && i%cfg.TeachingAssistantFraction == 1 {
+					typ(s, "TeachingAssistant")
+					t(s, Prop("teachingAssistantOf"), course(rng.Intn(nCourses)))
+				}
+				// Some graduate students co-author a publication.
+				if len(pubs) > 0 && i%3 == 0 {
+					t(pubs[rng.Intn(len(pubs))].iri, Prop("publicationAuthor"), s)
+				}
+			}
+
+			// Research groups.
+			for g, n := 0, between(cfg.GroupsMin, cfg.GroupsMax); g < n; g++ {
+				grp := memberIRI(u, d, "ResearchGroup", g)
+				typ(grp, "ResearchGroup")
+				t(grp, Prop("subOrganizationOf"), dept)
+			}
+		}
+	}
+}
+
+// CountTriples returns how many triples Generate emits for the
+// parameters, without storing them.
+func CountTriples(nUniv int, seed int64, cfg Config) int {
+	n := 0
+	Generate(nUniv, seed, cfg, func(rdf.Triple) { n++ })
+	return n
+}

@@ -1,0 +1,176 @@
+package lubm
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/sparql"
+)
+
+func TestOntologyWellFormed(t *testing.T) {
+	seen := make(map[rdf.Triple]bool)
+	for _, tr := range Ontology() {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("invalid ontology triple %v: %v", tr, err)
+		}
+		if !rdf.IsSchemaTriple(tr) {
+			t.Errorf("non-constraint triple in ontology: %v", tr)
+		}
+		if seen[tr] {
+			t.Errorf("duplicate ontology triple %v", tr)
+		}
+		seen[tr] = true
+	}
+	if len(seen) < 50 {
+		t.Errorf("ontology suspiciously small: %d constraints", len(seen))
+	}
+}
+
+func TestOntologyHierarchyAnchors(t *testing.T) {
+	// Spot-check the constraints the motivating queries rely on.
+	want := []rdf.Triple{
+		rdf.NewTriple(Prop("doctoralDegreeFrom"), rdf.SubPropertyOf, Prop("degreeFrom")),
+		rdf.NewTriple(Prop("mastersDegreeFrom"), rdf.SubPropertyOf, Prop("degreeFrom")),
+		rdf.NewTriple(Prop("worksFor"), rdf.SubPropertyOf, Prop("memberOf")),
+		rdf.NewTriple(Prop("headOf"), rdf.SubPropertyOf, Prop("worksFor")),
+		rdf.NewTriple(Class("GraduateStudent"), rdf.SubClassOf, Class("Student")),
+		rdf.NewTriple(Class("FullProfessor"), rdf.SubClassOf, Class("Professor")),
+	}
+	have := make(map[rdf.Triple]bool)
+	for _, tr := range Ontology() {
+		have[tr] = true
+	}
+	for _, tr := range want {
+		if !have[tr] {
+			t.Errorf("ontology missing %v", tr)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	count := func() []rdf.Triple {
+		var out []rdf.Triple
+		Generate(1, 7, Tiny(), func(tr rdf.Triple) { out = append(out, tr) })
+		return out
+	}
+	a, b := count(), count()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic triple at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	n1 := CountTriples(1, 1, Tiny())
+	n2 := CountTriples(1, 2, Tiny())
+	if n1 == 0 || n2 == 0 {
+		t.Fatal("empty generation")
+	}
+	// Sizes are random draws; at least the streams should not be byte-
+	// identical for different seeds.
+	var a, b []rdf.Triple
+	Generate(1, 1, Tiny(), func(tr rdf.Triple) { a = append(a, tr) })
+	Generate(1, 2, Tiny(), func(tr rdf.Triple) { b = append(b, tr) })
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateValidTriples(t *testing.T) {
+	n := 0
+	Generate(1, 42, Tiny(), func(tr rdf.Triple) {
+		n++
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("invalid generated triple %v: %v", tr, err)
+		}
+		if rdf.IsSchemaTriple(tr) {
+			t.Fatalf("generator emitted a constraint triple: %v", tr)
+		}
+	})
+	if n < 1000 {
+		t.Errorf("tiny profile generated only %d triples", n)
+	}
+}
+
+// The query constants must exist in any generated dataset (nUniv >= 1).
+func TestQueryConstantsExist(t *testing.T) {
+	subjects := make(map[string]bool)
+	objects := make(map[string]bool)
+	Generate(1, 42, Tiny(), func(tr rdf.Triple) {
+		subjects[tr.S.Value] = true
+		if tr.O.IsIRI() {
+			objects[tr.O.Value] = true
+		}
+	})
+	for _, iri := range []string{
+		"http://www.University0.edu",
+		"http://www.Department0.University0.edu",
+		"http://www.Department0.University0.edu/FullProfessor0",
+		"http://www.Department0.University0.edu/GraduateCourse0",
+	} {
+		if !subjects[iri] && !objects[iri] {
+			t.Errorf("query constant %s absent from generated data", iri)
+		}
+	}
+}
+
+func TestScalingWithUniversities(t *testing.T) {
+	one := CountTriples(1, 42, Tiny())
+	three := CountTriples(3, 42, Tiny())
+	if three < 2*one {
+		t.Errorf("3 universities (%d triples) should be at least twice 1 (%d)", three, one)
+	}
+}
+
+func TestQueriesParse(t *testing.T) {
+	specs := Queries()
+	if len(specs) != 28 {
+		t.Fatalf("got %d queries, want 28", len(specs))
+	}
+	names := make(map[string]bool)
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Errorf("duplicate query name %s", s.Name)
+		}
+		names[s.Name] = true
+		q, err := sparql.Parse(s.Text)
+		if err != nil {
+			t.Errorf("%s does not parse: %v", s.Name, err)
+			continue
+		}
+		if len(q.Where) == 0 {
+			t.Errorf("%s has no patterns", s.Name)
+		}
+		if s.Comment == "" {
+			t.Errorf("%s has no design comment", s.Name)
+		}
+	}
+	// MustParse must succeed on the full set.
+	if got := MustParse(specs); len(got) != 28 {
+		t.Errorf("MustParse returned %d queries", len(got))
+	}
+}
+
+// The motivating queries must have the shapes the paper describes.
+func TestMotivatingQueryShapes(t *testing.T) {
+	qs := MustParse(Queries())
+	if len(qs[0].Where) != 3 {
+		t.Errorf("Q01 has %d triples, want 3", len(qs[0].Where))
+	}
+	if len(qs[1].Where) != 6 {
+		t.Errorf("Q02 has %d triples, want 6", len(qs[1].Where))
+	}
+}

@@ -1,0 +1,129 @@
+// Package lubm provides the Lehigh University Benchmark substitute of this
+// reproduction: the Univ-Bench ontology restricted to its RDF Schema
+// content (the same restriction the database fragment of RDF applies to
+// the original OWL ontology), a deterministic data generator following the
+// published LUBM cardinality profile, and the 28 BGP queries of the
+// paper's LUBM experiments, including the two motivating-example queries
+// of Section 3.
+package lubm
+
+import (
+	"repro/internal/rdf"
+)
+
+// Namespace is the Univ-Bench ontology namespace.
+const Namespace = "http://swat.cse.lehigh.edu/onto/univ-bench.owl#"
+
+// Class returns the IRI of a Univ-Bench class.
+func Class(name string) rdf.Term { return rdf.NewIRI(Namespace + name) }
+
+// Prop returns the IRI of a Univ-Bench property.
+func Prop(name string) rdf.Term { return rdf.NewIRI(Namespace + name) }
+
+// The class hierarchy: sub ⊑ super pairs of the Univ-Bench ontology's
+// RDFS fragment.
+var subClasses = [][2]string{
+	{"University", "Organization"},
+	{"College", "Organization"},
+	{"Department", "Organization"},
+	{"Institute", "Organization"},
+	{"Program", "Organization"},
+	{"ResearchGroup", "Organization"},
+
+	{"Employee", "Person"},
+	{"Faculty", "Employee"},
+	{"Professor", "Faculty"},
+	{"FullProfessor", "Professor"},
+	{"AssociateProfessor", "Professor"},
+	{"AssistantProfessor", "Professor"},
+	{"VisitingProfessor", "Professor"},
+	{"Chair", "Professor"},
+	{"Dean", "Professor"},
+	{"Lecturer", "Faculty"},
+	{"PostDoc", "Faculty"},
+	{"AdministrativeStaff", "Employee"},
+	{"ClericalStaff", "AdministrativeStaff"},
+	{"SystemsStaff", "AdministrativeStaff"},
+
+	{"Student", "Person"},
+	{"UndergraduateStudent", "Student"},
+	{"GraduateStudent", "Student"},
+	{"ResearchAssistant", "GraduateStudent"},
+	{"TeachingAssistant", "GraduateStudent"},
+	{"Director", "Person"},
+
+	{"Article", "Publication"},
+	{"ConferencePaper", "Article"},
+	{"JournalArticle", "Article"},
+	{"TechnicalReport", "Article"},
+	{"Book", "Publication"},
+	{"Manual", "Publication"},
+	{"Software", "Publication"},
+	{"Specification", "Publication"},
+	{"UnofficialPublication", "Publication"},
+
+	{"Course", "Work"},
+	{"GraduateCourse", "Course"},
+	{"Research", "Work"},
+}
+
+// The property hierarchy: sub ⊑ super pairs.
+var subProperties = [][2]string{
+	{"worksFor", "memberOf"},
+	{"headOf", "worksFor"},
+	{"doctoralDegreeFrom", "degreeFrom"},
+	{"mastersDegreeFrom", "degreeFrom"},
+	{"undergraduateDegreeFrom", "degreeFrom"},
+}
+
+// Domain and range constraints (property, class). As in Univ-Bench,
+// memberOf and takesCourse carry no domain or range of their own (only
+// their subproperties do), and advisor's domain is Person — which is why
+// pairing those properties with class atoms in the benchmark queries does
+// not create redundant triples (the paper's Section 5.1 criterion).
+var domains = [][2]string{
+	{"worksFor", "Employee"},
+	{"headOf", "Chair"},
+	{"degreeFrom", "Person"},
+	{"doctoralDegreeFrom", "Faculty"},
+	{"teacherOf", "Faculty"},
+	{"teachingAssistantOf", "TeachingAssistant"},
+	{"advisor", "Person"},
+	{"publicationAuthor", "Publication"},
+	{"researchProject", "ResearchGroup"},
+	{"subOrganizationOf", "Organization"},
+	{"orgPublication", "Organization"},
+	{"softwareVersion", "Software"},
+	{"researchInterest", "Faculty"},
+}
+
+var ranges = [][2]string{
+	{"worksFor", "Organization"},
+	{"headOf", "Department"},
+	{"degreeFrom", "University"},
+	{"teacherOf", "Course"},
+	{"teachingAssistantOf", "Course"},
+	{"advisor", "Professor"},
+	{"publicationAuthor", "Person"},
+	{"researchProject", "Research"},
+	{"subOrganizationOf", "Organization"},
+	{"orgPublication", "Publication"},
+}
+
+// Ontology returns the RDFS constraint triples of the Univ-Bench schema.
+func Ontology() []rdf.Triple {
+	var out []rdf.Triple
+	for _, sc := range subClasses {
+		out = append(out, rdf.NewTriple(Class(sc[0]), rdf.SubClassOf, Class(sc[1])))
+	}
+	for _, sp := range subProperties {
+		out = append(out, rdf.NewTriple(Prop(sp[0]), rdf.SubPropertyOf, Prop(sp[1])))
+	}
+	for _, d := range domains {
+		out = append(out, rdf.NewTriple(Prop(d[0]), rdf.Domain, Class(d[1])))
+	}
+	for _, r := range ranges {
+		out = append(out, rdf.NewTriple(Prop(r[0]), rdf.Range, Class(r[1])))
+	}
+	return out
+}

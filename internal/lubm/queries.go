@@ -1,0 +1,290 @@
+package lubm
+
+import "repro/internal/sparql"
+
+// QuerySpec is one benchmark query: a name and its SPARQL text.
+type QuerySpec struct {
+	Name string
+	Text string
+	// Comment describes the query's role in the experiment design.
+	Comment string
+}
+
+const prolog = "PREFIX ub: <" + Namespace + ">\n"
+
+// Constants every generated dataset contains (nUniv >= 1).
+const (
+	univ0 = "<http://www.University0.edu>"
+	dept0 = "<http://www.Department0.University0.edu>"
+	prof0 = "<http://www.Department0.University0.edu/FullProfessor0>"
+	gcrs0 = "<http://www.Department0.University0.edu/GraduateCourse0>"
+)
+
+// Queries returns the 28 LUBM benchmark queries. Q01 and Q02 are the
+// paper's two motivating-example queries (Section 3) verbatim; the rest
+// are designed to the paper's stated criteria (Section 5.1): intuitive
+// meaning, a wide spread of result cardinalities, a wide spread of
+// reformulation sizes (1 … hundreds of thousands of union members,
+// Table 4's range), and no redundant triples.
+func Queries() []QuerySpec {
+	return []QuerySpec{
+		{
+			Name: "Q01",
+			Text: prolog + `SELECT ?x ?y WHERE {
+				?x rdf:type ?y .
+				?x ub:degreeFrom ` + univ0 + ` .
+				?x ub:memberOf ` + dept0 + ` .
+			}`,
+			Comment: "motivating example 1: type variable grouped with two selective triples; |q_ref| in the thousands",
+		},
+		{
+			Name: "Q02",
+			Text: prolog + `SELECT ?x ?u ?y ?v ?z WHERE {
+				?x rdf:type ?u .
+				?y rdf:type ?v .
+				?x ub:mastersDegreeFrom ` + univ0 + ` .
+				?y ub:doctoralDegreeFrom ` + univ0 + ` .
+				?x ub:memberOf ?z .
+				?y ub:memberOf ?z .
+			}`,
+			Comment: "motivating example 2: two type variables; |q_ref| in the hundreds of thousands — UCQ infeasible on every engine",
+		},
+		{
+			Name: "Q03",
+			Text: prolog + `SELECT ?x WHERE {
+				?x rdf:type ub:GraduateStudent .
+				?x ub:takesCourse ` + gcrs0 + ` .
+			}`,
+			Comment: "LUBM query 1 analogue: tiny reformulation, selective",
+		},
+		{
+			Name: "Q04",
+			Text: prolog + `SELECT ?x ?n ?e ?t WHERE {
+				?x rdf:type ub:Professor .
+				?x ub:worksFor ` + dept0 + ` .
+				?x ub:name ?n .
+				?x ub:emailAddress ?e .
+				?x ub:telephone ?t .
+			}`,
+			Comment: "LUBM query 4 analogue: professor subtree × worksFor hierarchy",
+		},
+		{
+			Name: "Q05",
+			Text: prolog + `SELECT ?x WHERE {
+				?x rdf:type ub:Person .
+				?x ub:memberOf ` + dept0 + ` .
+			}`,
+			Comment: "LUBM query 5 analogue: the widest class × the memberOf hierarchy",
+		},
+		{
+			Name: "Q06",
+			Text: prolog + `SELECT ?x WHERE {
+				?x rdf:type ub:Student .
+			}`,
+			Comment: "LUBM query 6: single wide-class atom, very large result",
+		},
+		{
+			Name: "Q07",
+			Text: prolog + `SELECT ?x ?y WHERE {
+				?x rdf:type ub:Student .
+				?x ub:takesCourse ?y .
+				` + prof0 + ` ub:teacherOf ?y .
+			}`,
+			Comment: "LUBM query 7 analogue: selective teacher anchors the join",
+		},
+		{
+			Name: "Q08",
+			Text: prolog + `SELECT ?x ?y ?e WHERE {
+				?x rdf:type ub:Student .
+				?x ub:memberOf ?y .
+				?y ub:subOrganizationOf ` + univ0 + ` .
+				?x ub:emailAddress ?e .
+			}`,
+			Comment: "LUBM query 8 analogue: students across one university's departments",
+		},
+		{
+			Name: "Q09",
+			Text: prolog + `SELECT ?x ?y ?v ?z WHERE {
+				?x rdf:type ub:Student .
+				?y rdf:type ?v .
+				?z rdf:type ub:GraduateCourse .
+				?x ub:advisor ?y .
+				?y ub:teacherOf ?z .
+				?x ub:takesCourse ?z .
+			}`,
+			Comment: "LUBM query 9 modified as the paper modified its queries — no redundant triples: the advisor's type is a distinguished variable (advisor's range would make a Professor atom redundant), and the class atoms sit strictly below the domain/range classes; reformulations multiply across the Student subtree and the type variable",
+		},
+		{
+			Name: "Q10",
+			Text: prolog + `SELECT ?x WHERE {
+				?x ub:takesCourse ` + gcrs0 + ` .
+			}`,
+			Comment: "LUBM query 10 analogue: single selective atom, |q_ref| = 1",
+		},
+		{
+			Name: "Q11",
+			Text: prolog + `SELECT ?x WHERE {
+				?x rdf:type ub:ResearchGroup .
+				?x ub:subOrganizationOf ?y .
+				?y ub:subOrganizationOf ` + univ0 + ` .
+			}`,
+			Comment: "LUBM query 11 analogue: organization chain (RDFS keeps one hop explicit)",
+		},
+		{
+			Name: "Q12",
+			Text: prolog + `SELECT ?x ?y WHERE {
+				?x ub:headOf ?y .
+				?y ub:subOrganizationOf ` + univ0 + ` .
+				?x ub:emailAddress ?e .
+			}`,
+			Comment: "LUBM query 12 analogue: chairs of one university's departments (the Department type atom would be redundant: headOf's range implies it)",
+		},
+		{
+			Name: "Q13",
+			Text: prolog + `SELECT ?x ?y WHERE {
+				?x rdf:type ?y .
+				?x ub:memberOf ` + dept0 + ` .
+			}`,
+			Comment: "type variable over one department's members; mid-size reformulation",
+		},
+		{
+			Name: "Q14",
+			Text: prolog + `SELECT ?x WHERE {
+				?x rdf:type ub:UndergraduateStudent .
+			}`,
+			Comment: "LUBM query 14: leaf class, |q_ref| = 1, huge result",
+		},
+		{
+			Name: "Q15",
+			Text: prolog + `SELECT ?x ?y WHERE {
+				?x rdf:type ?y .
+				?x ub:worksFor ` + dept0 + ` .
+			}`,
+			Comment: "type variable over one department's staff",
+		},
+		{
+			Name: "Q16",
+			Text: prolog + `SELECT ?x WHERE {
+				?x rdf:type ub:Employee .
+				?x ub:degreeFrom ` + univ0 + ` .
+			}`,
+			Comment: "employee subtree × degree hierarchy",
+		},
+		{
+			Name: "Q17",
+			Text: prolog + `SELECT ?x WHERE {
+				?x rdf:type ub:Article .
+				?x ub:publicationAuthor ` + prof0 + ` .
+			}`,
+			Comment: "LUBM query 17 analogue: article subtree, selective author (Publication itself would be redundant: publicationAuthor's domain implies it)",
+		},
+		{
+			Name: "Q18",
+			Text: prolog + `SELECT ?x ?y ?a WHERE {
+				?x rdf:type ?y .
+				?x ub:publicationAuthor ?a .
+				?a ub:memberOf ` + dept0 + ` .
+			}`,
+			Comment: "type variable over publications of one department's members",
+		},
+		{
+			Name: "Q19",
+			Text: prolog + `SELECT ?x ?y WHERE {
+				?x ub:advisor ?y .
+				?y ub:worksFor ?z .
+				?z ub:subOrganizationOf ` + univ0 + ` .
+				?x ub:takesCourse ?c .
+				?y ub:teacherOf ?c .
+			}`,
+			Comment: "five-triple chain: advisees taking their advisor's course at one university",
+		},
+		{
+			Name: "Q20",
+			Text: prolog + `SELECT ?x WHERE {
+				?x ub:degreeFrom ` + univ0 + ` .
+			}`,
+			Comment: "degree hierarchy alone: four-member union, large result",
+		},
+		{
+			Name: "Q21",
+			Text: prolog + `SELECT ?x ?y WHERE {
+				?x rdf:type ?y .
+				?x ub:doctoralDegreeFrom ` + univ0 + ` .
+			}`,
+			Comment: "type variable anchored by a selective degree triple",
+		},
+		{
+			Name: "Q22",
+			Text: prolog + `SELECT ?x ?y WHERE {
+				?x rdf:type ub:GraduateStudent .
+				?x ub:memberOf ?y .
+				?y rdf:type ub:Department .
+			}`,
+			Comment: "graduate students with their departments",
+		},
+		{
+			Name: "Q23",
+			Text: prolog + `SELECT ?x ?u ?z WHERE {
+				?x rdf:type ?u .
+				?x ub:degreeFrom ` + univ0 + ` .
+				?x ub:memberOf ?z .
+				?z ub:subOrganizationOf ` + univ0 + ` .
+			}`,
+			Comment: "Q01 widened: unselective memberOf; thousands of members × 4 atoms",
+		},
+		{
+			Name: "Q24",
+			Text: prolog + `SELECT ?x ?u ?y ?v WHERE {
+				?x rdf:type ?u .
+				?y rdf:type ?v .
+				?x ub:advisor ?y .
+				?x ub:memberOf ` + dept0 + ` .
+			}`,
+			Comment: "two type variables: tens of thousands of members — UCQ exceeds the DB2-like plan limit",
+		},
+		{
+			Name: "Q25",
+			Text: prolog + `SELECT ?x ?u ?y WHERE {
+				?x rdf:type ?u .
+				?x ub:takesCourse ?y .
+				?y rdf:type ub:GraduateCourse .
+			}`,
+			Comment: "type variable over graduate-course takers",
+		},
+		{
+			Name: "Q26",
+			Text: prolog + `SELECT ?p ?y WHERE {
+				` + prof0 + ` ?p ?y .
+			}`,
+			Comment: "property variable: everything about one professor",
+		},
+		{
+			Name: "Q27",
+			Text: prolog + `SELECT ?x ?p WHERE {
+				?x ?p ` + dept0 + ` .
+			}`,
+			Comment: "property variable with constant object: everything pointing at one department",
+		},
+		{
+			Name: "Q28",
+			Text: prolog + `SELECT ?x ?u ?y ?v WHERE {
+				?x rdf:type ?u .
+				?y rdf:type ?v .
+				?x ub:memberOf ?z .
+				?y ub:memberOf ?z .
+				?x ub:advisor ?y .
+			}`,
+			Comment: "two type variables joined twice: hundreds of thousands of members — UCQ infeasible everywhere, like the paper's Q28",
+		},
+	}
+}
+
+// MustParse parses every query, panicking on error; the query texts are
+// static so a parse failure is a programming error.
+func MustParse(specs []QuerySpec) []*sparql.Query {
+	out := make([]*sparql.Query, len(specs))
+	for i, s := range specs {
+		out[i] = sparql.MustParse(s.Text)
+	}
+	return out
+}

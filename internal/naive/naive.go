@@ -1,0 +1,233 @@
+// Package naive is the executable specification of query evaluation: a
+// direct transcription of the evaluation semantics of Section 2.2 of the
+// paper (total assignments from query variables to database values), with
+// no indexes beyond the store's pattern scans, no join reordering and no
+// cost model. It exists to differential-test the optimized engine and the
+// reformulation algorithms — every fast path in this repository must agree
+// with this package — and as a readable reference for what the answers
+// *mean*.
+package naive
+
+import (
+	"sort"
+
+	"repro/internal/bgp"
+	"repro/internal/dict"
+	"repro/internal/storage"
+)
+
+// Row is one answer tuple: the values of the head terms, in head order.
+type Row []dict.ID
+
+// Rows is an answer set under set semantics, sorted lexicographically for
+// deterministic comparison.
+type Rows []Row
+
+// EvalCQ evaluates a conjunctive query against the store by backtracking
+// over total assignments (Section 2.2's μ), returning the deduplicated,
+// sorted answer set.
+func EvalCQ(st *storage.Store, q bgp.CQ) Rows {
+	set := make(map[string]Row)
+	bind := make(map[uint32]dict.ID)
+	evalAtoms(st, q.Atoms, bind, func() {
+		row := make(Row, len(q.Head))
+		for i, h := range q.Head {
+			if h.Var {
+				row[i] = bind[h.ID]
+			} else {
+				row[i] = h.Const()
+			}
+		}
+		set[rowKey(row)] = row
+	})
+	return collect(set)
+}
+
+// EvalUCQ evaluates a union of conjunctive queries under set semantics.
+func EvalUCQ(st *storage.Store, u bgp.UCQ) Rows {
+	set := make(map[string]Row)
+	for _, cq := range u.CQs {
+		for _, row := range EvalCQ(st, cq) {
+			set[rowKey(row)] = row
+		}
+	}
+	return collect(set)
+}
+
+// EvalJUCQ evaluates a join of UCQs: each arm is evaluated as a set, arms
+// are joined pairwise on their shared variables, and the result is
+// projected on the JUCQ head.
+func EvalJUCQ(st *storage.Store, j bgp.JUCQ) Rows {
+	if len(j.Arms) == 0 {
+		return nil
+	}
+	type rel struct {
+		vars []uint32
+		rows Rows
+	}
+	cur := rel{vars: j.Arms[0].Vars, rows: EvalUCQ(st, j.Arms[0])}
+	for _, arm := range j.Arms[1:] {
+		right := rel{vars: arm.Vars, rows: EvalUCQ(st, arm)}
+		// Positions of the shared variables in each side.
+		var li, ri []int
+		rpos := make(map[uint32]int)
+		for i, v := range right.vars {
+			rpos[v] = i
+		}
+		seen := make(map[uint32]bool)
+		for i, v := range cur.vars {
+			if p, ok := rpos[v]; ok && !seen[v] {
+				seen[v] = true
+				li = append(li, i)
+				ri = append(ri, p)
+			}
+		}
+		// Output schema: left vars then right-only vars.
+		outVars := append([]uint32(nil), cur.vars...)
+		var rightOnly []int
+		for i, v := range right.vars {
+			if !containsVar(cur.vars, v) {
+				outVars = append(outVars, v)
+				rightOnly = append(rightOnly, i)
+			}
+		}
+		joined := make(map[string]Row)
+		for _, lr := range cur.rows {
+			for _, rr := range right.rows {
+				ok := true
+				for k := range li {
+					if lr[li[k]] != rr[ri[k]] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				row := make(Row, 0, len(outVars))
+				row = append(row, lr...)
+				for _, i := range rightOnly {
+					row = append(row, rr[i])
+				}
+				joined[rowKey(row)] = row
+			}
+		}
+		cur = rel{vars: outVars, rows: collect(joined)}
+	}
+	// Project on the head.
+	pos := make(map[uint32]int)
+	for i, v := range cur.vars {
+		pos[v] = i
+	}
+	set := make(map[string]Row, len(cur.rows))
+	for _, r := range cur.rows {
+		row := make(Row, len(j.Head))
+		for i, v := range j.Head {
+			row[i] = r[pos[v]]
+		}
+		set[rowKey(row)] = row
+	}
+	return collect(set)
+}
+
+func containsVar(vs []uint32, v uint32) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// evalAtoms backtracks over the atoms left to match, calling emit once per
+// total assignment.
+func evalAtoms(st *storage.Store, atoms []bgp.Atom, bind map[uint32]dict.ID, emit func()) {
+	if len(atoms) == 0 {
+		emit()
+		return
+	}
+	a := atoms[0]
+	pat := storage.Pattern{}
+	fix := func(t bgp.Term) dict.ID {
+		if !t.Var {
+			return t.Const()
+		}
+		return bind[t.ID] // dict.None when unbound
+	}
+	pat.S, pat.P, pat.O = fix(a.S), fix(a.P), fix(a.O)
+	st.Scan(pat, func(tr storage.Triple) bool {
+		vals := [3]dict.ID{tr.S, tr.P, tr.O}
+		terms := a.Positions()
+		var newly []uint32
+		ok := true
+		for i, t := range terms {
+			if !t.Var {
+				continue
+			}
+			if v, bound := bind[t.ID]; bound {
+				if v != vals[i] {
+					ok = false
+					break
+				}
+			} else {
+				bind[t.ID] = vals[i]
+				newly = append(newly, t.ID)
+			}
+		}
+		if ok {
+			evalAtoms(st, atoms[1:], bind, emit)
+		}
+		for _, v := range newly {
+			delete(bind, v)
+		}
+		return true
+	})
+}
+
+func rowKey(r Row) string {
+	b := make([]byte, 0, len(r)*4)
+	for _, v := range r {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func collect(set map[string]Row) Rows {
+	out := make(Rows, 0, len(set))
+	for _, r := range set {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessRow(out[i], out[j]) })
+	return out
+}
+
+func lessRow(a, b Row) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Equal reports whether two answer sets (as returned by the Eval
+// functions: sorted, deduplicated) are identical.
+func Equal(a, b Rows) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,179 @@
+package naive
+
+import (
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/dict"
+	"repro/internal/storage"
+)
+
+func store(ts ...storage.Triple) *storage.Store {
+	b := storage.NewBuilder()
+	for _, t := range ts {
+		b.Add(t)
+	}
+	return b.Build()
+}
+
+func TestEvalCQSingleAtom(t *testing.T) {
+	st := store(
+		storage.Triple{S: 1, P: 10, O: 2},
+		storage.Triple{S: 1, P: 10, O: 3},
+		storage.Triple{S: 4, P: 11, O: 5},
+	)
+	q := bgp.CQ{
+		Head:  []bgp.Term{bgp.V(0)},
+		Atoms: []bgp.Atom{{S: bgp.V(1), P: bgp.C(10), O: bgp.V(0)}},
+	}
+	got := EvalCQ(st, q)
+	want := Rows{{2}, {3}}
+	if !Equal(got, want) {
+		t.Errorf("EvalCQ = %v, want %v", got, want)
+	}
+}
+
+func TestEvalCQJoin(t *testing.T) {
+	st := store(
+		storage.Triple{S: 1, P: 10, O: 2},
+		storage.Triple{S: 2, P: 11, O: 3},
+		storage.Triple{S: 2, P: 11, O: 4},
+		storage.Triple{S: 5, P: 10, O: 6}, // 6 has no p11 edge
+	)
+	q := bgp.CQ{
+		Head: []bgp.Term{bgp.V(0), bgp.V(2)},
+		Atoms: []bgp.Atom{
+			{S: bgp.V(0), P: bgp.C(10), O: bgp.V(1)},
+			{S: bgp.V(1), P: bgp.C(11), O: bgp.V(2)},
+		},
+	}
+	got := EvalCQ(st, q)
+	want := Rows{{1, 3}, {1, 4}}
+	if !Equal(got, want) {
+		t.Errorf("EvalCQ = %v, want %v", got, want)
+	}
+}
+
+func TestEvalCQRepeatedVariable(t *testing.T) {
+	st := store(
+		storage.Triple{S: 1, P: 10, O: 1}, // self loop
+		storage.Triple{S: 1, P: 10, O: 2},
+	)
+	q := bgp.CQ{
+		Head:  []bgp.Term{bgp.V(0)},
+		Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.C(10), O: bgp.V(0)}},
+	}
+	got := EvalCQ(st, q)
+	want := Rows{{1}}
+	if !Equal(got, want) {
+		t.Errorf("repeated-variable EvalCQ = %v, want %v", got, want)
+	}
+}
+
+func TestEvalCQConstantHead(t *testing.T) {
+	st := store(storage.Triple{S: 1, P: 10, O: 2})
+	q := bgp.CQ{
+		Head:  []bgp.Term{bgp.V(0), bgp.C(dict.ID(42))},
+		Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.C(10), O: bgp.V(1)}},
+	}
+	got := EvalCQ(st, q)
+	want := Rows{{1, 42}}
+	if !Equal(got, want) {
+		t.Errorf("constant-head EvalCQ = %v, want %v", got, want)
+	}
+}
+
+func TestEvalCQSetSemantics(t *testing.T) {
+	st := store(
+		storage.Triple{S: 1, P: 10, O: 2},
+		storage.Triple{S: 1, P: 10, O: 3},
+	)
+	// Projecting away the object should collapse the two matches.
+	q := bgp.CQ{
+		Head:  []bgp.Term{bgp.V(0)},
+		Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.C(10), O: bgp.V(1)}},
+	}
+	got := EvalCQ(st, q)
+	if len(got) != 1 {
+		t.Errorf("set semantics violated: %v", got)
+	}
+}
+
+func TestEvalUCQ(t *testing.T) {
+	st := store(
+		storage.Triple{S: 1, P: 10, O: 2},
+		storage.Triple{S: 3, P: 11, O: 4},
+	)
+	u := bgp.UCQ{
+		Vars: []uint32{0},
+		CQs: []bgp.CQ{
+			{Head: []bgp.Term{bgp.V(0)}, Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.C(10), O: bgp.V(1)}}},
+			{Head: []bgp.Term{bgp.V(0)}, Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.C(11), O: bgp.V(1)}}},
+			// Overlapping member: duplicates must collapse.
+			{Head: []bgp.Term{bgp.V(0)}, Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.V(2), O: bgp.V(1)}}},
+		},
+	}
+	got := EvalUCQ(st, u)
+	want := Rows{{1}, {3}}
+	if !Equal(got, want) {
+		t.Errorf("EvalUCQ = %v, want %v", got, want)
+	}
+}
+
+func TestEvalJUCQ(t *testing.T) {
+	st := store(
+		storage.Triple{S: 1, P: 10, O: 2},
+		storage.Triple{S: 2, P: 11, O: 3},
+		storage.Triple{S: 7, P: 10, O: 8}, // no continuation
+	)
+	j := bgp.JUCQ{
+		Head: []uint32{0, 2},
+		Arms: []bgp.UCQ{
+			{Vars: []uint32{0, 1}, CQs: []bgp.CQ{{
+				Head:  []bgp.Term{bgp.V(0), bgp.V(1)},
+				Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.C(10), O: bgp.V(1)}},
+			}}},
+			{Vars: []uint32{1, 2}, CQs: []bgp.CQ{{
+				Head:  []bgp.Term{bgp.V(1), bgp.V(2)},
+				Atoms: []bgp.Atom{{S: bgp.V(1), P: bgp.C(11), O: bgp.V(2)}},
+			}}},
+		},
+	}
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := EvalJUCQ(st, j)
+	want := Rows{{1, 3}}
+	if !Equal(got, want) {
+		t.Errorf("EvalJUCQ = %v, want %v", got, want)
+	}
+}
+
+// A JUCQ whose single arm is the whole query must equal plain CQ
+// evaluation.
+func TestEvalJUCQSingleArm(t *testing.T) {
+	st := store(
+		storage.Triple{S: 1, P: 10, O: 2},
+		storage.Triple{S: 2, P: 11, O: 3},
+	)
+	cq := bgp.CQ{
+		Head: []bgp.Term{bgp.V(0)},
+		Atoms: []bgp.Atom{
+			{S: bgp.V(0), P: bgp.C(10), O: bgp.V(1)},
+			{S: bgp.V(1), P: bgp.C(11), O: bgp.V(2)},
+		},
+	}
+	j := bgp.JUCQ{Head: []uint32{0}, Arms: []bgp.UCQ{{Vars: []uint32{0}, CQs: []bgp.CQ{cq}}}}
+	if !Equal(EvalJUCQ(st, j), EvalCQ(st, cq)) {
+		t.Error("single-arm JUCQ differs from CQ evaluation")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Rows{{1, 2}, {3, 4}}
+	b := Rows{{1, 2}, {3, 4}}
+	c := Rows{{1, 2}, {3, 5}}
+	if !Equal(a, b) || Equal(a, c) || Equal(a, Rows{{1, 2}}) {
+		t.Error("Equal is wrong")
+	}
+}

@@ -1,0 +1,116 @@
+package rdf
+
+import "sort"
+
+// Graph is an in-memory set of RDF triples at the surface (string) level.
+// It is used by parsers, generators and tests; the query-answering stack
+// works on the dictionary-encoded storage.Store instead.
+//
+// Graph has set semantics: adding a triple twice stores it once.
+type Graph struct {
+	set map[Triple]struct{}
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{set: make(map[Triple]struct{})} }
+
+// Add inserts the triple, reporting whether it was absent before the call.
+func (g *Graph) Add(t Triple) bool {
+	if _, ok := g.set[t]; ok {
+		return false
+	}
+	g.set[t] = struct{}{}
+	return true
+}
+
+// AddAll inserts every triple of ts.
+func (g *Graph) AddAll(ts []Triple) {
+	for _, t := range ts {
+		g.Add(t)
+	}
+}
+
+// Remove deletes the triple, reporting whether it was present.
+func (g *Graph) Remove(t Triple) bool {
+	if _, ok := g.set[t]; !ok {
+		return false
+	}
+	delete(g.set, t)
+	return true
+}
+
+// Contains reports whether the triple is in the graph.
+func (g *Graph) Contains(t Triple) bool {
+	_, ok := g.set[t]
+	return ok
+}
+
+// Len returns the number of triples in the graph.
+func (g *Graph) Len() int { return len(g.set) }
+
+// Triples returns the graph's triples in a deterministic (sorted) order,
+// convenient for tests and serialization.
+func (g *Graph) Triples() []Triple {
+	out := make([]Triple, 0, len(g.set))
+	for t := range g.set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.S != b.S {
+			return a.S.Canonical() < b.S.Canonical()
+		}
+		if a.P != b.P {
+			return a.P.Canonical() < b.P.Canonical()
+		}
+		return a.O.Canonical() < b.O.Canonical()
+	})
+	return out
+}
+
+// Each calls f on every triple in unspecified order, stopping early if f
+// returns false.
+func (g *Graph) Each(f func(Triple) bool) {
+	for t := range g.set {
+		if !f(t) {
+			return
+		}
+	}
+}
+
+// SchemaTriples returns the schema-level (RDFS constraint) triples.
+func (g *Graph) SchemaTriples() []Triple {
+	var out []Triple
+	for t := range g.set {
+		if IsSchemaTriple(t) {
+			out = append(out, t)
+		}
+	}
+	sortTriples(out)
+	return out
+}
+
+// DataTriples returns the data-level (assertion) triples.
+func (g *Graph) DataTriples() []Triple {
+	var out []Triple
+	for t := range g.set {
+		if !IsSchemaTriple(t) {
+			out = append(out, t)
+		}
+	}
+	sortTriples(out)
+	return out
+}
+
+func sortTriples(ts []Triple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.S != b.S {
+			return a.S.Canonical() < b.S.Canonical()
+		}
+		if a.P != b.P {
+			return a.P.Canonical() < b.P.Canonical()
+		}
+		return a.O.Canonical() < b.O.Canonical()
+	})
+}

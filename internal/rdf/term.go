@@ -1,0 +1,176 @@
+// Package rdf defines the RDF data model used throughout the repository:
+// terms (IRIs, literals, blank nodes), triples, and the RDF/RDFS vocabulary
+// of the database fragment of RDF (Goasdoué, Manolescu, Roatiş, EDBT 2013),
+// which is the fragment the reproduced paper operates on.
+//
+// The package is deliberately small and value-oriented: a Term is a plain
+// comparable struct, so terms can be used as map keys, and a Triple is three
+// Terms. Everything above this layer (dictionary encoding, storage, query
+// answering) works on integer-encoded triples; this package is the "surface"
+// representation used for parsing, generation and display.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the three kinds of RDF terms.
+type TermKind uint8
+
+const (
+	// IRI identifies a resource by a Uniform Resource Identifier.
+	IRI TermKind = iota
+	// Literal is a (possibly typed or language-tagged) constant value.
+	Literal
+	// Blank is a blank node: an unknown IRI or literal token. Blank nodes
+	// are conceptually close to the variables of incomplete relational
+	// databases (V-tables), as the paper recalls in Section 2.1.
+	Blank
+)
+
+// String returns a human-readable name for the kind.
+func (k TermKind) String() string {
+	switch k {
+	case IRI:
+		return "iri"
+	case Literal:
+		return "literal"
+	case Blank:
+		return "blank"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Term is an RDF term: an IRI, a literal or a blank node.
+//
+// For an IRI, Value holds the full IRI text. For a literal, Value holds the
+// lexical form, Datatype the (optional) datatype IRI and Lang the (optional)
+// language tag; at most one of Datatype and Lang is set. For a blank node,
+// Value holds the local label (without the "_:" prefix).
+//
+// Term is comparable and can be used as a map key.
+type Term struct {
+	Kind     TermKind
+	Value    string
+	Datatype string
+	Lang     string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: IRI, Value: iri} }
+
+// NewLiteral returns a plain (untyped, untagged) literal term.
+func NewLiteral(lexical string) Term { return Term{Kind: Literal, Value: lexical} }
+
+// NewTypedLiteral returns a literal with a datatype IRI.
+func NewTypedLiteral(lexical, datatype string) Term {
+	return Term{Kind: Literal, Value: lexical, Datatype: datatype}
+}
+
+// NewLangLiteral returns a literal with a language tag.
+func NewLangLiteral(lexical, lang string) Term {
+	return Term{Kind: Literal, Value: lexical, Lang: lang}
+}
+
+// NewBlank returns a blank node with the given label (no "_:" prefix).
+func NewBlank(label string) Term { return Term{Kind: Blank, Value: label} }
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRI }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == Literal }
+
+// IsBlank reports whether the term is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == Blank }
+
+// IsZero reports whether the term is the zero Term, which is not a valid
+// RDF term and is used as "absent" in a few internal APIs.
+func (t Term) IsZero() bool { return t == Term{} }
+
+// Canonical returns the canonical N-Triples spelling of the term. It is
+// used as the dictionary key, so two terms are dictionary-equal exactly
+// when their canonical forms coincide.
+func (t Term) Canonical() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Blank:
+		return "_:" + t.Value
+	case Literal:
+		var b strings.Builder
+		b.Grow(len(t.Value) + len(t.Datatype) + len(t.Lang) + 8)
+		b.WriteByte('"')
+		escapeLiteral(&b, t.Value)
+		b.WriteByte('"')
+		if t.Lang != "" {
+			b.WriteByte('@')
+			b.WriteString(t.Lang)
+		} else if t.Datatype != "" {
+			b.WriteString("^^<")
+			b.WriteString(t.Datatype)
+			b.WriteByte('>')
+		}
+		return b.String()
+	default:
+		return fmt.Sprintf("!invalid-term(%d)", uint8(t.Kind))
+	}
+}
+
+// String returns Canonical; Terms print in N-Triples syntax.
+func (t Term) String() string { return t.Canonical() }
+
+// escapeLiteral writes s with N-Triples string escapes applied.
+func escapeLiteral(b *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+// Triple is an RDF triple: subject s has property P with value O.
+// Well-formedness (per the RDF specification, and checked by Validate):
+// the subject is an IRI or blank node, the property is an IRI, and the
+// object is any term.
+type Triple struct {
+	S, P, O Term
+}
+
+// NewTriple returns the triple (s, p, o).
+func NewTriple(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// Validate reports whether the triple is well-formed per the RDF
+// specification, returning a descriptive error when it is not.
+func (t Triple) Validate() error {
+	switch t.S.Kind {
+	case IRI, Blank:
+	default:
+		return fmt.Errorf("rdf: triple subject must be IRI or blank node, got %s %q", t.S.Kind, t.S.Value)
+	}
+	if t.P.Kind != IRI {
+		return fmt.Errorf("rdf: triple property must be IRI, got %s %q", t.P.Kind, t.P.Value)
+	}
+	if t.S.IsZero() || t.P.IsZero() || t.O.IsZero() {
+		return fmt.Errorf("rdf: triple has a zero term: %v", t)
+	}
+	return nil
+}
+
+// String renders the triple in N-Triples syntax (without the final dot).
+func (t Triple) String() string {
+	return t.S.Canonical() + " " + t.P.Canonical() + " " + t.O.Canonical()
+}

@@ -1,0 +1,185 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermCanonical(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://example.org/a"), "<http://example.org/a>"},
+		{NewBlank("b1"), "_:b1"},
+		{NewLiteral("hello"), `"hello"`},
+		{NewLangLiteral("bonjour", "fr"), `"bonjour"@fr`},
+		{NewTypedLiteral("42", XSDInteger), `"42"^^<http://www.w3.org/2001/XMLSchema#integer>`},
+		{NewLiteral(`say "hi"` + "\n"), `"say \"hi\"\n"`},
+	}
+	for _, c := range cases {
+		if got := c.term.Canonical(); got != c.want {
+			t.Errorf("Canonical(%#v) = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestTermKinds(t *testing.T) {
+	if !NewIRI("x").IsIRI() || NewIRI("x").IsLiteral() || NewIRI("x").IsBlank() {
+		t.Error("IRI kind predicates wrong")
+	}
+	if !NewLiteral("x").IsLiteral() {
+		t.Error("literal kind predicate wrong")
+	}
+	if !NewBlank("x").IsBlank() {
+		t.Error("blank kind predicate wrong")
+	}
+	if !(Term{}).IsZero() || NewIRI("x").IsZero() {
+		t.Error("IsZero wrong")
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	if IRI.String() != "iri" || Literal.String() != "literal" || Blank.String() != "blank" {
+		t.Error("TermKind.String wrong")
+	}
+	if !strings.Contains(TermKind(9).String(), "9") {
+		t.Error("unknown kind should include the numeric value")
+	}
+}
+
+// Distinct literals must have distinct canonical forms: canonicalization
+// is the dictionary key, so a collision would silently merge values.
+func TestCanonicalInjective(t *testing.T) {
+	f := func(a, b string, langA, langB bool) bool {
+		ta, tb := NewLiteral(a), NewLiteral(b)
+		if langA {
+			ta = NewLangLiteral(a, "en")
+		}
+		if langB {
+			tb = NewLangLiteral(b, "en")
+		}
+		if ta == tb {
+			return true
+		}
+		return ta.Canonical() != tb.Canonical()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// A literal and an IRI with related spellings must never collide.
+func TestCanonicalKindsDisjoint(t *testing.T) {
+	f := func(s string) bool {
+		return NewIRI(s).Canonical() != NewLiteral(s).Canonical() &&
+			NewIRI(s).Canonical() != NewBlank(s).Canonical() &&
+			NewLiteral(s).Canonical() != NewBlank(s).Canonical()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTripleValidate(t *testing.T) {
+	good := NewTriple(NewIRI("s"), NewIRI("p"), NewLiteral("o"))
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid triple rejected: %v", err)
+	}
+	blankSubject := NewTriple(NewBlank("b"), NewIRI("p"), NewIRI("o"))
+	if err := blankSubject.Validate(); err != nil {
+		t.Errorf("blank subject should be valid: %v", err)
+	}
+	litSubject := NewTriple(NewLiteral("x"), NewIRI("p"), NewIRI("o"))
+	if litSubject.Validate() == nil {
+		t.Error("literal subject should be invalid")
+	}
+	varProp := NewTriple(NewIRI("s"), NewBlank("p"), NewIRI("o"))
+	if varProp.Validate() == nil {
+		t.Error("blank property should be invalid")
+	}
+	zero := Triple{}
+	if zero.Validate() == nil {
+		t.Error("zero triple should be invalid")
+	}
+}
+
+func TestVocab(t *testing.T) {
+	if Type.Value != RDFNamespace+"type" {
+		t.Errorf("rdf:type = %q", Type.Value)
+	}
+	for _, p := range []Term{SubClassOf, SubPropertyOf, Domain, Range} {
+		if !IsSchemaProperty(p) {
+			t.Errorf("%v should be a schema property", p)
+		}
+	}
+	if IsSchemaProperty(Type) {
+		t.Error("rdf:type is not a schema (constraint) property")
+	}
+	tr := NewTriple(NewIRI("a"), SubClassOf, NewIRI("b"))
+	if !IsSchemaTriple(tr) {
+		t.Error("subClassOf triple should be a schema triple")
+	}
+}
+
+func TestGraphSetSemantics(t *testing.T) {
+	g := NewGraph()
+	tr := NewTriple(NewIRI("s"), NewIRI("p"), NewIRI("o"))
+	if !g.Add(tr) {
+		t.Error("first Add should report insertion")
+	}
+	if g.Add(tr) {
+		t.Error("second Add should report duplicate")
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+	if !g.Contains(tr) {
+		t.Error("Contains should find the triple")
+	}
+	if !g.Remove(tr) || g.Remove(tr) {
+		t.Error("Remove semantics wrong")
+	}
+	if g.Len() != 0 {
+		t.Errorf("Len after remove = %d, want 0", g.Len())
+	}
+}
+
+func TestGraphPartitions(t *testing.T) {
+	g := NewGraph()
+	data := NewTriple(NewIRI("s"), NewIRI("p"), NewIRI("o"))
+	sch := NewTriple(NewIRI("c1"), SubClassOf, NewIRI("c2"))
+	g.AddAll([]Triple{data, sch})
+	if got := g.DataTriples(); len(got) != 1 || got[0] != data {
+		t.Errorf("DataTriples = %v", got)
+	}
+	if got := g.SchemaTriples(); len(got) != 1 || got[0] != sch {
+		t.Errorf("SchemaTriples = %v", got)
+	}
+}
+
+func TestGraphTriplesSorted(t *testing.T) {
+	g := NewGraph()
+	for _, s := range []string{"c", "a", "b"} {
+		g.Add(NewTriple(NewIRI(s), NewIRI("p"), NewIRI("o")))
+	}
+	ts := g.Triples()
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1].S.Value > ts[i].S.Value {
+			t.Fatalf("Triples not sorted: %v", ts)
+		}
+	}
+}
+
+func TestGraphEachEarlyStop(t *testing.T) {
+	g := NewGraph()
+	for _, s := range []string{"a", "b", "c"} {
+		g.Add(NewTriple(NewIRI(s), NewIRI("p"), NewIRI("o")))
+	}
+	n := 0
+	g.Each(func(Triple) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("Each visited %d triples after early stop, want 1", n)
+	}
+}

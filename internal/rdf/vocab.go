@@ -1,0 +1,52 @@
+package rdf
+
+// Namespaces of the RDF and RDFS vocabularies, plus the common XSD
+// namespace for typed literals.
+const (
+	RDFNamespace  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFSNamespace = "http://www.w3.org/2000/01/rdf-schema#"
+	XSDNamespace  = "http://www.w3.org/2001/XMLSchema#"
+)
+
+// The built-in properties of the database fragment of RDF: rdf:type for
+// class membership assertions, and the four RDF Schema constraint
+// properties of the paper's Figure 2.
+var (
+	// Type is rdf:type: "s rdf:type o" states that resource s belongs to
+	// class o (relational notation o(s)).
+	Type = NewIRI(RDFNamespace + "type")
+
+	// SubClassOf is rdfs:subClassOf: "s rdfs:subClassOf o" states the
+	// inclusion constraint s ⊑ o between classes.
+	SubClassOf = NewIRI(RDFSNamespace + "subClassOf")
+
+	// SubPropertyOf is rdfs:subPropertyOf: "s rdfs:subPropertyOf o" states
+	// the inclusion constraint s ⊑ o between properties.
+	SubPropertyOf = NewIRI(RDFSNamespace + "subPropertyOf")
+
+	// Domain is rdfs:domain: "p rdfs:domain c" states that the first
+	// attribute of property p is typed by class c (Π_domain(p) ⊑ c).
+	Domain = NewIRI(RDFSNamespace + "domain")
+
+	// Range is rdfs:range: "p rdfs:range c" states that the second
+	// attribute of property p is typed by class c (Π_range(p) ⊑ c).
+	Range = NewIRI(RDFSNamespace + "range")
+)
+
+// Common XSD datatype IRIs used by the workload generators.
+var (
+	XSDString  = XSDNamespace + "string"
+	XSDInteger = XSDNamespace + "integer"
+	XSDGYear   = XSDNamespace + "gYear"
+)
+
+// IsSchemaProperty reports whether p is one of the four RDFS constraint
+// properties. Triples whose property is a schema property are schema-level
+// statements (constraints); all other triples are data-level statements
+// (class or property assertions).
+func IsSchemaProperty(p Term) bool {
+	return p == SubClassOf || p == SubPropertyOf || p == Domain || p == Range
+}
+
+// IsSchemaTriple reports whether t is a schema-level (constraint) triple.
+func IsSchemaTriple(t Triple) bool { return IsSchemaProperty(t.P) }

@@ -1,0 +1,321 @@
+package reformulate_test
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/naive"
+	"repro/internal/rdf"
+	"repro/internal/reformulate"
+	"repro/internal/testkit"
+)
+
+// Example 4 of the paper: q(x, y) :- x rdf:type y over the book database.
+// The paper lists 11 reformulations; our rule set produces the 8 of them
+// that are sound under standard RDFS entailment. The paper's items (3),
+// (7) and (10) — e.g. q(x, Book) :- x hasAuthor z — generalize writtenBy
+// to its *super*property hasAuthor, but an explicit hasAuthor triple does
+// not entail that its subject is a Book (only writtenBy carries that
+// domain), so those members can return non-certain answers on databases
+// with explicit hasAuthor assertions. Dropping them loses no answers:
+// TestReformulationEquivalentToSaturation checks exact agreement with
+// saturation, and TestReformulationSound checks every member is certain.
+func TestPaperExample4(t *testing.T) {
+	e := testkit.Paper()
+	q := bgp.CQ{
+		Head:  []bgp.Term{bgp.V(0), bgp.V(1)},
+		Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.C(e.Vocab.Type), O: bgp.V(1)}},
+	}
+	r := reformulate.Reformulate(q, e.Closed)
+	if n := r.NumCQs(); n != 8 {
+		var all []string
+		r.Each(func(cq bgp.CQ) bool { all = append(all, cq.String()); return true })
+		t.Fatalf("NumCQs = %d, want 8 (the sound subset of the paper's items (0)-(10)):\n%s",
+			n, strings.Join(all, "\n"))
+	}
+	u, err := r.UCQ(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The answer over the raw store equals q over the saturated store.
+	got := naive.EvalUCQ(e.RawStore(), u)
+	want := naive.EvalCQ(e.SaturatedStore(), q)
+	if !naive.Equal(got, want) {
+		t.Errorf("reformulation answers %v, saturation answers %v", got, want)
+	}
+	// Example 3's expected answer: doi1 must be a Publication.
+	doi1, pub := e.ID("doi1"), e.ID("Publication")
+	found := false
+	for _, row := range got {
+		if row[0] == doi1 && row[1] == pub {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("doi1 rdf:type Publication not answered through reformulation")
+	}
+}
+
+// Example 3 of the paper: names of authors of things connected to "1996".
+// Evaluating q directly on the raw graph gives nothing; its reformulation
+// must find George R. R. Martin through writtenBy ⊑ hasAuthor.
+func TestPaperExample3(t *testing.T) {
+	e := testkit.Paper()
+	hasAuthor, hasName := e.ID("hasAuthor"), e.ID("hasName")
+	// q(x3) :- x1 hasAuthor x2, x2 hasName x3, x1 x4 "1996"
+	lit1996, ok := e.Dict.Lookup(rdf.NewLiteral("1996"))
+	if !ok {
+		t.Fatal("1996 literal not in dictionary")
+	}
+	q := bgp.CQ{
+		Head: []bgp.Term{bgp.V(2)},
+		Atoms: []bgp.Atom{
+			{S: bgp.V(0), P: bgp.C(hasAuthor), O: bgp.V(1)},
+			{S: bgp.V(1), P: bgp.C(hasName), O: bgp.V(2)},
+			{S: bgp.V(0), P: bgp.V(3), O: bgp.C(lit1996)},
+		},
+	}
+	raw := e.RawStore()
+	if got := naive.EvalCQ(raw, q); len(got) != 0 {
+		t.Fatalf("direct evaluation should be empty, got %v", got)
+	}
+	r := reformulate.Reformulate(q, e.Closed)
+	u, err := r.UCQ(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := naive.EvalUCQ(raw, u)
+	name, ok := e.Dict.Lookup(rdf.NewLiteral("George R. R. Martin"))
+	if !ok {
+		t.Fatal("author name not in dictionary")
+	}
+	if len(got) != 1 || got[0][0] != name {
+		t.Errorf("reformulated answer = %v, want the author's name (%d)", got, name)
+	}
+}
+
+// The central invariant of reformulation-based query answering
+// (Section 2.3): q_ref evaluated on the raw database equals q evaluated
+// on the saturated database — across random schemas, data and queries.
+func TestReformulationEquivalentToSaturation(t *testing.T) {
+	const seeds = 40
+	const queriesPerDB = 8
+	for seed := int64(0); seed < seeds; seed++ {
+		e := testkit.Random(seed, 50)
+		raw := e.RawStore()
+		sat := e.SaturatedStore()
+		rng := rand.New(rand.NewSource(seed * 1000))
+		for i := 0; i < queriesPerDB; i++ {
+			q := testkit.RandomQuery(e, rng)
+			r := reformulate.Reformulate(q, e.Closed)
+			u, err := r.UCQ(200000)
+			if err != nil {
+				t.Fatalf("seed %d query %d (%s): %v", seed, i, q, err)
+			}
+			got := naive.EvalUCQ(raw, u)
+			want := naive.EvalCQ(sat, q)
+			if !naive.Equal(got, want) {
+				t.Errorf("seed %d query %d:\n  q = %s\n  |q_ref| = %d\n  reformulation: %v\n  saturation:    %v",
+					seed, i, q, r.NumCQs(), got, want)
+			}
+		}
+	}
+}
+
+// Reformulation must be sound even before completeness: every member CQ's
+// answers are certain answers (a subset of the saturated evaluation).
+func TestReformulationSound(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		e := testkit.Random(seed, 40)
+		raw := e.RawStore()
+		sat := e.SaturatedStore()
+		rng := rand.New(rand.NewSource(seed))
+		q := testkit.RandomQuery(e, rng)
+		want := naive.EvalCQ(sat, q)
+		inWant := make(map[string]bool)
+		for _, row := range want {
+			inWant[rowString(row)] = true
+		}
+		r := reformulate.Reformulate(q, e.Closed)
+		r.Each(func(cq bgp.CQ) bool {
+			for _, row := range naive.EvalCQ(raw, cq) {
+				if !inWant[rowString(row)] {
+					t.Errorf("seed %d: member %s yields non-certain answer %v", seed, cq, row)
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+func rowString(r naive.Row) string {
+	var b strings.Builder
+	for _, v := range r {
+		b.WriteByte(byte(v))
+		b.WriteByte(byte(v >> 8))
+		b.WriteByte(byte(v >> 16))
+		b.WriteByte(byte(v >> 24))
+	}
+	return b.String()
+}
+
+// NumCQs must equal the number of CQs streamed by Each and materialized
+// by UCQ (up to key-level duplicates, which UCQ may remove).
+func TestCountsConsistent(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		e := testkit.Random(seed, 30)
+		rng := rand.New(rand.NewSource(seed + 77))
+		q := testkit.RandomQuery(e, rng)
+		r := reformulate.Reformulate(q, e.Closed)
+		n := r.NumCQs()
+		var streamed int64
+		r.Each(func(bgp.CQ) bool { streamed++; return true })
+		if streamed != n {
+			t.Errorf("seed %d: NumCQs = %d but Each streamed %d", seed, n, streamed)
+		}
+		u, err := r.UCQ(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(u.CQs)) > n {
+			t.Errorf("seed %d: UCQ has %d members, more than NumCQs %d", seed, len(u.CQs), n)
+		}
+	}
+}
+
+// The materialization limit must be enforced.
+func TestUCQLimit(t *testing.T) {
+	e := testkit.Paper()
+	q := bgp.CQ{
+		Head:  []bgp.Term{bgp.V(0), bgp.V(1)},
+		Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.C(e.Vocab.Type), O: bgp.V(1)}},
+	}
+	r := reformulate.Reformulate(q, e.Closed)
+	if _, err := r.UCQ(3); !errors.Is(err, reformulate.ErrTooLarge) {
+		t.Errorf("UCQ(3) error = %v, want ErrTooLarge", err)
+	}
+	if _, err := r.UCQ(11); err != nil {
+		t.Errorf("UCQ(11) failed: %v", err)
+	}
+}
+
+// Fresh variables introduced by domain/range expansion must be unique per
+// atom slot and never collide with the query's own variables — otherwise
+// two independent existentials would be forced equal.
+func TestFreshVariablesDistinct(t *testing.T) {
+	e := testkit.Paper()
+	book := e.ID("Book")
+	// Two type atoms over the same class: both expand with fresh vars.
+	q := bgp.CQ{
+		Head: []bgp.Term{bgp.V(0), bgp.V(1)},
+		Atoms: []bgp.Atom{
+			{S: bgp.V(0), P: bgp.C(e.Vocab.Type), O: bgp.C(book)},
+			{S: bgp.V(1), P: bgp.C(e.Vocab.Type), O: bgp.C(book)},
+		},
+	}
+	maxVar, _ := q.MaxVar()
+	r := reformulate.Reformulate(q, e.Closed)
+	r.Each(func(cq bgp.CQ) bool {
+		// Collect fresh vars (IDs above the original max) per atom.
+		perAtom := make([]map[uint32]bool, len(cq.Atoms))
+		for i, a := range cq.Atoms {
+			perAtom[i] = make(map[uint32]bool)
+			var buf []uint32
+			for _, v := range a.Vars(buf) {
+				if v > maxVar {
+					perAtom[i][v] = true
+				}
+			}
+		}
+		for i := range perAtom {
+			for j := i + 1; j < len(perAtom); j++ {
+				for v := range perAtom[i] {
+					if perAtom[j][v] {
+						t.Errorf("fresh variable ?v%d shared between atoms %d and %d in %s", v, i, j, cq)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// Property-position variables are instantiated with every schema property
+// plus rdf:type, and the unbound original is kept.
+func TestPropertyVariableInstantiation(t *testing.T) {
+	e := testkit.Paper()
+	q := bgp.CQ{
+		Head:  []bgp.Term{bgp.V(0)},
+		Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.V(1), O: bgp.V(2)}},
+	}
+	r := reformulate.Reformulate(q, e.Closed)
+	sawUnbound, sawType := false, false
+	props := make(map[uint32]bool)
+	r.Each(func(cq bgp.CQ) bool {
+		p := cq.Atoms[0].P
+		switch {
+		case p.Var:
+			sawUnbound = true
+		case p.Const() == e.Vocab.Type:
+			sawType = true
+		default:
+			props[p.ID] = true
+		}
+		return true
+	})
+	if !sawUnbound {
+		t.Error("unbound original lost")
+	}
+	if !sawType {
+		t.Error("rdf:type instantiation missing")
+	}
+	if len(props) < len(e.Closed.Properties()) {
+		t.Errorf("only %d properties instantiated, schema has %d", len(props), len(e.Closed.Properties()))
+	}
+}
+
+// Reformulating a query whose constants are outside the schema must
+// return just the original query.
+func TestNoConstraintsNoExpansion(t *testing.T) {
+	e := testkit.Paper()
+	p := e.ID("unrelatedProperty")
+	q := bgp.CQ{
+		Head:  []bgp.Term{bgp.V(0)},
+		Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.C(p), O: bgp.V(1)}},
+	}
+	r := reformulate.Reformulate(q, e.Closed)
+	if n := r.NumCQs(); n != 1 {
+		t.Errorf("NumCQs = %d, want 1", n)
+	}
+}
+
+// Head variables instantiated to schema constants must show up as
+// constants in member heads (Example 4's q(x, Book)).
+func TestHeadInstantiation(t *testing.T) {
+	e := testkit.Paper()
+	book := e.ID("Book")
+	q := bgp.CQ{
+		Head:  []bgp.Term{bgp.V(0), bgp.V(1)},
+		Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.C(e.Vocab.Type), O: bgp.V(1)}},
+	}
+	r := reformulate.Reformulate(q, e.Closed)
+	found := false
+	r.Each(func(cq bgp.CQ) bool {
+		if !cq.Head[1].Var && cq.Head[1].Const() == book {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Error("no member CQ has Book as its second head term")
+	}
+}

@@ -1,0 +1,111 @@
+package saturate
+
+import (
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// Maintained is a saturated store kept consistent under both insertions
+// and deletions of explicit triples — the saturation-maintenance cost
+// that the paper's introduction contrasts with reformulation's update
+// robustness. Insertions derive forward; deletions use delete-and-
+// rederive: the deleted triple's consequences are candidates for removal,
+// and a candidate survives only if it is still explicit or still derivable
+// from a remaining explicit triple.
+//
+// Because the schema is closed, every implicit triple is derivable in one
+// step from some explicit triple, so rederivation checks are bounded
+// index probes on the explicit store rather than a recursive fixpoint.
+type Maintained struct {
+	sch      *schema.Closed
+	explicit *storage.Store // the asserted triples only
+	sat      *storage.Store // explicit plus implicit
+}
+
+// NewMaintained builds the maintained saturation of the explicit triples.
+func NewMaintained(explicit []storage.Triple, sch *schema.Closed, orders ...storage.Order) *Maintained {
+	eb := storage.NewBuilder(orders...)
+	for _, t := range explicit {
+		eb.Add(t)
+	}
+	sat, _ := Store(explicit, sch, orders...)
+	return &Maintained{sch: sch, explicit: eb.Build(), sat: sat}
+}
+
+// Store returns the saturated store (valid until the next update).
+func (m *Maintained) Store() *storage.Store { return m.sat }
+
+// Explicit returns the store of asserted triples.
+func (m *Maintained) Explicit() *storage.Store { return m.explicit }
+
+// Add asserts a triple, maintaining the saturation forward; it returns
+// the number of triples the saturated store gained.
+func (m *Maintained) Add(t storage.Triple) int {
+	if !m.explicit.Add(t) {
+		return 0
+	}
+	return Add(m.sat, t, m.sch)
+}
+
+// Remove retracts an explicit triple, shrinking the saturation by every
+// consequence that is no longer derivable. It returns the number of
+// triples the saturated store lost, or 0 if t was not explicit.
+func (m *Maintained) Remove(t storage.Triple) int {
+	if !m.explicit.Remove(t) {
+		return 0
+	}
+	removed := 0
+	// t itself survives only if still derivable (it may also be implied
+	// by other explicit triples).
+	if !m.derivable(t) {
+		m.sat.Remove(t)
+		removed++
+	}
+	// Over-deletion candidates: t's direct consequences.
+	Derived(t, m.sch, func(c storage.Triple) {
+		if m.explicit.Contains(c) || m.derivable(c) {
+			return
+		}
+		if m.sat.Remove(c) {
+			removed++
+		}
+	})
+	return removed
+}
+
+// derivable reports whether the triple follows from the remaining
+// explicit triples (or is one of them).
+func (m *Maintained) derivable(t storage.Triple) bool {
+	if m.explicit.Contains(t) {
+		return true
+	}
+	v := m.sch.Vocab()
+	if t.P == v.Type {
+		// (s, τ, C) holds if s has an explicit type C' ⊑ C, an explicit
+		// property with C in its closed domain, or appears as the
+		// object of a property with C in its closed range.
+		for _, sub := range m.sch.SubClassesOf(t.O) {
+			if m.explicit.Contains(storage.Triple{S: t.S, P: v.Type, O: sub}) {
+				return true
+			}
+		}
+		for _, p := range m.sch.PropertiesWithDomain(t.O) {
+			if m.explicit.Count(storage.Pattern{S: t.S, P: p}) > 0 {
+				return true
+			}
+		}
+		for _, p := range m.sch.PropertiesWithRange(t.O) {
+			if m.explicit.Count(storage.Pattern{P: p, O: t.S}) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	// (s, p, o) holds if some explicit subproperty triple implies it.
+	for _, sub := range m.sch.SubPropertiesOf(t.P) {
+		if m.explicit.Contains(storage.Triple{S: t.S, P: sub, O: t.O}) {
+			return true
+		}
+	}
+	return false
+}

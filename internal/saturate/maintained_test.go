@@ -1,0 +1,149 @@
+package saturate_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/saturate"
+	"repro/internal/storage"
+	"repro/internal/testkit"
+)
+
+// The maintained store must equal bulk saturation of the current explicit
+// set after any sequence of additions and removals — the delete-and-
+// rederive invariant, property-tested over random databases and random
+// update sequences.
+func TestMaintainedMatchesBulk(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		e := testkit.Random(seed, 40)
+		rng := rand.New(rand.NewSource(seed * 31))
+
+		explicit := append([]storage.Triple(nil), e.Data...)
+		m := saturate.NewMaintained(explicit, e.Closed)
+
+		present := make(map[storage.Triple]bool)
+		for _, tr := range explicit {
+			present[tr] = true
+		}
+		var live []storage.Triple
+		for tr := range present {
+			live = append(live, tr)
+		}
+
+		for step := 0; step < 30; step++ {
+			if rng.Intn(2) == 0 && len(live) > 0 {
+				// Remove a random explicit triple.
+				i := rng.Intn(len(live))
+				tr := live[i]
+				live = append(live[:i], live[i+1:]...)
+				delete(present, tr)
+				m.Remove(tr)
+			} else {
+				// Add a (possibly duplicate) data triple from a fresh
+				// random draw over the same vocabulary.
+				extra := testkit.Random(seed, 5).Data
+				tr := extra[rng.Intn(len(extra))]
+				if !present[tr] {
+					present[tr] = true
+					live = append(live, tr)
+				}
+				m.Add(tr)
+			}
+
+			// Compare against bulk saturation of the current explicit set.
+			cur := make([]storage.Triple, 0, len(present))
+			for tr := range present {
+				cur = append(cur, tr)
+			}
+			want, _ := saturate.Store(cur, e.Closed)
+			got := m.Store()
+			if got.Len() != want.Len() {
+				t.Fatalf("seed %d step %d: maintained store has %d triples, bulk %d",
+					seed, step, got.Len(), want.Len())
+			}
+			for _, tr := range want.Triples() {
+				if !got.Contains(tr) {
+					t.Fatalf("seed %d step %d: maintained store missing %v", seed, step, tr)
+				}
+			}
+		}
+	}
+}
+
+func TestMaintainedRemoveKeepsSharedConsequences(t *testing.T) {
+	e := testkit.Paper()
+	writtenBy := e.ID("writtenBy")
+	book := e.ID("Book")
+	doi1 := e.ID("doi1")
+	doi2 := e.ID("doi2")
+	other := e.ID("other")
+
+	// Two explicit writtenBy triples both imply doi1's typing? No — use
+	// two triples whose consequences overlap: doi1 writtenBy b and
+	// doi1 writtenBy c both imply (doi1 type Book).
+	t1 := storage.Triple{S: doi1, P: writtenBy, O: doi2}
+	t2 := storage.Triple{S: doi1, P: writtenBy, O: other}
+	m := saturate.NewMaintained([]storage.Triple{t1, t2}, e.Closed)
+
+	typeBook := storage.Triple{S: doi1, P: e.Vocab.Type, O: book}
+	if !m.Store().Contains(typeBook) {
+		t.Fatal("domain typing not derived")
+	}
+	m.Remove(t1)
+	if !m.Store().Contains(typeBook) {
+		t.Error("shared consequence lost although t2 still derives it")
+	}
+	m.Remove(t2)
+	if m.Store().Contains(typeBook) {
+		t.Error("consequence survived with no remaining derivation")
+	}
+}
+
+func TestMaintainedRemoveExplicitThatIsAlsoDerived(t *testing.T) {
+	e := testkit.Paper()
+	doi1 := e.ID("doi1")
+	hasAuthor := e.ID("hasAuthor")
+	writtenBy := e.ID("writtenBy")
+	b := e.ID("someone")
+
+	// hasAuthor is both asserted and derivable from writtenBy; removing
+	// the assertion must keep the triple (still implied).
+	base := storage.Triple{S: doi1, P: writtenBy, O: b}
+	asserted := storage.Triple{S: doi1, P: hasAuthor, O: b}
+	m := saturate.NewMaintained([]storage.Triple{base, asserted}, e.Closed)
+
+	m.Remove(asserted)
+	if !m.Store().Contains(asserted) {
+		t.Error("triple removed although still derivable from writtenBy")
+	}
+	m.Remove(base)
+	if m.Store().Contains(asserted) {
+		t.Error("triple survived with no derivation and no assertion")
+	}
+}
+
+func TestMaintainedRemoveAbsent(t *testing.T) {
+	e := testkit.Paper()
+	m := saturate.NewMaintained(e.Data, e.Closed)
+	ghost := storage.Triple{S: 999, P: 998, O: 997}
+	if n := m.Remove(ghost); n != 0 {
+		t.Errorf("removing an absent triple changed %d triples", n)
+	}
+	// Removing an *implicit* triple is a no-op too: only explicit
+	// triples can be retracted.
+	implicit := storage.Triple{S: e.Data[1].O, P: e.Vocab.Type, O: e.ID("Person")}
+	if !m.Store().Contains(implicit) {
+		t.Fatal("expected implicit typing")
+	}
+	if n := m.Remove(implicit); n != 0 {
+		t.Errorf("removing an implicit triple changed %d triples", n)
+	}
+}
+
+func TestMaintainedAddDuplicate(t *testing.T) {
+	e := testkit.Paper()
+	m := saturate.NewMaintained(e.Data, e.Closed)
+	if n := m.Add(e.Data[0]); n != 0 {
+		t.Errorf("re-adding an explicit triple changed %d triples", n)
+	}
+}

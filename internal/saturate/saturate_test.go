@@ -1,0 +1,115 @@
+package saturate_test
+
+import (
+	"testing"
+
+	"repro/internal/saturate"
+	"repro/internal/storage"
+	"repro/internal/testkit"
+)
+
+// storeTriples returns the triple set of a store.
+func storeTriples(st *storage.Store) map[storage.Triple]struct{} {
+	out := make(map[storage.Triple]struct{}, st.Len())
+	for _, t := range st.Triples() {
+		out[t] = struct{}{}
+	}
+	return out
+}
+
+// The one-pass saturation over the closed schema must agree exactly with
+// the brute-force fixpoint over the direct entailment rules, on the
+// paper's example and on random databases.
+func TestSaturationMatchesFixpoint(t *testing.T) {
+	examples := []*testkit.Example{testkit.Paper()}
+	for seed := int64(0); seed < 30; seed++ {
+		examples = append(examples, testkit.Random(seed, 60))
+	}
+	for i, e := range examples {
+		data := append([]storage.Triple(nil), e.Data...)
+		for _, c := range e.Closed.ConstraintTriples() {
+			data = append(data, storage.Triple{S: c[0], P: c[1], O: c[2]})
+		}
+		got, _ := saturate.Store(data, e.Closed)
+		want := e.SaturatedStore()
+		gotSet, wantSet := storeTriples(got), storeTriples(want)
+		for tr := range wantSet {
+			if _, ok := gotSet[tr]; !ok {
+				t.Errorf("example %d: saturation missing %v", i, tr)
+			}
+		}
+		for tr := range gotSet {
+			if _, ok := wantSet[tr]; !ok {
+				t.Errorf("example %d: saturation has extra triple %v", i, tr)
+			}
+		}
+		if t.Failed() {
+			t.Fatalf("example %d: saturation disagrees with the fixpoint (got %d, want %d triples)",
+				i, got.Len(), want.Len())
+		}
+	}
+}
+
+// Saturating a saturated store must be a no-op.
+func TestSaturationIdempotent(t *testing.T) {
+	e := testkit.Paper()
+	first, _ := saturate.Store(e.Data, e.Closed)
+	second, res := saturate.Store(first.Triples(), e.Closed)
+	if second.Len() != first.Len() {
+		t.Errorf("second saturation changed size: %d -> %d", first.Len(), second.Len())
+	}
+	if res.Implicit != 0 {
+		t.Errorf("second saturation claims %d implicit triples", res.Implicit)
+	}
+}
+
+// The paper's Example 2/Figure 3: the dashed (implicit) edges must appear.
+func TestPaperExampleImplicitTriples(t *testing.T) {
+	e := testkit.Paper()
+	st, res := saturate.Store(e.Data, e.Closed)
+
+	doi1 := e.ID("doi1")
+	vocabType := e.Vocab.Type
+	if res.Implicit < 3 {
+		t.Errorf("expected at least 3 implicit triples, got %d", res.Implicit)
+	}
+	if !st.Contains(storage.Triple{S: doi1, P: vocabType, O: e.ID("Publication")}) {
+		t.Error("missing implicit: doi1 rdf:type Publication")
+	}
+	// doi1 hasAuthor _:b1 — look the blank node up through the data.
+	b1 := e.Data[1].O
+	if !st.Contains(storage.Triple{S: doi1, P: e.ID("hasAuthor"), O: b1}) {
+		t.Error("missing implicit: doi1 hasAuthor _:b1")
+	}
+	if !st.Contains(storage.Triple{S: b1, P: vocabType, O: e.ID("Person")}) {
+		t.Error("missing implicit: _:b1 rdf:type Person")
+	}
+	if !st.Contains(storage.Triple{S: doi1, P: vocabType, O: e.ID("Book")}) {
+		t.Error("explicit triple lost by saturation")
+	}
+}
+
+// Incremental Add must keep the store saturated: adding triple-by-triple
+// must converge to the same store as bulk saturation.
+func TestIncrementalAdd(t *testing.T) {
+	e := testkit.Paper()
+	bulk, _ := saturate.Store(e.Data, e.Closed)
+
+	incr := storage.NewBuilder().Build()
+	total := 0
+	for _, tr := range e.Data {
+		total += saturate.Add(incr, tr, e.Closed)
+	}
+	if incr.Len() != bulk.Len() {
+		t.Errorf("incremental store has %d triples, bulk %d", incr.Len(), bulk.Len())
+	}
+	if total != incr.Len() {
+		t.Errorf("Add reported %d insertions, store has %d", total, incr.Len())
+	}
+	bulkSet := storeTriples(bulk)
+	for _, tr := range incr.Triples() {
+		if _, ok := bulkSet[tr]; !ok {
+			t.Errorf("incremental store has extra triple %v", tr)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Package schema stores the RDF Schema constraints of an RDF database and
+// computes their closure. The database fragment of RDF restricts entailment
+// to the four RDFS constraint kinds of the paper's Figure 2:
+//
+//	s rdfs:subClassOf    o   — class inclusion       s ⊑ o
+//	s rdfs:subPropertyOf o   — property inclusion    s ⊑ o
+//	s rdfs:domain        o   — Π_domain(s) ⊑ o
+//	s rdfs:range         o   — Π_range(s)  ⊑ o
+//
+// As in the paper's experimental setting (Section 5.1), constraints are kept
+// in memory, and both the saturation and reformulation algorithms work on
+// the *closed* schema: the transitive closure of the two inclusion orders,
+// with domain and range constraints propagated up both superproperties
+// (p ⊑ p' and p' has domain c imply p has domain c) and superclasses
+// (p has domain c and c ⊑ c' imply p has domain c').
+package schema
+
+import (
+	"sort"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+)
+
+// Vocab holds the dictionary IDs of the built-in properties a schema needs
+// to recognize and emit constraint triples.
+type Vocab struct {
+	Type, SubClassOf, SubPropertyOf, Domain, Range dict.ID
+}
+
+// EncodeVocab encodes the built-in vocabulary into d.
+func EncodeVocab(d *dict.Dict) Vocab {
+	return Vocab{
+		Type:          d.Encode(rdf.Type),
+		SubClassOf:    d.Encode(rdf.SubClassOf),
+		SubPropertyOf: d.Encode(rdf.SubPropertyOf),
+		Domain:        d.Encode(rdf.Domain),
+		Range:         d.Encode(rdf.Range),
+	}
+}
+
+// IsConstraintProperty reports whether p is one of the four RDFS
+// constraint properties of the vocabulary.
+func (v Vocab) IsConstraintProperty(p dict.ID) bool {
+	return p == v.SubClassOf || p == v.SubPropertyOf || p == v.Domain || p == v.Range
+}
+
+// Schema is a mutable store of direct (asserted) RDFS constraints over
+// dictionary IDs. Call Close to obtain the closed form used by the
+// reasoning algorithms.
+type Schema struct {
+	vocab Vocab
+
+	subClass map[dict.ID][]dict.ID // class -> direct superclasses
+	subProp  map[dict.ID][]dict.ID // property -> direct superproperties
+	domain   map[dict.ID][]dict.ID // property -> direct domain classes
+	rng      map[dict.ID][]dict.ID // property -> direct range classes
+}
+
+// New returns an empty schema using the given vocabulary.
+func New(vocab Vocab) *Schema {
+	return &Schema{
+		vocab:    vocab,
+		subClass: make(map[dict.ID][]dict.ID),
+		subProp:  make(map[dict.ID][]dict.ID),
+		domain:   make(map[dict.ID][]dict.ID),
+		rng:      make(map[dict.ID][]dict.ID),
+	}
+}
+
+// Vocab returns the schema's vocabulary IDs.
+func (s *Schema) Vocab() Vocab { return s.vocab }
+
+// AddSubClass asserts sub rdfs:subClassOf super.
+func (s *Schema) AddSubClass(sub, super dict.ID) { s.subClass[sub] = addOnce(s.subClass[sub], super) }
+
+// AddSubProperty asserts sub rdfs:subPropertyOf super.
+func (s *Schema) AddSubProperty(sub, super dict.ID) { s.subProp[sub] = addOnce(s.subProp[sub], super) }
+
+// AddDomain asserts p rdfs:domain c.
+func (s *Schema) AddDomain(p, c dict.ID) { s.domain[p] = addOnce(s.domain[p], c) }
+
+// AddRange asserts p rdfs:range c.
+func (s *Schema) AddRange(p, c dict.ID) { s.rng[p] = addOnce(s.rng[p], c) }
+
+// AddTriple records the triple if it is a constraint triple, reporting
+// whether it was one. Data triples are left to the storage layer.
+func (s *Schema) AddTriple(sub, p, o dict.ID) bool {
+	switch p {
+	case s.vocab.SubClassOf:
+		s.AddSubClass(sub, o)
+	case s.vocab.SubPropertyOf:
+		s.AddSubProperty(sub, o)
+	case s.vocab.Domain:
+		s.AddDomain(sub, o)
+	case s.vocab.Range:
+		s.AddRange(sub, o)
+	default:
+		return false
+	}
+	return true
+}
+
+func addOnce(list []dict.ID, id dict.ID) []dict.ID {
+	for _, x := range list {
+		if x == id {
+			return list
+		}
+	}
+	return append(list, id)
+}
+
+// Closed is the closure of a Schema. All slices are sorted, so iteration
+// over the closure is deterministic. The "strict" closures exclude the
+// element itself unless an inclusion cycle makes it a genuine strict
+// sub/super of itself, which we normalize away (c is never listed among
+// its own subclasses).
+type Closed struct {
+	vocab Vocab
+
+	subClassesOf   map[dict.ID][]dict.ID // c -> all c1 ⊑ c, c1 ≠ c
+	superClassesOf map[dict.ID][]dict.ID // c -> all c2 with c ⊑ c2, c2 ≠ c
+	subPropsOf     map[dict.ID][]dict.ID
+	superPropsOf   map[dict.ID][]dict.ID
+
+	domainOf map[dict.ID][]dict.ID // p -> closed domain classes
+	rangeOf  map[dict.ID][]dict.ID // p -> closed range classes
+
+	domainIndex map[dict.ID][]dict.ID // c -> properties p with c in domainOf(p)
+	rangeIndex  map[dict.ID][]dict.ID // c -> properties p with c in rangeOf(p)
+
+	classes    []dict.ID // every class mentioned by some constraint
+	properties []dict.ID // every property mentioned by some constraint
+}
+
+// Close computes the closure of the schema.
+func (s *Schema) Close() *Closed {
+	c := &Closed{
+		vocab:          s.vocab,
+		subClassesOf:   make(map[dict.ID][]dict.ID),
+		superClassesOf: make(map[dict.ID][]dict.ID),
+		subPropsOf:     make(map[dict.ID][]dict.ID),
+		superPropsOf:   make(map[dict.ID][]dict.ID),
+		domainOf:       make(map[dict.ID][]dict.ID),
+		rangeOf:        make(map[dict.ID][]dict.ID),
+		domainIndex:    make(map[dict.ID][]dict.ID),
+		rangeIndex:     make(map[dict.ID][]dict.ID),
+	}
+
+	classSet := make(map[dict.ID]struct{})
+	propSet := make(map[dict.ID]struct{})
+	for sub, supers := range s.subClass {
+		classSet[sub] = struct{}{}
+		for _, sup := range supers {
+			classSet[sup] = struct{}{}
+		}
+	}
+	for sub, supers := range s.subProp {
+		propSet[sub] = struct{}{}
+		for _, sup := range supers {
+			propSet[sup] = struct{}{}
+		}
+	}
+	for p, cs := range s.domain {
+		propSet[p] = struct{}{}
+		for _, cl := range cs {
+			classSet[cl] = struct{}{}
+		}
+	}
+	for p, cs := range s.rng {
+		propSet[p] = struct{}{}
+		for _, cl := range cs {
+			classSet[cl] = struct{}{}
+		}
+	}
+	c.classes = sortedIDs(classSet)
+	c.properties = sortedIDs(propSet)
+
+	// Transitive closures of the two inclusion orders (cycle-tolerant).
+	up := func(edges map[dict.ID][]dict.ID, start dict.ID) []dict.ID {
+		seen := map[dict.ID]struct{}{start: {}}
+		stack := []dict.ID{start}
+		var out []dict.ID
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, next := range edges[cur] {
+				if _, ok := seen[next]; ok {
+					continue
+				}
+				seen[next] = struct{}{}
+				out = append(out, next)
+				stack = append(stack, next)
+			}
+		}
+		sortIDs(out)
+		return out
+	}
+	for _, cl := range c.classes {
+		c.superClassesOf[cl] = up(s.subClass, cl)
+	}
+	for _, p := range c.properties {
+		c.superPropsOf[p] = up(s.subProp, p)
+	}
+	invert(c.superClassesOf, c.subClassesOf)
+	invert(c.superPropsOf, c.subPropsOf)
+
+	// Closed domain/range: for property p, take the direct domains of p
+	// and of every superproperty of p, then close upward through the
+	// class hierarchy.
+	closeTyping := func(direct map[dict.ID][]dict.ID, out map[dict.ID][]dict.ID, index map[dict.ID][]dict.ID) {
+		for _, p := range c.properties {
+			set := make(map[dict.ID]struct{})
+			collect := func(prop dict.ID) {
+				for _, cl := range direct[prop] {
+					set[cl] = struct{}{}
+					for _, sup := range c.superClassesOf[cl] {
+						set[sup] = struct{}{}
+					}
+				}
+			}
+			collect(p)
+			for _, sup := range c.superPropsOf[p] {
+				collect(sup)
+			}
+			if len(set) == 0 {
+				continue
+			}
+			out[p] = sortedIDs(set)
+			for cl := range set {
+				index[cl] = append(index[cl], p)
+			}
+		}
+		for cl := range index {
+			sortIDs(index[cl])
+		}
+	}
+	closeTyping(s.domain, c.domainOf, c.domainIndex)
+	closeTyping(s.rng, c.rangeOf, c.rangeIndex)
+	return c
+}
+
+func invert(src, dst map[dict.ID][]dict.ID) {
+	for from, tos := range src {
+		for _, to := range tos {
+			dst[to] = append(dst[to], from)
+		}
+	}
+	for k := range dst {
+		sortIDs(dst[k])
+	}
+}
+
+func sortedIDs(set map[dict.ID]struct{}) []dict.ID {
+	out := make([]dict.ID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(ids []dict.ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// Vocab returns the closed schema's vocabulary IDs.
+func (c *Closed) Vocab() Vocab { return c.vocab }
+
+// Classes returns every class mentioned by some constraint, sorted.
+func (c *Closed) Classes() []dict.ID { return c.classes }
+
+// Properties returns every property mentioned by some constraint, sorted.
+func (c *Closed) Properties() []dict.ID { return c.properties }
+
+// SubClassesOf returns all strict subclasses of class cl (closed).
+func (c *Closed) SubClassesOf(cl dict.ID) []dict.ID { return c.subClassesOf[cl] }
+
+// SuperClassesOf returns all strict superclasses of class cl (closed).
+func (c *Closed) SuperClassesOf(cl dict.ID) []dict.ID { return c.superClassesOf[cl] }
+
+// SubPropertiesOf returns all strict subproperties of property p (closed).
+func (c *Closed) SubPropertiesOf(p dict.ID) []dict.ID { return c.subPropsOf[p] }
+
+// SuperPropertiesOf returns all strict superproperties of property p (closed).
+func (c *Closed) SuperPropertiesOf(p dict.ID) []dict.ID { return c.superPropsOf[p] }
+
+// DomainOf returns the closed domain classes of property p.
+func (c *Closed) DomainOf(p dict.ID) []dict.ID { return c.domainOf[p] }
+
+// RangeOf returns the closed range classes of property p.
+func (c *Closed) RangeOf(p dict.ID) []dict.ID { return c.rangeOf[p] }
+
+// PropertiesWithDomain returns the properties whose closed domain includes
+// class cl — exactly the properties that can make a subject an implicit
+// instance of cl.
+func (c *Closed) PropertiesWithDomain(cl dict.ID) []dict.ID { return c.domainIndex[cl] }
+
+// PropertiesWithRange returns the properties whose closed range includes cl.
+func (c *Closed) PropertiesWithRange(cl dict.ID) []dict.ID { return c.rangeIndex[cl] }
+
+// ConstraintTriples returns every constraint triple of the closure as
+// encoded (s, p, o) ID triples: all closed subclass and subproperty pairs
+// and all closed domain and range assignments. Loading these into the data
+// store makes schema-level query atoms answerable by plain evaluation, the
+// hybrid the paper attributes to Urbani et al. (constraints saturated,
+// data left alone).
+func (c *Closed) ConstraintTriples() [][3]dict.ID {
+	var out [][3]dict.ID
+	emit := func(m map[dict.ID][]dict.ID, prop dict.ID) {
+		keys := make([]dict.ID, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sortIDs(keys)
+		for _, k := range keys {
+			for _, v := range m[k] {
+				out = append(out, [3]dict.ID{k, prop, v})
+			}
+		}
+	}
+	emit(c.superClassesOf, c.vocab.SubClassOf)
+	emit(c.superPropsOf, c.vocab.SubPropertyOf)
+	emit(c.domainOf, c.vocab.Domain)
+	emit(c.rangeOf, c.vocab.Range)
+	return out
+}

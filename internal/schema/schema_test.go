@@ -1,0 +1,345 @@
+package schema
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+)
+
+func newFixture(t *testing.T) (*dict.Dict, Vocab, *Schema, func(string) dict.ID) {
+	t.Helper()
+	d := dict.New()
+	v := EncodeVocab(d)
+	s := New(v)
+	id := func(local string) dict.ID { return d.Encode(rdf.NewIRI("http://x/" + local)) }
+	return d, v, s, id
+}
+
+func hasID(ids []dict.ID, want dict.ID) bool {
+	for _, id := range ids {
+		if id == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSubClassTransitivity(t *testing.T) {
+	_, _, s, id := newFixture(t)
+	a, b, c := id("A"), id("B"), id("C")
+	s.AddSubClass(a, b)
+	s.AddSubClass(b, c)
+	cl := s.Close()
+
+	if !hasID(cl.SuperClassesOf(a), b) || !hasID(cl.SuperClassesOf(a), c) {
+		t.Errorf("SuperClassesOf(A) = %v, want B and C", cl.SuperClassesOf(a))
+	}
+	if !hasID(cl.SubClassesOf(c), a) || !hasID(cl.SubClassesOf(c), b) {
+		t.Errorf("SubClassesOf(C) = %v, want A and B", cl.SubClassesOf(c))
+	}
+	if hasID(cl.SubClassesOf(c), c) {
+		t.Error("a class must not list itself as a strict subclass")
+	}
+}
+
+func TestSubClassCycleTolerated(t *testing.T) {
+	_, _, s, id := newFixture(t)
+	a, b := id("A"), id("B")
+	s.AddSubClass(a, b)
+	s.AddSubClass(b, a)
+	cl := s.Close()
+	if !hasID(cl.SuperClassesOf(a), b) {
+		t.Error("cycle lost the A ⊑ B edge")
+	}
+	if hasID(cl.SuperClassesOf(a), a) {
+		t.Error("cycle must not make A a strict superclass of itself")
+	}
+}
+
+func TestSubPropertyTransitivity(t *testing.T) {
+	_, _, s, id := newFixture(t)
+	p, q, r := id("p"), id("q"), id("r")
+	s.AddSubProperty(p, q)
+	s.AddSubProperty(q, r)
+	cl := s.Close()
+	if !hasID(cl.SuperPropertiesOf(p), r) {
+		t.Errorf("SuperPropertiesOf(p) = %v, want r", cl.SuperPropertiesOf(p))
+	}
+	if !hasID(cl.SubPropertiesOf(r), p) {
+		t.Errorf("SubPropertiesOf(r) = %v, want p", cl.SubPropertiesOf(r))
+	}
+}
+
+// The paper's Example 2 schema: writtenBy ⊑ hasAuthor with domain Book and
+// range Person, Book ⊑ Publication. The closure must give writtenBy the
+// domain Publication too, and hasAuthor's (absent) domain must not leak.
+func TestDomainRangePropagation(t *testing.T) {
+	_, _, s, id := newFixture(t)
+	book, publication, person := id("Book"), id("Publication"), id("Person")
+	writtenBy, hasAuthor := id("writtenBy"), id("hasAuthor")
+	s.AddSubClass(book, publication)
+	s.AddSubProperty(writtenBy, hasAuthor)
+	s.AddDomain(writtenBy, book)
+	s.AddRange(writtenBy, person)
+	cl := s.Close()
+
+	if !hasID(cl.DomainOf(writtenBy), book) || !hasID(cl.DomainOf(writtenBy), publication) {
+		t.Errorf("DomainOf(writtenBy) = %v, want Book and Publication", cl.DomainOf(writtenBy))
+	}
+	if !hasID(cl.RangeOf(writtenBy), person) {
+		t.Errorf("RangeOf(writtenBy) = %v, want Person", cl.RangeOf(writtenBy))
+	}
+	if len(cl.DomainOf(hasAuthor)) != 0 {
+		t.Errorf("hasAuthor inherited a domain downward: %v", cl.DomainOf(hasAuthor))
+	}
+	// Inverse indexes: Book's domain properties include writtenBy only;
+	// Publication's too (via closure).
+	if !hasID(cl.PropertiesWithDomain(book), writtenBy) {
+		t.Errorf("PropertiesWithDomain(Book) = %v", cl.PropertiesWithDomain(book))
+	}
+	if !hasID(cl.PropertiesWithDomain(publication), writtenBy) {
+		t.Errorf("PropertiesWithDomain(Publication) = %v", cl.PropertiesWithDomain(publication))
+	}
+	if !hasID(cl.PropertiesWithRange(person), writtenBy) {
+		t.Errorf("PropertiesWithRange(Person) = %v", cl.PropertiesWithRange(person))
+	}
+}
+
+// Domain constraints inherited from superproperties: p ⊑ q and q has
+// domain C implies p has domain C.
+func TestDomainInheritedFromSuperProperty(t *testing.T) {
+	_, _, s, id := newFixture(t)
+	p, q, c := id("p"), id("q"), id("C")
+	s.AddSubProperty(p, q)
+	s.AddDomain(q, c)
+	cl := s.Close()
+	if !hasID(cl.DomainOf(p), c) {
+		t.Errorf("DomainOf(p) = %v, want C (inherited from q)", cl.DomainOf(p))
+	}
+	if !hasID(cl.PropertiesWithDomain(c), p) || !hasID(cl.PropertiesWithDomain(c), q) {
+		t.Errorf("PropertiesWithDomain(C) = %v, want p and q", cl.PropertiesWithDomain(c))
+	}
+}
+
+func TestClassesAndProperties(t *testing.T) {
+	_, _, s, id := newFixture(t)
+	a, b, c := id("A"), id("B"), id("C")
+	p, q := id("p"), id("q")
+	s.AddSubClass(a, b)
+	s.AddDomain(p, c)
+	s.AddSubProperty(p, q)
+	cl := s.Close()
+	for _, want := range []dict.ID{a, b, c} {
+		if !hasID(cl.Classes(), want) {
+			t.Errorf("Classes() = %v missing %d", cl.Classes(), want)
+		}
+	}
+	for _, want := range []dict.ID{p, q} {
+		if !hasID(cl.Properties(), want) {
+			t.Errorf("Properties() = %v missing %d", cl.Properties(), want)
+		}
+	}
+	if hasID(cl.Classes(), p) {
+		t.Error("property listed among classes")
+	}
+}
+
+func TestAddTriple(t *testing.T) {
+	_, v, s, id := newFixture(t)
+	a, b, p := id("A"), id("B"), id("p")
+	if !s.AddTriple(a, v.SubClassOf, b) {
+		t.Error("subClassOf triple not recognized")
+	}
+	if !s.AddTriple(p, v.Domain, a) {
+		t.Error("domain triple not recognized")
+	}
+	if s.AddTriple(a, p, b) {
+		t.Error("data triple wrongly consumed by the schema")
+	}
+	cl := s.Close()
+	if !hasID(cl.SuperClassesOf(a), b) {
+		t.Error("AddTriple did not record the constraint")
+	}
+}
+
+func TestConstraintTriples(t *testing.T) {
+	_, v, s, id := newFixture(t)
+	a, b, c := id("A"), id("B"), id("C")
+	p := id("p")
+	s.AddSubClass(a, b)
+	s.AddSubClass(b, c)
+	s.AddDomain(p, a)
+	cl := s.Close()
+
+	got := make(map[[3]dict.ID]bool)
+	for _, tr := range cl.ConstraintTriples() {
+		got[tr] = true
+	}
+	for _, want := range [][3]dict.ID{
+		{a, v.SubClassOf, b},
+		{a, v.SubClassOf, c}, // transitive
+		{b, v.SubClassOf, c},
+		{p, v.Domain, a},
+		{p, v.Domain, b}, // propagated through A ⊑ B
+		{p, v.Domain, c},
+	} {
+		if !got[want] {
+			t.Errorf("ConstraintTriples missing %v", want)
+		}
+	}
+}
+
+func TestVocabIsConstraintProperty(t *testing.T) {
+	d := dict.New()
+	v := EncodeVocab(d)
+	for _, id := range []dict.ID{v.SubClassOf, v.SubPropertyOf, v.Domain, v.Range} {
+		if !v.IsConstraintProperty(id) {
+			t.Errorf("IsConstraintProperty(%d) = false", id)
+		}
+	}
+	if v.IsConstraintProperty(v.Type) {
+		t.Error("rdf:type misclassified as constraint property")
+	}
+}
+
+func TestAddOnceIdempotent(t *testing.T) {
+	_, _, s, id := newFixture(t)
+	a, b := id("A"), id("B")
+	s.AddSubClass(a, b)
+	s.AddSubClass(a, b)
+	cl := s.Close()
+	if n := len(cl.SuperClassesOf(a)); n != 1 {
+		t.Errorf("duplicate AddSubClass produced %d superclasses", n)
+	}
+}
+
+// The DFS-based closure must agree with a Floyd–Warshall reference on
+// random (possibly cyclic) subclass graphs, and the closed domain must
+// equal the set defined by its three derivation rules.
+func TestClosureMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		_, _, s, id := newFixture(t)
+		const nC, nP = 8, 5
+		classes := make([]dict.ID, nC)
+		props := make([]dict.ID, nP)
+		for i := range classes {
+			classes[i] = id(fmt.Sprintf("C%d", i))
+		}
+		for i := range props {
+			props[i] = id(fmt.Sprintf("p%d", i))
+		}
+		// Random edges, cycles allowed.
+		subC := make([][]bool, nC)
+		for i := range subC {
+			subC[i] = make([]bool, nC)
+		}
+		for k := 0; k < 10; k++ {
+			i, j := rng.Intn(nC), rng.Intn(nC)
+			if i != j {
+				subC[i][j] = true
+				s.AddSubClass(classes[i], classes[j])
+			}
+		}
+		subP := make([][]bool, nP)
+		for i := range subP {
+			subP[i] = make([]bool, nP)
+		}
+		for k := 0; k < 5; k++ {
+			i, j := rng.Intn(nP), rng.Intn(nP)
+			if i != j {
+				subP[i][j] = true
+				s.AddSubProperty(props[i], props[j])
+			}
+		}
+		dom := make([][]bool, nP) // prop -> direct domain classes
+		for i := range dom {
+			dom[i] = make([]bool, nC)
+		}
+		for k := 0; k < 4; k++ {
+			p, c := rng.Intn(nP), rng.Intn(nC)
+			dom[p][c] = true
+			s.AddDomain(props[p], classes[c])
+		}
+		cl := s.Close()
+
+		// Floyd–Warshall transitive closure of the subclass graph.
+		reach := make([][]bool, nC)
+		for i := range reach {
+			reach[i] = append([]bool(nil), subC[i]...)
+		}
+		for k := 0; k < nC; k++ {
+			for i := 0; i < nC; i++ {
+				for j := 0; j < nC; j++ {
+					if reach[i][k] && reach[k][j] {
+						reach[i][j] = true
+					}
+				}
+			}
+		}
+		reachP := make([][]bool, nP)
+		for i := range reachP {
+			reachP[i] = append([]bool(nil), subP[i]...)
+		}
+		for k := 0; k < nP; k++ {
+			for i := 0; i < nP; i++ {
+				for j := 0; j < nP; j++ {
+					if reachP[i][k] && reachP[k][j] {
+						reachP[i][j] = true
+					}
+				}
+			}
+		}
+
+		for i := 0; i < nC; i++ {
+			got := make(map[dict.ID]bool)
+			for _, sup := range cl.SuperClassesOf(classes[i]) {
+				got[sup] = true
+			}
+			for j := 0; j < nC; j++ {
+				want := reach[i][j] && i != j
+				if got[classes[j]] != want {
+					t.Fatalf("trial %d: super(%d,%d) = %v, want %v", trial, i, j, got[classes[j]], want)
+				}
+			}
+		}
+		// Closed domain: c in domainOf(p) iff exists p' with p ⊑* p'
+		// (reflexive) and a direct domain c0 of p' with c0 ⊑* c (reflexive).
+		for p := 0; p < nP; p++ {
+			got := make(map[dict.ID]bool)
+			for _, c := range cl.DomainOf(props[p]) {
+				got[c] = true
+			}
+			for c := 0; c < nC; c++ {
+				want := false
+				for p2 := 0; p2 < nP; p2++ {
+					if p2 != p && !reachP[p][p2] {
+						continue
+					}
+					for c0 := 0; c0 < nC; c0++ {
+						if dom[p2][c0] && (c0 == c || reach[c0][c]) {
+							want = true
+						}
+					}
+				}
+				if got[classes[c]] != want {
+					t.Fatalf("trial %d: domain(p%d, C%d) = %v, want %v", trial, p, c, got[classes[c]], want)
+				}
+			}
+		}
+	}
+}
+
+func TestEmptySchema(t *testing.T) {
+	_, _, s, _ := newFixture(t)
+	cl := s.Close()
+	if len(cl.Classes()) != 0 || len(cl.Properties()) != 0 {
+		t.Error("empty schema should have no classes or properties")
+	}
+	if len(cl.ConstraintTriples()) != 0 {
+		t.Error("empty schema should emit no constraint triples")
+	}
+}

@@ -1,0 +1,364 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/rdf"
+)
+
+// Parse parses a BGP query in the supported SPARQL subset:
+//
+//	query    := prefix* "SELECT" ("*" | var+) "WHERE" "{" triples "}"
+//	prefix   := "PREFIX" name ":" iriref
+//	triples  := pattern ("." pattern)* "."?
+//	pattern  := node node node
+//	node     := var | iriref | prefixed-name | literal | blank | "a"
+//
+// "a" abbreviates rdf:type, as in SPARQL. The rdf:, rdfs: and xsd:
+// prefixes are predeclared. Keywords are case-insensitive.
+func Parse(text string) (*Query, error) {
+	toks, err := tokenize(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &qparser{toks: toks, q: &Query{Prefixes: map[string]string{
+		"rdf":  rdf.RDFNamespace,
+		"rdfs": rdf.RDFSNamespace,
+		"xsd":  rdf.XSDNamespace,
+	}}}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	if err := p.q.Validate(); err != nil {
+		return nil, err
+	}
+	return p.q, nil
+}
+
+type tokKind uint8
+
+const (
+	tokWord  tokKind = iota // bare word or prefixed name (incl. keywords)
+	tokVar                  // ?name
+	tokIRI                  // <...>
+	tokLit                  // literal with suffixes, stored as parsed term
+	tokPunct                // { } . * :
+)
+
+type token struct {
+	kind tokKind
+	text string
+	term rdf.Term // for tokLit
+	pos  int
+}
+
+func tokenize(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case c == '?' || c == '$':
+			start := i + 1
+			j := start
+			for j < len(s) && isNameByte(s[j]) {
+				j++
+			}
+			if j == start {
+				return nil, fmt.Errorf("sparql: empty variable name at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokVar, text: s[start:j], pos: i})
+			i = j
+		case c == '<':
+			end := strings.IndexByte(s[i:], '>')
+			if end < 0 {
+				return nil, fmt.Errorf("sparql: unterminated IRI at offset %d", i)
+			}
+			toks = append(toks, token{kind: tokIRI, text: s[i+1 : i+end], pos: i})
+			i += end + 1
+		case c == '"':
+			term, n, err := scanLiteral(s[i:])
+			if err != nil {
+				return nil, fmt.Errorf("sparql: at offset %d: %w", i, err)
+			}
+			toks = append(toks, token{kind: tokLit, term: term, pos: i})
+			i += n
+		case c == '{' || c == '}' || c == '.' || c == '*':
+			toks = append(toks, token{kind: tokPunct, text: string(c), pos: i})
+			i++
+		case c == '_' && i+1 < len(s) && s[i+1] == ':':
+			start := i
+			j := i + 2
+			for j < len(s) && isNameByte(s[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokWord, text: s[start:j], pos: i})
+			i = j
+		case isDigit(c) || (c == '-' && i+1 < len(s) && isDigit(s[i+1])):
+			j := i + 1
+			for j < len(s) && (isDigit(s[j]) || s[j] == '.') && !(s[j] == '.' && (j+1 >= len(s) || !isDigit(s[j+1]))) {
+				j++
+			}
+			lex := s[i:j]
+			dt := rdf.XSDInteger
+			if strings.Contains(lex, ".") {
+				dt = rdf.XSDNamespace + "decimal"
+			}
+			toks = append(toks, token{kind: tokLit, term: rdf.NewTypedLiteral(lex, dt), pos: i})
+			i = j
+		case isNameStart(c):
+			j := i
+			for j < len(s) && (isNameByte(s[j]) || s[j] == ':') {
+				j++
+			}
+			toks = append(toks, token{kind: tokWord, text: s[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("sparql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+func scanLiteral(s string) (rdf.Term, int, error) {
+	var b strings.Builder
+	i := 1 // opening quote
+	for i < len(s) {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return rdf.Term{}, 0, fmt.Errorf("dangling escape in literal")
+			}
+			switch s[i+1] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return rdf.Term{}, 0, fmt.Errorf("unsupported escape \\%c in literal", s[i+1])
+			}
+			i += 2
+		case '"':
+			i++
+			lex := b.String()
+			if i < len(s) && s[i] == '@' {
+				j := i + 1
+				for j < len(s) && (isNameByte(s[j]) || s[j] == '-') {
+					j++
+				}
+				return rdf.NewLangLiteral(lex, s[i+1:j]), j, nil
+			}
+			if strings.HasPrefix(s[i:], "^^<") {
+				end := strings.IndexByte(s[i+3:], '>')
+				if end < 0 {
+					return rdf.Term{}, 0, fmt.Errorf("unterminated datatype IRI")
+				}
+				return rdf.NewTypedLiteral(lex, s[i+3:i+3+end]), i + 3 + end + 1, nil
+			}
+			return rdf.NewLiteral(lex), i, nil
+		default:
+			b.WriteByte(s[i])
+			i++
+		}
+	}
+	return rdf.Term{}, 0, fmt.Errorf("unterminated literal")
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isNameStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+func isNameByte(c byte) bool {
+	return c == '_' || c == '-' || isDigit(c) || unicode.IsLetter(rune(c))
+}
+
+type qparser struct {
+	toks []token
+	i    int
+	q    *Query
+}
+
+func (p *qparser) peek() (token, bool) {
+	if p.i < len(p.toks) {
+		return p.toks[p.i], true
+	}
+	return token{}, false
+}
+
+func (p *qparser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.i++
+	}
+	return t, ok
+}
+
+func (p *qparser) expectWord(kw string) error {
+	t, ok := p.next()
+	if !ok || t.kind != tokWord || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("sparql: expected %q near offset %d", kw, t.pos)
+	}
+	return nil
+}
+
+func (p *qparser) expectPunct(s string) error {
+	t, ok := p.next()
+	if !ok || t.kind != tokPunct || t.text != s {
+		return fmt.Errorf("sparql: expected %q near offset %d", s, t.pos)
+	}
+	return nil
+}
+
+func (p *qparser) parse() error {
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return fmt.Errorf("sparql: empty query")
+		}
+		if t.kind == tokWord && strings.EqualFold(t.text, "PREFIX") {
+			p.i++
+			if err := p.parsePrefix(); err != nil {
+				return err
+			}
+			continue
+		}
+		break
+	}
+	star := false
+	if t, ok := p.peek(); ok && t.kind == tokWord && strings.EqualFold(t.text, "ASK") {
+		p.i++
+		p.q.Ask = true
+	} else {
+		if err := p.expectWord("SELECT"); err != nil {
+			return err
+		}
+		for {
+			t, ok := p.peek()
+			if !ok {
+				return fmt.Errorf("sparql: unexpected end after SELECT")
+			}
+			if t.kind == tokVar {
+				p.q.Select = append(p.q.Select, Var(t.text))
+				p.i++
+				continue
+			}
+			if t.kind == tokPunct && t.text == "*" {
+				star = true
+				p.i++
+				continue
+			}
+			break
+		}
+		if !star && len(p.q.Select) == 0 {
+			return fmt.Errorf("sparql: SELECT clause names no variables")
+		}
+	}
+	if err := p.expectWord("WHERE"); err != nil {
+		return err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return fmt.Errorf("sparql: unterminated WHERE block")
+		}
+		if t.kind == tokPunct && t.text == "}" {
+			p.i++
+			break
+		}
+		if t.kind == tokPunct && t.text == "." {
+			p.i++
+			continue
+		}
+		tp, err := p.parsePattern()
+		if err != nil {
+			return err
+		}
+		p.q.Where = append(p.q.Where, tp)
+	}
+	if star {
+		p.q.Select = p.q.Vars()
+	}
+	if t, ok := p.peek(); ok {
+		return fmt.Errorf("sparql: trailing content near offset %d", t.pos)
+	}
+	return nil
+}
+
+func (p *qparser) parsePrefix() error {
+	t, ok := p.next()
+	if !ok || t.kind != tokWord {
+		return fmt.Errorf("sparql: expected prefix name after PREFIX")
+	}
+	name := strings.TrimSuffix(t.text, ":")
+	iri, ok := p.next()
+	if !ok || iri.kind != tokIRI {
+		return fmt.Errorf("sparql: expected IRI after PREFIX %s:", name)
+	}
+	p.q.Prefixes[name] = iri.text
+	return nil
+}
+
+func (p *qparser) parsePattern() (TriplePattern, error) {
+	s, err := p.parseNode(false)
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	pr, err := p.parseNode(true)
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	o, err := p.parseNode(false)
+	if err != nil {
+		return TriplePattern{}, err
+	}
+	return TriplePattern{S: s, P: pr, O: o}, nil
+}
+
+func (p *qparser) parseNode(propertyPos bool) (Node, error) {
+	t, ok := p.next()
+	if !ok {
+		return Node{}, fmt.Errorf("sparql: unexpected end of pattern")
+	}
+	switch t.kind {
+	case tokVar:
+		return VarNode(Var(t.text)), nil
+	case tokIRI:
+		return TermNode(rdf.NewIRI(t.text)), nil
+	case tokLit:
+		return TermNode(t.term), nil
+	case tokWord:
+		if propertyPos && t.text == "a" {
+			return TermNode(rdf.Type), nil
+		}
+		if strings.HasPrefix(t.text, "_:") {
+			return TermNode(rdf.NewBlank(t.text[2:])), nil
+		}
+		if prefix, local, found := strings.Cut(t.text, ":"); found {
+			ns, ok := p.q.Prefixes[prefix]
+			if !ok {
+				return Node{}, fmt.Errorf("sparql: undeclared prefix %q near offset %d", prefix, t.pos)
+			}
+			return TermNode(rdf.NewIRI(ns + local)), nil
+		}
+		return Node{}, fmt.Errorf("sparql: unexpected word %q near offset %d", t.text, t.pos)
+	default:
+		return Node{}, fmt.Errorf("sparql: unexpected token %q near offset %d", t.text, t.pos)
+	}
+}

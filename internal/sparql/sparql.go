@@ -1,0 +1,230 @@
+// Package sparql implements the conjunctive subset of SPARQL the paper
+// works with: Basic Graph Pattern (BGP) queries of the form
+//
+//	PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+//	SELECT ?x ?y WHERE {
+//	  ?x rdf:type ?y .
+//	  ?x ub:memberOf <http://www.Department0.University0.edu> .
+//	}
+//
+// i.e. the q(x̄) :- t1, …, tα conjunctive queries of Section 2.2. The
+// package provides the surface AST, a parser, a serializer, and the
+// encoder that turns a surface query into the dictionary-encoded bgp.CQ
+// the rest of the stack operates on. Blank nodes in queries are replaced
+// by fresh non-distinguished variables, as query evaluation treats the
+// two identically (Section 2.2).
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bgp"
+	"repro/internal/dict"
+	"repro/internal/rdf"
+)
+
+// Var is a SPARQL variable name, without the leading '?'.
+type Var string
+
+// Node is one position of a surface triple pattern: either a variable
+// (Var non-empty) or a constant term.
+type Node struct {
+	Var  Var
+	Term rdf.Term
+}
+
+// IsVar reports whether the node is a variable.
+func (n Node) IsVar() bool { return n.Var != "" }
+
+// VarNode returns a variable node.
+func VarNode(v Var) Node { return Node{Var: v} }
+
+// TermNode returns a constant node.
+func TermNode(t rdf.Term) Node { return Node{Term: t} }
+
+// TriplePattern is a surface triple pattern.
+type TriplePattern struct {
+	S, P, O Node
+}
+
+// Query is a parsed BGP query.
+type Query struct {
+	// Select lists the distinguished variables in head order. A parsed
+	// "SELECT *" expands to every variable in order of first appearance.
+	// Empty for ASK queries.
+	Select []Var
+	// Ask marks a boolean query (the x̄ = ∅ case of Section 2.2): the
+	// answer is whether any assignment satisfies the BGP.
+	Ask bool
+	// Where is the BGP: the conjunction of triple patterns.
+	Where []TriplePattern
+	// Prefixes records the PREFIX declarations seen at parse time, for
+	// round-trip serialization.
+	Prefixes map[string]string
+}
+
+// Vars returns every variable of the BGP in order of first appearance.
+func (q *Query) Vars() []Var {
+	var out []Var
+	seen := make(map[Var]bool)
+	add := func(n Node) {
+		if n.IsVar() && !seen[n.Var] {
+			seen[n.Var] = true
+			out = append(out, n.Var)
+		}
+	}
+	for _, tp := range q.Where {
+		add(tp.S)
+		add(tp.P)
+		add(tp.O)
+	}
+	return out
+}
+
+// Validate checks that the query is a well-formed BGP query: at least one
+// triple pattern, and every distinguished variable occurs in the body.
+func (q *Query) Validate() error {
+	if len(q.Where) == 0 {
+		return fmt.Errorf("sparql: query has no triple patterns")
+	}
+	if q.Ask && len(q.Select) > 0 {
+		return fmt.Errorf("sparql: ASK query cannot have distinguished variables")
+	}
+	body := make(map[Var]bool)
+	for _, v := range q.Vars() {
+		body[v] = true
+	}
+	for _, v := range q.Select {
+		if !body[v] {
+			return fmt.Errorf("sparql: distinguished variable ?%s does not occur in the query body", v)
+		}
+	}
+	return nil
+}
+
+// String serializes the query back to SPARQL text.
+func (q *Query) String() string {
+	var b strings.Builder
+	prefixes := make([]string, 0, len(q.Prefixes))
+	for p := range q.Prefixes {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+	for _, p := range prefixes {
+		fmt.Fprintf(&b, "PREFIX %s: <%s>\n", p, q.Prefixes[p])
+	}
+	if q.Ask {
+		b.WriteString("ASK")
+	} else {
+		b.WriteString("SELECT")
+		if len(q.Select) == 0 {
+			b.WriteString(" *")
+		}
+		for _, v := range q.Select {
+			b.WriteString(" ?")
+			b.WriteString(string(v))
+		}
+	}
+	b.WriteString(" WHERE {\n")
+	for _, tp := range q.Where {
+		b.WriteString("  ")
+		b.WriteString(q.nodeString(tp.S))
+		b.WriteByte(' ')
+		b.WriteString(q.nodeString(tp.P))
+		b.WriteByte(' ')
+		b.WriteString(q.nodeString(tp.O))
+		b.WriteString(" .\n")
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func (q *Query) nodeString(n Node) string {
+	if n.IsVar() {
+		return "?" + string(n.Var)
+	}
+	if n.Term.IsIRI() {
+		for p, ns := range q.Prefixes {
+			if rest, ok := strings.CutPrefix(n.Term.Value, ns); ok && !strings.ContainsAny(rest, "/#") {
+				return p + ":" + rest
+			}
+		}
+	}
+	return n.Term.Canonical()
+}
+
+// Encoded is a dictionary-encoded query together with the mapping from
+// variable numbers back to surface names.
+type Encoded struct {
+	CQ       bgp.CQ
+	VarNames []Var // VarNames[i] is the surface name of variable i
+}
+
+// NameOf returns the surface name of encoded variable v, or a generated
+// name for fresh variables introduced after encoding.
+func (e Encoded) NameOf(v uint32) Var {
+	if int(v) < len(e.VarNames) {
+		return e.VarNames[v]
+	}
+	return Var(fmt.Sprintf("fresh%d", v))
+}
+
+// Encode turns the query into a bgp.CQ over d, assigning variable numbers
+// in order of first appearance (distinguished variables first, in head
+// order, so head positions are stable) and dictionary codes to constants.
+// Blank-node constants become fresh non-distinguished variables.
+func Encode(q *Query, d *dict.Dict) (Encoded, error) {
+	if err := q.Validate(); err != nil {
+		return Encoded{}, err
+	}
+	varID := make(map[Var]uint32)
+	var names []Var
+	intern := func(v Var) uint32 {
+		id, ok := varID[v]
+		if !ok {
+			id = uint32(len(names))
+			varID[v] = id
+			names = append(names, v)
+		}
+		return id
+	}
+	for _, v := range q.Select {
+		intern(v)
+	}
+	blankVar := make(map[string]uint32)
+	node := func(n Node) bgp.Term {
+		if n.IsVar() {
+			return bgp.V(intern(n.Var))
+		}
+		if n.Term.IsBlank() {
+			id, ok := blankVar[n.Term.Value]
+			if !ok {
+				v := Var("_b_" + n.Term.Value)
+				id = intern(v)
+				blankVar[n.Term.Value] = id
+			}
+			return bgp.V(id)
+		}
+		return bgp.C(d.Encode(n.Term))
+	}
+	cq := bgp.CQ{}
+	for _, tp := range q.Where {
+		cq.Atoms = append(cq.Atoms, bgp.Atom{S: node(tp.S), P: node(tp.P), O: node(tp.O)})
+	}
+	for _, v := range q.Select {
+		cq.Head = append(cq.Head, bgp.V(varID[v]))
+	}
+	return Encoded{CQ: cq, VarNames: names}, nil
+}
+
+// MustParse parses the query text and panics on error; for tests and
+// static query tables.
+func MustParse(text string) *Query {
+	q, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

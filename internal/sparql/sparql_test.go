@@ -1,0 +1,239 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+)
+
+func TestParseBasic(t *testing.T) {
+	q, err := Parse(`
+		PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+		SELECT ?x ?y WHERE {
+			?x rdf:type ?y .
+			?x ub:memberOf <http://www.Department0.University0.edu> .
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Select) != 2 || q.Select[0] != "x" || q.Select[1] != "y" {
+		t.Errorf("Select = %v", q.Select)
+	}
+	if len(q.Where) != 2 {
+		t.Fatalf("Where has %d patterns", len(q.Where))
+	}
+	if q.Where[0].P.Term != rdf.Type {
+		t.Errorf("rdf:type not resolved: %v", q.Where[0].P)
+	}
+	if q.Where[1].P.Term.Value != "http://swat.cse.lehigh.edu/onto/univ-bench.owl#memberOf" {
+		t.Errorf("prefixed name not resolved: %v", q.Where[1].P)
+	}
+	if q.Where[1].O.Term.Value != "http://www.Department0.University0.edu" {
+		t.Errorf("IRI object wrong: %v", q.Where[1].O)
+	}
+}
+
+func TestParseAKeyword(t *testing.T) {
+	q := MustParse(`SELECT ?x WHERE { ?x a <http://x/C> . }`)
+	if q.Where[0].P.Term != rdf.Type {
+		t.Error("'a' did not resolve to rdf:type")
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	q := MustParse(`SELECT * WHERE { ?a <http://x/p> ?b . ?b <http://x/q> ?c }`)
+	if len(q.Select) != 3 || q.Select[0] != "a" || q.Select[1] != "b" || q.Select[2] != "c" {
+		t.Errorf("SELECT * expanded to %v", q.Select)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q := MustParse(`SELECT ?x WHERE {
+		?x <http://x/year> 1996 .
+		?x <http://x/title> "Game of Thrones" .
+		?x <http://x/note> "bonjour"@fr .
+		?x <http://x/count> "7"^^<http://www.w3.org/2001/XMLSchema#integer> .
+	}`)
+	if got := q.Where[0].O.Term; got != rdf.NewTypedLiteral("1996", rdf.XSDInteger) {
+		t.Errorf("integer literal = %v", got)
+	}
+	if got := q.Where[1].O.Term; got != rdf.NewLiteral("Game of Thrones") {
+		t.Errorf("string literal = %v", got)
+	}
+	if got := q.Where[2].O.Term; got != rdf.NewLangLiteral("bonjour", "fr") {
+		t.Errorf("lang literal = %v", got)
+	}
+	if got := q.Where[3].O.Term; got != rdf.NewTypedLiteral("7", rdf.XSDInteger) {
+		t.Errorf("typed literal = %v", got)
+	}
+}
+
+func TestParseAsk(t *testing.T) {
+	q := MustParse(`ASK WHERE { ?x rdf:type <http://x/C> . }`)
+	if !q.Ask || len(q.Select) != 0 {
+		t.Errorf("ASK not recognized: %+v", q)
+	}
+	// Round trip.
+	q2 := MustParse(q.String())
+	if !q2.Ask {
+		t.Error("ASK lost in serialization round trip")
+	}
+	// Encoded form has an empty head.
+	d := dict.New()
+	enc, err := Encode(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc.CQ.Head) != 0 {
+		t.Errorf("ASK query head = %v, want empty", enc.CQ.Head)
+	}
+}
+
+func TestParseBlankNode(t *testing.T) {
+	q := MustParse(`SELECT ?x WHERE { ?x <http://x/p> _:b1 . _:b1 <http://x/q> ?y }`)
+	if !q.Where[0].O.Term.IsBlank() {
+		t.Error("blank node object not parsed")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q := MustParse("SELECT ?x WHERE { # inline comment\n ?x <http://x/p> ?y . }")
+	if len(q.Where) != 1 {
+		t.Error("comment broke parsing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT WHERE { ?x <p> ?y }`,             // no vars, no star
+		`SELECT ?x WHERE { ?x <http://x/p> }`,    // incomplete pattern
+		`SELECT ?x WHERE { ?x <http://x/p> ?y `,  // unterminated block
+		`SELECT ?z WHERE { ?x <http://x/p> ?y }`, // head var not in body
+		`SELECT ?x WHERE { ?x und:p ?y }`,        // undeclared prefix
+		`SELECT ?x WHERE { ?x <http://x/p> ?y } trailing`,
+		`SELECT ?x WHERE { }`, // empty BGP
+	}
+	for _, text := range bad {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", text)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	src := `PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+SELECT ?x ?y WHERE {
+  ?x rdf:type ?y .
+  ?x ub:memberOf <http://www.Department0.University0.edu> .
+  ?x ub:name "Alice" .
+}`
+	q1 := MustParse(src)
+	q2 := MustParse(q1.String())
+	if len(q1.Where) != len(q2.Where) {
+		t.Fatalf("round trip changed pattern count: %d vs %d", len(q1.Where), len(q2.Where))
+	}
+	for i := range q1.Where {
+		if q1.Where[i] != q2.Where[i] {
+			t.Errorf("pattern %d changed: %v vs %v", i, q1.Where[i], q2.Where[i])
+		}
+	}
+	if strings.Join(varsToStrings(q1.Select), ",") != strings.Join(varsToStrings(q2.Select), ",") {
+		t.Errorf("head changed: %v vs %v", q1.Select, q2.Select)
+	}
+}
+
+func varsToStrings(vs []Var) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = string(v)
+	}
+	return out
+}
+
+func TestEncode(t *testing.T) {
+	d := dict.New()
+	q := MustParse(`SELECT ?x ?y WHERE { ?x rdf:type ?y . ?x <http://x/p> "v" . }`)
+	enc, err := Encode(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc.CQ.Head) != 2 || !enc.CQ.Head[0].Var || !enc.CQ.Head[1].Var {
+		t.Fatalf("head = %v", enc.CQ.Head)
+	}
+	if enc.CQ.Head[0].ID != 0 || enc.CQ.Head[1].ID != 1 {
+		t.Errorf("head variables not numbered in head order: %v", enc.CQ.Head)
+	}
+	if enc.NameOf(0) != "x" || enc.NameOf(1) != "y" {
+		t.Errorf("VarNames = %v", enc.VarNames)
+	}
+	// Constants must decode back through the dictionary.
+	typeAtom := enc.CQ.Atoms[0]
+	if typeAtom.P.Var {
+		t.Fatal("rdf:type encoded as a variable")
+	}
+	if d.Term(typeAtom.P.Const()) != rdf.Type {
+		t.Error("rdf:type round trip failed")
+	}
+}
+
+func TestEncodeBlankNodesBecomeVariables(t *testing.T) {
+	d := dict.New()
+	q := MustParse(`SELECT ?x WHERE { ?x <http://x/p> _:b . _:b <http://x/q> ?x }`)
+	enc, err := Encode(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := enc.CQ.Atoms[0].O
+	s := enc.CQ.Atoms[1].S
+	if !o.Var || !s.Var {
+		t.Fatal("blank node not encoded as a variable")
+	}
+	if o.ID != s.ID {
+		t.Error("the same blank node got two different variables")
+	}
+	if o.ID == enc.CQ.Head[0].ID {
+		t.Error("blank node variable collides with a distinguished variable")
+	}
+}
+
+func TestEncodeSharedVariableIDs(t *testing.T) {
+	d := dict.New()
+	q := MustParse(`SELECT ?x WHERE { ?x <http://x/p> ?y . ?y <http://x/q> ?x }`)
+	enc, err := Encode(q, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.CQ.Atoms[0].S.ID != enc.CQ.Atoms[1].O.ID {
+		t.Error("?x got two IDs")
+	}
+	if enc.CQ.Atoms[0].O.ID != enc.CQ.Atoms[1].S.ID {
+		t.Error("?y got two IDs")
+	}
+}
+
+func TestNameOfFresh(t *testing.T) {
+	enc := Encoded{VarNames: []Var{"x"}}
+	if enc.NameOf(0) != "x" {
+		t.Error("NameOf(0) wrong")
+	}
+	if enc.NameOf(7) != "fresh7" {
+		t.Errorf("NameOf(7) = %q", enc.NameOf(7))
+	}
+}
+
+func TestVarsOrder(t *testing.T) {
+	q := MustParse(`SELECT ?b WHERE { ?a <http://x/p> ?b . ?c <http://x/q> ?a }`)
+	vars := q.Vars()
+	want := []Var{"a", "b", "c"}
+	if len(vars) != 3 {
+		t.Fatalf("Vars = %v", vars)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Errorf("Vars[%d] = %v, want %v", i, vars[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package stats collects the data statistics the cost model of the paper's
+// Section 4.1 relies on, and derives cardinality estimates for triple
+// patterns and conjunctive queries.
+//
+// Per-pattern counts (|q_{t}| in the paper's notation) are *exact*: the
+// storage layer answers any bound-prefix pattern count with two binary
+// searches, so looking the number up is cheaper than maintaining an
+// approximate histogram would be. Join-result cardinalities are estimated
+// with the classic value-set-containment assumption, using per-property
+// distinct-subject and distinct-object counts gathered in a single pass at
+// load time.
+package stats
+
+import (
+	"sync"
+
+	"repro/internal/bgp"
+	"repro/internal/dict"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// PropStat holds the per-property statistics gathered at collection time.
+type PropStat struct {
+	Count     int // triples with this property
+	DistinctS int // distinct subjects among them
+	DistinctO int // distinct objects among them
+}
+
+// Stats provides cardinality information for one store.
+type Stats struct {
+	store *storage.Store
+	vocab schema.Vocab
+	total int
+	props map[dict.ID]PropStat
+
+	mu   sync.Mutex
+	memo map[storage.Pattern]int
+}
+
+// Collect scans the store once and returns its statistics. vocab supplies
+// the rdf:type ID used to recognize class-membership patterns.
+func Collect(store *storage.Store, vocab schema.Vocab) *Stats {
+	st := &Stats{
+		store: store,
+		vocab: vocab,
+		total: store.Len(),
+		props: make(map[dict.ID]PropStat),
+		memo:  make(map[storage.Pattern]int),
+	}
+	// One map-based pass over the store; the number of distinct properties
+	// in RDF datasets is small, so per-property sets stay cheap.
+	byProp := make(map[dict.ID]*PropStat)
+	subjSets := make(map[dict.ID]map[dict.ID]struct{})
+	objSets := make(map[dict.ID]map[dict.ID]struct{})
+	for _, t := range store.Triples() {
+		ps := byProp[t.P]
+		if ps == nil {
+			ps = &PropStat{}
+			byProp[t.P] = ps
+			subjSets[t.P] = make(map[dict.ID]struct{})
+			objSets[t.P] = make(map[dict.ID]struct{})
+		}
+		ps.Count++
+		subjSets[t.P][t.S] = struct{}{}
+		objSets[t.P][t.O] = struct{}{}
+	}
+	for p, ps := range byProp {
+		ps.DistinctS = len(subjSets[p])
+		ps.DistinctO = len(objSets[p])
+		st.props[p] = *ps
+	}
+	return st
+}
+
+// Total returns the number of triples in the store at collection time.
+func (st *Stats) Total() int { return st.total }
+
+// Property returns the per-property statistics (zero value if unseen).
+func (st *Stats) Property(p dict.ID) PropStat { return st.props[p] }
+
+// EachProperty calls f for every property with its statistics, in
+// unspecified order, stopping early if f returns false.
+func (st *Stats) EachProperty(f func(dict.ID, PropStat) bool) {
+	for p, ps := range st.props {
+		if !f(p, ps) {
+			return
+		}
+	}
+}
+
+// PatternCount returns the exact number of triples matching the pattern,
+// memoized. Safe for concurrent use.
+func (st *Stats) PatternCount(p storage.Pattern) int {
+	st.mu.Lock()
+	n, ok := st.memo[p]
+	st.mu.Unlock()
+	if ok {
+		return n
+	}
+	n = st.store.Count(p)
+	st.mu.Lock()
+	st.memo[p] = n
+	st.mu.Unlock()
+	return n
+}
+
+// AtomCard returns the (estimated) number of triples matching the atom.
+// Constant positions are looked up exactly; an atom with the same variable
+// in two positions gets the matching-pair count discounted by the
+// corresponding distinct count.
+func (st *Stats) AtomCard(a bgp.Atom) float64 {
+	pat := storage.Pattern{}
+	if !a.S.Var {
+		pat.S = a.S.Const()
+	}
+	if !a.P.Var {
+		pat.P = a.P.Const()
+	}
+	if !a.O.Var {
+		pat.O = a.O.Const()
+	}
+	card := float64(st.PatternCount(pat))
+	// Repeated-variable discount: positions forced equal keep roughly a
+	// 1/distinct fraction of the unconstrained matches.
+	if a.S.Var && a.O.Var && a.S.ID == a.O.ID {
+		d := st.distinctFor(a, a.S.ID)
+		if d > 1 {
+			card /= d
+		}
+	}
+	return card
+}
+
+// DistinctForVar estimates the number of distinct values variable v takes
+// in matches of atom a; planners use it to discount bound variables.
+func (st *Stats) DistinctForVar(a bgp.Atom, v uint32) float64 {
+	return st.distinctFor(a, v)
+}
+
+// distinctFor estimates the number of distinct values variable v takes in
+// matches of atom a.
+func (st *Stats) distinctFor(a bgp.Atom, v uint32) float64 {
+	card := st.atomCardIgnoringRepeats(a)
+	// Property-position variable: few distinct properties overall.
+	if a.P.Var && a.P.ID == v {
+		if n := len(st.props); n > 0 {
+			return minf(float64(n), card)
+		}
+		return maxf(card, 1)
+	}
+	if !a.P.Var {
+		p := a.P.Const()
+		ps := st.props[p]
+		if a.S.Var && a.S.ID == v {
+			if !a.O.Var {
+				// (?, p, o): subjects are distinct per (s,p,o) triple.
+				return maxf(card, 1)
+			}
+			return clampDistinct(float64(ps.DistinctS), card)
+		}
+		if a.O.Var && a.O.ID == v {
+			if !a.S.Var {
+				return maxf(card, 1)
+			}
+			return clampDistinct(float64(ps.DistinctO), card)
+		}
+	}
+	// Variable property with a subject/object variable: fall back to the
+	// atom cardinality (each row may carry a fresh value).
+	return maxf(card, 1)
+}
+
+func (st *Stats) atomCardIgnoringRepeats(a bgp.Atom) float64 {
+	pat := storage.Pattern{}
+	if !a.S.Var {
+		pat.S = a.S.Const()
+	}
+	if !a.P.Var {
+		pat.P = a.P.Const()
+	}
+	if !a.O.Var {
+		pat.O = a.O.Const()
+	}
+	return float64(st.PatternCount(pat))
+}
+
+func clampDistinct(d, card float64) float64 {
+	if d < 1 {
+		d = 1
+	}
+	return minf(d, maxf(card, 1))
+}
+
+// CQCard estimates the result cardinality of a conjunctive query using
+// per-atom counts and value-set containment for join selectivities: each
+// equijoin on a variable v between a new atom and the partial result
+// divides the cross-product by the larger distinct-count of v.
+func (st *Stats) CQCard(q bgp.CQ) float64 {
+	slots := make([][]bgp.Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		slots[i] = []bgp.Atom{a}
+	}
+	return st.JoinOfUnionsCard(slots)
+}
+
+// JoinOfUnionsCard estimates the result cardinality of a join of unions of
+// atoms: slot i stands for the relation ∪_{a ∈ slots[i]} matches(a), and
+// the slots are joined on the variables they share. This is the shape a
+// reformulated cover fragment has (every expansion alternative of an atom
+// keeps the atom's original variables), and it also prices a whole UCQ
+// reformulation without materializing its (possibly hundreds of thousands
+// of) member CQs: Σ_CQ |CQ| ≈ |join of the slot unions|.
+func (st *Stats) JoinOfUnionsCard(slots [][]bgp.Atom) float64 {
+	if len(slots) == 0 {
+		return 0
+	}
+	seen := make(map[uint32]float64) // var -> smallest distinct seen so far
+	card := 1.0
+	var buf []uint32
+	for _, alts := range slots {
+		var slotCard float64
+		distinct := make(map[uint32]float64)
+		for _, a := range alts {
+			slotCard += st.AtomCard(a)
+			buf = a.Vars(buf[:0])
+			handled := make(map[uint32]bool, len(buf))
+			for _, v := range buf {
+				if handled[v] {
+					continue
+				}
+				handled[v] = true
+				distinct[v] += st.distinctFor(a, v)
+			}
+		}
+		card *= slotCard
+		for v, d := range distinct {
+			d = clampDistinct(d, slotCard)
+			if prev, ok := seen[v]; ok {
+				if m := maxf(prev, d); m > 1 {
+					card /= m
+				}
+				seen[v] = minf(prev, d)
+			} else {
+				seen[v] = d
+			}
+		}
+		if card <= 0 {
+			return 0
+		}
+	}
+	return card
+}
+
+// CQScanTuples returns Σ_{t ∈ q} |q_{t}|: the total number of tuples the
+// engine retrieves to evaluate the query's atoms — the quantity the
+// paper's scan- and join-cost formulas are linear in.
+func (st *Stats) CQScanTuples(q bgp.CQ) float64 {
+	var sum float64
+	for _, a := range q.Atoms {
+		sum += st.AtomCard(a)
+	}
+	return sum
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

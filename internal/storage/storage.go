@@ -1,0 +1,438 @@
+// Package storage implements the Triples(s, p, o) table of the paper's
+// experimental setting (Section 5.1): dictionary-encoded triples held in
+// sorted arrays, one per index order, so that every triple-pattern shape
+// can be answered by a binary-searched range scan.
+//
+// The paper indexes the table by all six permutations of (s, p, o); three
+// of them (SPO, POS, OSP) already give a sorted prefix for every
+// combination of bound positions, so the store defaults to those three and
+// can be configured with all six (the difference is benchmarked by the
+// index-set ablation).
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dict"
+)
+
+// Triple is a dictionary-encoded RDF triple.
+type Triple struct {
+	S, P, O dict.ID
+}
+
+// Pattern is a triple pattern over encoded values; dict.None (0) in a
+// position means "any value".
+type Pattern struct {
+	S, P, O dict.ID
+}
+
+// Matches reports whether the triple matches the pattern.
+func (p Pattern) Matches(t Triple) bool {
+	return (p.S == dict.None || p.S == t.S) &&
+		(p.P == dict.None || p.P == t.P) &&
+		(p.O == dict.None || p.O == t.O)
+}
+
+// Order is a permutation of the three triple positions.
+type Order uint8
+
+// The six index orders. OrderSPO sorts by subject, then property, then
+// object, and so on.
+const (
+	OrderSPO Order = iota
+	OrderPOS
+	OrderOSP
+	OrderSOP
+	OrderPSO
+	OrderOPS
+	numOrders
+)
+
+// String returns the order's conventional name.
+func (o Order) String() string {
+	switch o {
+	case OrderSPO:
+		return "SPO"
+	case OrderPOS:
+		return "POS"
+	case OrderOSP:
+		return "OSP"
+	case OrderSOP:
+		return "SOP"
+	case OrderPSO:
+		return "PSO"
+	case OrderOPS:
+		return "OPS"
+	default:
+		return fmt.Sprintf("Order(%d)", uint8(o))
+	}
+}
+
+// perm returns the position permutation of the order: perm[0] is the most
+// significant sort position (0=S, 1=P, 2=O).
+func (o Order) perm() [3]int {
+	switch o {
+	case OrderSPO:
+		return [3]int{0, 1, 2}
+	case OrderPOS:
+		return [3]int{1, 2, 0}
+	case OrderOSP:
+		return [3]int{2, 0, 1}
+	case OrderSOP:
+		return [3]int{0, 2, 1}
+	case OrderPSO:
+		return [3]int{1, 0, 2}
+	case OrderOPS:
+		return [3]int{2, 1, 0}
+	default:
+		panic("storage: invalid order")
+	}
+}
+
+// DefaultOrders is the minimal complete index set: a sorted prefix exists
+// for every combination of bound pattern positions.
+var DefaultOrders = []Order{OrderSPO, OrderPOS, OrderOSP}
+
+// AllOrders is the paper's full six-permutation index set.
+var AllOrders = []Order{OrderSPO, OrderPOS, OrderOSP, OrderSOP, OrderPSO, OrderOPS}
+
+func key(t Triple) [3]dict.ID { return [3]dict.ID{t.S, t.P, t.O} }
+
+func less(order [3]int, a, b Triple) bool {
+	ka, kb := key(a), key(b)
+	for _, pos := range order {
+		if ka[pos] != kb[pos] {
+			return ka[pos] < kb[pos]
+		}
+	}
+	return false
+}
+
+// Store is an immutable-after-build triple table plus a small mutable
+// delta for incremental additions (used by the dynamic-data scenarios;
+// bulk loads should go through the Builder). Reads are safe to run
+// concurrently as long as no Add runs at the same time.
+type Store struct {
+	orders  []Order
+	indexes [numOrders][]Triple // nil for unused orders
+	delta   []Triple            // unsorted recent additions
+	present map[Triple]struct{} // set semantics for Add
+	deleted map[Triple]struct{} // tombstones for Remove
+	n       int
+}
+
+// Builder accumulates triples for bulk loading.
+type Builder struct {
+	orders  []Order
+	triples []Triple
+}
+
+// NewBuilder returns a builder using the given index orders (or
+// DefaultOrders when orders is empty).
+func NewBuilder(orders ...Order) *Builder {
+	if len(orders) == 0 {
+		orders = DefaultOrders
+	}
+	return &Builder{orders: orders}
+}
+
+// Add appends a triple; duplicates are eliminated at Build time.
+func (b *Builder) Add(t Triple) { b.triples = append(b.triples, t) }
+
+// Len returns the number of triples added so far (duplicates included).
+func (b *Builder) Len() int { return len(b.triples) }
+
+// Build sorts, deduplicates and indexes the triples, consuming the builder.
+func (b *Builder) Build() *Store {
+	s := &Store{orders: b.orders}
+	base := b.triples
+	b.triples = nil
+	sortByOrder(base, OrderSPO.perm())
+	base = dedupSorted(base)
+	s.n = len(base)
+	for _, o := range b.orders {
+		if o == OrderSPO {
+			s.indexes[o] = base
+			continue
+		}
+		cp := make([]Triple, len(base))
+		copy(cp, base)
+		sortByOrder(cp, o.perm())
+		s.indexes[o] = cp
+	}
+	if !hasOrder(b.orders, OrderSPO) {
+		// base was sorted in SPO for dedup; re-sort it into the first
+		// requested order and store it there.
+		first := b.orders[0]
+		sortByOrder(base, first.perm())
+		s.indexes[first] = base
+	}
+	return s
+}
+
+func hasOrder(orders []Order, o Order) bool {
+	for _, x := range orders {
+		if x == o {
+			return true
+		}
+	}
+	return false
+}
+
+func sortByOrder(ts []Triple, perm [3]int) {
+	sort.Slice(ts, func(i, j int) bool { return less(perm, ts[i], ts[j]) })
+}
+
+func dedupSorted(ts []Triple) []Triple {
+	if len(ts) == 0 {
+		return ts
+	}
+	w := 1
+	for i := 1; i < len(ts); i++ {
+		if ts[i] != ts[i-1] {
+			ts[w] = ts[i]
+			w++
+		}
+	}
+	return ts[:w]
+}
+
+// Len returns the number of distinct triples in the store.
+func (s *Store) Len() int { return s.n + len(s.delta) - len(s.deleted) }
+
+// Orders returns the index orders the store maintains.
+func (s *Store) Orders() []Order { return s.orders }
+
+// Add inserts one triple incrementally, reporting whether it was new.
+// Added triples live in an unsorted delta that every scan also consults;
+// call Compact to fold the delta into the sorted indexes.
+func (s *Store) Add(t Triple) bool {
+	if _, ok := s.deleted[t]; ok {
+		delete(s.deleted, t) // resurrect the tombstoned sorted entry
+		return true
+	}
+	if s.Contains(t) {
+		return false
+	}
+	if s.present == nil {
+		s.present = make(map[Triple]struct{})
+	}
+	if _, ok := s.present[t]; ok {
+		return false
+	}
+	s.present[t] = struct{}{}
+	s.delta = append(s.delta, t)
+	return true
+}
+
+// Remove deletes one triple incrementally, reporting whether it was
+// present. Removals from the sorted indexes are tombstoned until the next
+// Compact; removals from the recent delta are immediate.
+func (s *Store) Remove(t Triple) bool {
+	if !s.Contains(t) {
+		return false
+	}
+	if _, ok := s.present[t]; ok {
+		delete(s.present, t)
+		for i, d := range s.delta {
+			if d == t {
+				s.delta = append(s.delta[:i], s.delta[i+1:]...)
+				break
+			}
+		}
+		return true
+	}
+	if s.deleted == nil {
+		s.deleted = make(map[Triple]struct{})
+	}
+	s.deleted[t] = struct{}{}
+	return true
+}
+
+// Compact merges the delta into the sorted indexes and drops tombstoned
+// triples.
+func (s *Store) Compact() {
+	if len(s.delta) == 0 && len(s.deleted) == 0 {
+		return
+	}
+	rebuilt := make(map[Order][]Triple, len(s.orders))
+	for _, o := range s.orders {
+		src := s.indexes[o]
+		merged := make([]Triple, 0, len(src)+len(s.delta))
+		for _, t := range src {
+			if _, dead := s.deleted[t]; !dead {
+				merged = append(merged, t)
+			}
+		}
+		merged = append(merged, s.delta...)
+		sortByOrder(merged, o.perm())
+		rebuilt[o] = merged
+	}
+	for o, idx := range rebuilt {
+		s.indexes[o] = idx
+	}
+	s.n = s.n + len(s.delta) - len(s.deleted)
+	s.delta = nil
+	s.present = nil
+	s.deleted = nil
+}
+
+// Contains reports whether the triple is in the store.
+func (s *Store) Contains(t Triple) bool {
+	if _, dead := s.deleted[t]; dead {
+		return false
+	}
+	if _, ok := s.present[t]; ok {
+		return true
+	}
+	idx, perm := s.indexFor(Pattern{S: t.S, P: t.P, O: t.O})
+	lo, hi := searchRange(idx, perm, Pattern{S: t.S, P: t.P, O: t.O})
+	return hi > lo
+}
+
+// indexFor picks an index whose sort prefix covers the bound positions of
+// the pattern, so the matching triples form one contiguous range.
+func (s *Store) indexFor(p Pattern) ([]Triple, [3]int) {
+	bound := [3]bool{p.S != dict.None, p.P != dict.None, p.O != dict.None}
+	nBound := 0
+	for _, b := range bound {
+		if b {
+			nBound++
+		}
+	}
+	for _, o := range s.orders {
+		perm := o.perm()
+		ok := true
+		for i := 0; i < nBound; i++ {
+			if !bound[perm[i]] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.indexes[o], perm
+		}
+	}
+	// No prefix-covering index (possible with a custom order set); fall
+	// back to the first index with a residual filter at scan time.
+	return s.indexes[s.orders[0]], s.orders[0].perm()
+}
+
+// searchRange returns the [lo, hi) range of triples matching the bound
+// prefix of the pattern under the given permutation.
+func searchRange(idx []Triple, perm [3]int, p Pattern) (int, int) {
+	want := [3]dict.ID{p.S, p.P, p.O}
+	prefix := 0
+	for prefix < 3 && want[perm[prefix]] != dict.None {
+		prefix++
+	}
+	if prefix == 0 {
+		return 0, len(idx)
+	}
+	cmp := func(t Triple) int { // -1 below, 0 inside, +1 above the prefix
+		k := key(t)
+		for i := 0; i < prefix; i++ {
+			pos := perm[i]
+			if k[pos] < want[pos] {
+				return -1
+			}
+			if k[pos] > want[pos] {
+				return 1
+			}
+		}
+		return 0
+	}
+	lo := sort.Search(len(idx), func(i int) bool { return cmp(idx[i]) >= 0 })
+	hi := sort.Search(len(idx), func(i int) bool { return cmp(idx[i]) > 0 })
+	return lo, hi
+}
+
+// Scan calls f for every triple matching the pattern, stopping early if f
+// returns false. The sorted range is zero-copy; the delta is filtered.
+func (s *Store) Scan(p Pattern, f func(Triple) bool) {
+	idx, perm := s.indexFor(p)
+	lo, hi := searchRange(idx, perm, p)
+	for _, t := range idx[lo:hi] {
+		if !p.Matches(t) { // residual filter; no-op for covering indexes
+			continue
+		}
+		if len(s.deleted) > 0 {
+			if _, dead := s.deleted[t]; dead {
+				continue
+			}
+		}
+		if !f(t) {
+			return
+		}
+	}
+	for _, t := range s.delta {
+		if p.Matches(t) {
+			if !f(t) {
+				return
+			}
+		}
+	}
+}
+
+// Count returns the number of triples matching the pattern. For patterns
+// whose bound positions are a sort prefix of some index this is two binary
+// searches, which is what makes statistics collection cheap.
+func (s *Store) Count(p Pattern) int {
+	idx, perm := s.indexFor(p)
+	lo, hi := searchRange(idx, perm, p)
+	n := 0
+	if coversBound(perm, p) {
+		n = hi - lo
+	} else {
+		for _, t := range idx[lo:hi] {
+			if p.Matches(t) {
+				n++
+			}
+		}
+	}
+	// Tombstones always refer to sorted entries, so matching ones were
+	// counted above and must be subtracted.
+	for t := range s.deleted {
+		if p.Matches(t) {
+			n--
+		}
+	}
+	for _, t := range s.delta {
+		if p.Matches(t) {
+			n++
+		}
+	}
+	return n
+}
+
+func coversBound(perm [3]int, p Pattern) bool {
+	bound := [3]bool{p.S != dict.None, p.P != dict.None, p.O != dict.None}
+	nBound := 0
+	for _, b := range bound {
+		if b {
+			nBound++
+		}
+	}
+	for i := 0; i < nBound; i++ {
+		if !bound[perm[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// Triples returns all triples in SPO order (delta compacted first).
+func (s *Store) Triples() []Triple {
+	s.Compact()
+	if idx := s.indexes[OrderSPO]; idx != nil {
+		return idx
+	}
+	// Custom order sets may lack SPO; return a sorted copy.
+	src := s.indexes[s.orders[0]]
+	cp := make([]Triple, len(src))
+	copy(cp, src)
+	sortByOrder(cp, OrderSPO.perm())
+	return cp
+}

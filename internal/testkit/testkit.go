@@ -1,0 +1,330 @@
+// Package testkit provides shared fixtures for the test suites: the
+// paper's running example (the book graph of Examples 1–4 and Figure 3),
+// and seeded random generators of schemas, data and queries for the
+// property-based tests that check reformulation against saturation.
+package testkit
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bgp"
+	"repro/internal/dict"
+	"repro/internal/rdf"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// Example is an encoded RDF database: dictionary, closed schema, the data
+// triples (not saturated) and the *direct* (asserted, non-closed)
+// constraint triples.
+type Example struct {
+	Dict        *dict.Dict
+	Vocab       schema.Vocab
+	Schema      *schema.Schema
+	Closed      *schema.Closed
+	Data        []storage.Triple
+	Constraints []storage.Triple
+}
+
+// AddSubClass asserts sub ⊑ super in both the schema and the constraint
+// triple record.
+func (e *Example) AddSubClass(sub, super dict.ID) {
+	e.Schema.AddSubClass(sub, super)
+	e.Constraints = append(e.Constraints, storage.Triple{S: sub, P: e.Vocab.SubClassOf, O: super})
+}
+
+// AddSubProperty asserts sub ⊑ super between properties.
+func (e *Example) AddSubProperty(sub, super dict.ID) {
+	e.Schema.AddSubProperty(sub, super)
+	e.Constraints = append(e.Constraints, storage.Triple{S: sub, P: e.Vocab.SubPropertyOf, O: super})
+}
+
+// AddDomain asserts p rdfs:domain c.
+func (e *Example) AddDomain(p, c dict.ID) {
+	e.Schema.AddDomain(p, c)
+	e.Constraints = append(e.Constraints, storage.Triple{S: p, P: e.Vocab.Domain, O: c})
+}
+
+// AddRange asserts p rdfs:range c.
+func (e *Example) AddRange(p, c dict.ID) {
+	e.Schema.AddRange(p, c)
+	e.Constraints = append(e.Constraints, storage.Triple{S: p, P: e.Vocab.Range, O: c})
+}
+
+// RawStore builds the non-saturated store: data triples plus the closed
+// constraint triples (so schema-level atoms are answerable), which is the
+// layout reformulation-based answering runs against.
+func (e *Example) RawStore(orders ...storage.Order) *storage.Store {
+	b := storage.NewBuilder(orders...)
+	for _, t := range e.Data {
+		b.Add(t)
+	}
+	for _, c := range e.Closed.ConstraintTriples() {
+		b.Add(storage.Triple{S: c[0], P: c[1], O: c[2]})
+	}
+	return b.Build()
+}
+
+// SaturatedStore builds the saturated store by a brute-force fixpoint over
+// the immediate RDF entailment rules on the *direct* constraint triples.
+// It is deliberately independent of the schema-closure and saturate
+// packages, so it serves as a differential reference for both.
+func (e *Example) SaturatedStore(orders ...storage.Order) *storage.Store {
+	v := e.Vocab
+	set := make(map[storage.Triple]struct{})
+	for _, t := range e.Data {
+		set[t] = struct{}{}
+	}
+	for _, t := range e.Constraints {
+		set[t] = struct{}{}
+	}
+	for changed := true; changed; {
+		changed = false
+		var derived []storage.Triple
+		for a := range set {
+			for b := range set {
+				for _, d := range immediate(v, a, b) {
+					if _, ok := set[d]; !ok {
+						derived = append(derived, d)
+					}
+				}
+			}
+		}
+		for _, d := range derived {
+			if _, ok := set[d]; !ok {
+				set[d] = struct{}{}
+				changed = true
+			}
+		}
+	}
+	b := storage.NewBuilder(orders...)
+	for t := range set {
+		b.Add(t)
+	}
+	return b.Build()
+}
+
+// immediate applies every immediate entailment rule of the DB fragment to
+// the ordered pair (a, b) of triples, returning the derived triples.
+func immediate(v schema.Vocab, a, b storage.Triple) []storage.Triple {
+	var out []storage.Triple
+	// Transitivity of the inclusion orders.
+	if a.P == v.SubClassOf && b.P == v.SubClassOf && a.O == b.S && a.S != b.O {
+		out = append(out, storage.Triple{S: a.S, P: v.SubClassOf, O: b.O})
+	}
+	if a.P == v.SubPropertyOf && b.P == v.SubPropertyOf && a.O == b.S && a.S != b.O {
+		out = append(out, storage.Triple{S: a.S, P: v.SubPropertyOf, O: b.O})
+	}
+	// Domain/range propagation through the hierarchies.
+	if a.P == v.SubPropertyOf && b.P == v.Domain && a.O == b.S {
+		out = append(out, storage.Triple{S: a.S, P: v.Domain, O: b.O})
+	}
+	if a.P == v.SubPropertyOf && b.P == v.Range && a.O == b.S {
+		out = append(out, storage.Triple{S: a.S, P: v.Range, O: b.O})
+	}
+	if a.P == v.Domain && b.P == v.SubClassOf && a.O == b.S {
+		out = append(out, storage.Triple{S: a.S, P: v.Domain, O: b.O})
+	}
+	if a.P == v.Range && b.P == v.SubClassOf && a.O == b.S {
+		out = append(out, storage.Triple{S: a.S, P: v.Range, O: b.O})
+	}
+	// Data-level rules.
+	if a.P == v.SubClassOf && b.P == v.Type && b.O == a.S {
+		out = append(out, storage.Triple{S: b.S, P: v.Type, O: a.O})
+	}
+	if a.P == v.SubPropertyOf && b.P == a.S {
+		out = append(out, storage.Triple{S: b.S, P: a.O, O: b.O})
+	}
+	if a.P == v.Domain && b.P == a.S {
+		out = append(out, storage.Triple{S: b.S, P: v.Type, O: a.O})
+	}
+	if a.P == v.Range && b.P == a.S {
+		out = append(out, storage.Triple{S: b.O, P: v.Type, O: a.O})
+	}
+	return out
+}
+
+// ID encodes an IRI in the example's namespace and returns its code.
+func (e *Example) ID(local string) dict.ID {
+	return e.Dict.Encode(rdf.NewIRI("http://example.org/" + local))
+}
+
+// Paper builds the paper's book example: the graph of Figure 3 with the
+// constraints of Example 2 (Book ⊑ Publication, writtenBy ⊑ hasAuthor,
+// writtenBy has domain Book and range Person).
+func Paper() *Example {
+	d := dict.New()
+	vocab := schema.EncodeVocab(d)
+	sch := schema.New(vocab)
+	e := &Example{Dict: d, Vocab: vocab, Schema: sch}
+
+	book := e.ID("Book")
+	publication := e.ID("Publication")
+	person := e.ID("Person")
+	writtenBy := e.ID("writtenBy")
+	hasAuthor := e.ID("hasAuthor")
+	hasTitle := e.ID("hasTitle")
+	hasName := e.ID("hasName")
+	publishedIn := e.ID("publishedIn")
+
+	e.AddSubClass(book, publication)
+	e.AddSubProperty(writtenBy, hasAuthor)
+	e.AddDomain(writtenBy, book)
+	e.AddRange(writtenBy, person)
+	e.Closed = sch.Close()
+
+	doi1 := e.ID("doi1")
+	b1 := d.Encode(rdf.NewBlank("b1"))
+	title := d.Encode(rdf.NewLiteral("Game of Thrones"))
+	name := d.Encode(rdf.NewLiteral("George R. R. Martin"))
+	year := d.Encode(rdf.NewLiteral("1996"))
+
+	e.Data = []storage.Triple{
+		{S: doi1, P: vocab.Type, O: book},
+		{S: doi1, P: writtenBy, O: b1},
+		{S: doi1, P: hasTitle, O: title},
+		{S: b1, P: hasName, O: name},
+		{S: doi1, P: publishedIn, O: year},
+	}
+	return e
+}
+
+// Random builds a seeded random database: a random RDFS schema over a
+// small vocabulary and random data triples. The same seed always yields
+// the same database.
+func Random(seed int64, nData int) *Example {
+	rng := rand.New(rand.NewSource(seed))
+	d := dict.New()
+	vocab := schema.EncodeVocab(d)
+	sch := schema.New(vocab)
+	e := &Example{Dict: d, Vocab: vocab, Schema: sch}
+
+	nClasses := 3 + rng.Intn(5)
+	nProps := 2 + rng.Intn(4)
+	nRes := 5 + rng.Intn(15)
+	classes := make([]dict.ID, nClasses)
+	props := make([]dict.ID, nProps)
+	resources := make([]dict.ID, nRes)
+	for i := range classes {
+		classes[i] = e.ID(fmt.Sprintf("C%d", i))
+	}
+	for i := range props {
+		props[i] = e.ID(fmt.Sprintf("p%d", i))
+	}
+	for i := range resources {
+		resources[i] = e.ID(fmt.Sprintf("r%d", i))
+	}
+
+	// Random constraints. Subclass/subproperty edges go from lower to
+	// higher indexes so the hierarchy is acyclic (the closure tolerates
+	// cycles, but acyclic schemas are the realistic case); a few tests
+	// add cycles explicitly.
+	for i := 0; i < nClasses; i++ {
+		for j := i + 1; j < nClasses; j++ {
+			if rng.Float64() < 0.3 {
+				e.AddSubClass(classes[i], classes[j])
+			}
+		}
+	}
+	for i := 0; i < nProps; i++ {
+		for j := i + 1; j < nProps; j++ {
+			if rng.Float64() < 0.3 {
+				e.AddSubProperty(props[i], props[j])
+			}
+		}
+	}
+	for _, p := range props {
+		if rng.Float64() < 0.5 {
+			e.AddDomain(p, classes[rng.Intn(nClasses)])
+		}
+		if rng.Float64() < 0.5 {
+			e.AddRange(p, classes[rng.Intn(nClasses)])
+		}
+	}
+	e.Closed = sch.Close()
+
+	for i := 0; i < nData; i++ {
+		if rng.Float64() < 0.3 {
+			e.Data = append(e.Data, storage.Triple{
+				S: resources[rng.Intn(nRes)],
+				P: vocab.Type,
+				O: classes[rng.Intn(nClasses)],
+			})
+		} else {
+			e.Data = append(e.Data, storage.Triple{
+				S: resources[rng.Intn(nRes)],
+				P: props[rng.Intn(nProps)],
+				O: resources[rng.Intn(nRes)],
+			})
+		}
+	}
+	return e
+}
+
+// RandomQuery generates a random BGP query over the example's vocabulary:
+// 1–4 atoms that chain on shared variables, with constants drawn from the
+// example's classes, properties and resources. The head is a random
+// non-empty subset of the body variables.
+func RandomQuery(e *Example, rng *rand.Rand) bgp.CQ {
+	nAtoms := 1 + rng.Intn(4)
+	nVars := uint32(1 + rng.Intn(4))
+	randVar := func() bgp.Term { return bgp.V(rng.Uint32() % nVars) }
+	randRes := func() bgp.Term { return bgp.C(e.ID(fmt.Sprintf("r%d", rng.Intn(10)))) }
+	randClass := func() bgp.Term {
+		cs := e.Closed.Classes()
+		if len(cs) == 0 {
+			return randRes()
+		}
+		return bgp.C(cs[rng.Intn(len(cs))])
+	}
+	randProp := func() bgp.Term {
+		ps := e.Closed.Properties()
+		if len(ps) == 0 {
+			return randRes()
+		}
+		return bgp.C(ps[rng.Intn(len(ps))])
+	}
+
+	q := bgp.CQ{}
+	for i := 0; i < nAtoms; i++ {
+		var a bgp.Atom
+		// Subject: variable-biased.
+		if rng.Float64() < 0.7 {
+			a.S = randVar()
+		} else {
+			a.S = randRes()
+		}
+		switch rng.Intn(4) {
+		case 0: // type atom with class constant or class variable
+			a.P = bgp.C(e.Vocab.Type)
+			if rng.Float64() < 0.6 {
+				a.O = randClass()
+			} else {
+				a.O = randVar()
+			}
+		case 1: // property variable
+			a.P = randVar()
+			a.O = randVar()
+		default: // data property atom
+			a.P = randProp()
+			if rng.Float64() < 0.7 {
+				a.O = randVar()
+			} else {
+				a.O = randRes()
+			}
+		}
+		q.Atoms = append(q.Atoms, a)
+	}
+	vars := q.VarSet()
+	for v := range vars {
+		if len(q.Head) == 0 || rng.Float64() < 0.5 {
+			q.Head = append(q.Head, bgp.V(v))
+		}
+	}
+	if len(q.Head) == 0 {
+		q.Head = append(q.Head, bgp.V(0))
+		q.Atoms = append(q.Atoms, bgp.Atom{S: bgp.V(0), P: randProp(), O: randVar()})
+	}
+	return q
+}

@@ -1,0 +1,452 @@
+// Package turtle reads the Turtle RDF syntax — the subset that covers
+// common published data: @prefix / PREFIX directives, prefixed names,
+// the 'a' keyword, predicate lists (';'), object lists (','), IRIs,
+// blank node labels, and literals with language tags or datatypes.
+// Collections, anonymous blank nodes ('[]') and multi-line literals are
+// not supported; N-Triples input is accepted (it is a Turtle subset).
+package turtle
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+
+	"repro/internal/rdf"
+)
+
+// Reader parses Turtle from an input stream.
+type Reader struct {
+	r    *bufio.Reader
+	line int
+
+	prefixes map[string]string
+	base     string
+
+	// Statement state for ';' and ',' abbreviations.
+	subject   rdf.Term
+	property  rdf.Term
+	queue     []rdf.Triple
+	havePred  bool
+	haveSubj  bool
+	inStmt    bool
+	pendingOK bool
+}
+
+// NewReader returns a Reader over r with the rdf:, rdfs: and xsd:
+// prefixes predeclared.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{
+		r: bufio.NewReaderSize(r, 64*1024),
+		prefixes: map[string]string{
+			"rdf":  rdf.RDFNamespace,
+			"rdfs": rdf.RDFSNamespace,
+			"xsd":  rdf.XSDNamespace,
+		},
+	}
+}
+
+// ReadAll parses every triple in the stream.
+func (r *Reader) ReadAll() ([]rdf.Triple, error) {
+	var out []rdf.Triple
+	for {
+		t, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+// Read returns the next triple, io.EOF at end of input, or an annotated
+// parse error.
+func (r *Reader) Read() (rdf.Triple, error) {
+	for {
+		if len(r.queue) > 0 {
+			t := r.queue[0]
+			r.queue = r.queue[1:]
+			return t, nil
+		}
+		if err := r.step(); err != nil {
+			return rdf.Triple{}, err
+		}
+	}
+}
+
+// step consumes input until at least one triple is queued or EOF.
+func (r *Reader) step() error {
+	if err := r.skipWS(); err != nil {
+		return err
+	}
+	// Directive?
+	if !r.inStmt {
+		if ok, err := r.tryDirective(); err != nil || ok {
+			return err
+		}
+		subj, err := r.term(false)
+		if err != nil {
+			return r.fail(err)
+		}
+		r.subject = subj
+		r.inStmt = true
+		r.havePred = false
+	}
+	if !r.havePred {
+		if err := r.skipWS(); err != nil {
+			return r.fail(err)
+		}
+		pred, err := r.term(true)
+		if err != nil {
+			return r.fail(err)
+		}
+		r.property = pred
+		r.havePred = true
+	}
+	if err := r.skipWS(); err != nil {
+		return r.fail(err)
+	}
+	obj, err := r.term(false)
+	if err != nil {
+		return r.fail(err)
+	}
+	t := rdf.Triple{S: r.subject, P: r.property, O: obj}
+	if err := t.Validate(); err != nil {
+		return r.fail(err)
+	}
+	r.queue = append(r.queue, t)
+
+	// Punctuation decides what follows.
+	if err := r.skipWS(); err != nil && err != io.EOF {
+		return r.fail(err)
+	}
+	c, err := r.r.ReadByte()
+	if err == io.EOF {
+		return r.fail(fmt.Errorf("unexpected end of input after object"))
+	}
+	if err != nil {
+		return err
+	}
+	switch c {
+	case '.':
+		r.inStmt = false
+	case ';':
+		r.havePred = false
+	case ',':
+		// same subject and property; next object follows
+	default:
+		return r.fail(fmt.Errorf("expected '.', ';' or ',' after object, got %q", c))
+	}
+	return nil
+}
+
+func (r *Reader) fail(err error) error {
+	if err == io.EOF {
+		return fmt.Errorf("turtle: line %d: unexpected end of input", r.line+1)
+	}
+	return fmt.Errorf("turtle: line %d: %w", r.line+1, err)
+}
+
+// skipWS consumes whitespace and comments.
+func (r *Reader) skipWS() error {
+	for {
+		c, err := r.r.ReadByte()
+		if err != nil {
+			return err
+		}
+		switch {
+		case c == '\n':
+			r.line++
+		case c == ' ' || c == '\t' || c == '\r':
+		case c == '#':
+			if _, err := r.r.ReadString('\n'); err != nil {
+				return err
+			}
+			r.line++
+		default:
+			return r.r.UnreadByte()
+		}
+	}
+}
+
+// tryDirective consumes an @prefix/@base (or SPARQL-style PREFIX/BASE)
+// directive if one starts here.
+func (r *Reader) tryDirective() (bool, error) {
+	peek, err := r.r.Peek(7)
+	if err != nil && len(peek) == 0 {
+		return false, err
+	}
+	p := strings.ToLower(string(peek))
+	switch {
+	case strings.HasPrefix(p, "@prefix") || strings.HasPrefix(p, "prefix "):
+		r.discard(6)
+		if p[0] == '@' {
+			r.discard(1)
+		}
+		if err := r.skipWS(); err != nil {
+			return true, r.fail(err)
+		}
+		name, err := r.readUntil(':')
+		if err != nil {
+			return true, r.fail(err)
+		}
+		if err := r.skipWS(); err != nil {
+			return true, r.fail(err)
+		}
+		iri, err := r.readIRIRef()
+		if err != nil {
+			return true, r.fail(err)
+		}
+		r.prefixes[strings.TrimSpace(name)] = iri
+		return true, r.consumeOptionalDot(p[0] == '@')
+	case strings.HasPrefix(p, "@base") || strings.HasPrefix(p, "base "):
+		r.discard(4)
+		if p[0] == '@' {
+			r.discard(1)
+		}
+		if err := r.skipWS(); err != nil {
+			return true, r.fail(err)
+		}
+		iri, err := r.readIRIRef()
+		if err != nil {
+			return true, r.fail(err)
+		}
+		r.base = iri
+		return true, r.consumeOptionalDot(p[0] == '@')
+	}
+	return false, nil
+}
+
+func (r *Reader) discard(n int) {
+	for i := 0; i < n; i++ {
+		r.r.ReadByte()
+	}
+}
+
+func (r *Reader) consumeOptionalDot(required bool) error {
+	if err := r.skipWS(); err != nil && err != io.EOF {
+		return err
+	}
+	c, err := r.r.ReadByte()
+	if err == io.EOF {
+		if required {
+			return r.fail(fmt.Errorf("@-directive missing final '.'"))
+		}
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if c != '.' {
+		r.r.UnreadByte()
+		if required {
+			return r.fail(fmt.Errorf("@-directive missing final '.'"))
+		}
+	}
+	return nil
+}
+
+func (r *Reader) readUntil(stop byte) (string, error) {
+	var b strings.Builder
+	for {
+		c, err := r.r.ReadByte()
+		if err != nil {
+			return "", err
+		}
+		if c == stop {
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+	}
+}
+
+func (r *Reader) readIRIRef() (string, error) {
+	c, err := r.r.ReadByte()
+	if err != nil {
+		return "", err
+	}
+	if c != '<' {
+		return "", fmt.Errorf("expected '<', got %q", c)
+	}
+	iri, err := r.readUntil('>')
+	if err != nil {
+		return "", err
+	}
+	if r.base != "" && !strings.Contains(iri, "://") {
+		return r.base + iri, nil
+	}
+	return iri, nil
+}
+
+// term parses one RDF term; propertyPos enables the 'a' keyword.
+func (r *Reader) term(propertyPos bool) (rdf.Term, error) {
+	c, err := r.r.ReadByte()
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	switch {
+	case c == '<':
+		r.r.UnreadByte()
+		iri, err := r.readIRIRef()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewIRI(iri), nil
+	case c == '"':
+		return r.literal()
+	case c == '_':
+		colon, err := r.r.ReadByte()
+		if err != nil || colon != ':' {
+			return rdf.Term{}, fmt.Errorf("malformed blank node")
+		}
+		label := r.readName()
+		if label == "" {
+			return rdf.Term{}, fmt.Errorf("empty blank node label")
+		}
+		return rdf.NewBlank(label), nil
+	case c >= '0' && c <= '9' || c == '-' || c == '+':
+		r.r.UnreadByte()
+		return r.number()
+	case c == 'a' && propertyPos:
+		// 'a' only when followed by a separator.
+		next, err := r.r.Peek(1)
+		if err == nil && (next[0] == ' ' || next[0] == '\t' || next[0] == '<' || next[0] == '_') {
+			return rdf.Type, nil
+		}
+		fallthrough
+	default:
+		r.r.UnreadByte()
+		return r.prefixedName()
+	}
+}
+
+func (r *Reader) readName() string {
+	var b strings.Builder
+	for {
+		c, err := r.r.ReadByte()
+		if err != nil {
+			return b.String()
+		}
+		if c == '_' || c == '-' || c >= '0' && c <= '9' || unicode.IsLetter(rune(c)) {
+			b.WriteByte(c)
+			continue
+		}
+		r.r.UnreadByte()
+		return b.String()
+	}
+}
+
+func (r *Reader) prefixedName() (rdf.Term, error) {
+	prefix := r.readName()
+	c, err := r.r.ReadByte()
+	if err != nil || c != ':' {
+		return rdf.Term{}, fmt.Errorf("expected prefixed name near %q", prefix)
+	}
+	local := r.readName()
+	ns, ok := r.prefixes[prefix]
+	if !ok {
+		return rdf.Term{}, fmt.Errorf("undeclared prefix %q", prefix)
+	}
+	return rdf.NewIRI(ns + local), nil
+}
+
+func (r *Reader) literal() (rdf.Term, error) {
+	var b strings.Builder
+	for {
+		c, err := r.r.ReadByte()
+		if err != nil {
+			return rdf.Term{}, fmt.Errorf("unterminated literal")
+		}
+		switch c {
+		case '\\':
+			esc, err := r.r.ReadByte()
+			if err != nil {
+				return rdf.Term{}, fmt.Errorf("dangling escape")
+			}
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return rdf.Term{}, fmt.Errorf("unsupported escape \\%c", esc)
+			}
+		case '"':
+			lex := b.String()
+			next, err := r.r.Peek(2)
+			if err == nil && next[0] == '@' {
+				r.discard(1)
+				lang := r.readName()
+				return rdf.NewLangLiteral(lex, lang), nil
+			}
+			if err == nil && len(next) == 2 && next[0] == '^' && next[1] == '^' {
+				r.discard(2)
+				c, err := r.r.ReadByte()
+				if err != nil {
+					return rdf.Term{}, fmt.Errorf("missing datatype")
+				}
+				if c == '<' {
+					r.r.UnreadByte()
+					dt, err := r.readIRIRef()
+					if err != nil {
+						return rdf.Term{}, err
+					}
+					return rdf.NewTypedLiteral(lex, dt), nil
+				}
+				r.r.UnreadByte()
+				dt, err := r.prefixedName()
+				if err != nil {
+					return rdf.Term{}, err
+				}
+				return rdf.NewTypedLiteral(lex, dt.Value), nil
+			}
+			return rdf.NewLiteral(lex), nil
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+func (r *Reader) number() (rdf.Term, error) {
+	var b strings.Builder
+	dot := false
+	for {
+		c, err := r.r.ReadByte()
+		if err != nil {
+			break
+		}
+		if c >= '0' && c <= '9' || c == '-' || c == '+' && b.Len() == 0 {
+			b.WriteByte(c)
+			continue
+		}
+		if c == '.' {
+			// A dot followed by a digit is a decimal point; otherwise it
+			// terminates the statement.
+			next, err := r.r.Peek(1)
+			if err == nil && next[0] >= '0' && next[0] <= '9' && !dot {
+				dot = true
+				b.WriteByte(c)
+				continue
+			}
+		}
+		r.r.UnreadByte()
+		break
+	}
+	if b.Len() == 0 {
+		return rdf.Term{}, fmt.Errorf("malformed number")
+	}
+	dt := rdf.XSDInteger
+	if dot {
+		dt = rdf.XSDNamespace + "decimal"
+	}
+	return rdf.NewTypedLiteral(b.String(), dt), nil
+}

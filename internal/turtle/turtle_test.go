@@ -1,0 +1,175 @@
+package turtle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func parse(t *testing.T, src string) []rdf.Triple {
+	t.Helper()
+	ts, err := NewReader(strings.NewReader(src)).ReadAll()
+	if err != nil {
+		t.Fatalf("parse error: %v\nsource:\n%s", err, src)
+	}
+	return ts
+}
+
+func TestBasicStatement(t *testing.T) {
+	ts := parse(t, `<http://x/s> <http://x/p> <http://x/o> .`)
+	if len(ts) != 1 {
+		t.Fatalf("%d triples", len(ts))
+	}
+	want := rdf.NewTriple(rdf.NewIRI("http://x/s"), rdf.NewIRI("http://x/p"), rdf.NewIRI("http://x/o"))
+	if ts[0] != want {
+		t.Errorf("got %v", ts[0])
+	}
+}
+
+func TestPrefixes(t *testing.T) {
+	ts := parse(t, `
+		@prefix ex: <http://example.org/> .
+		PREFIX ub: <http://univ.example/>
+		ex:s ub:p ex:o .
+	`)
+	if len(ts) != 1 {
+		t.Fatalf("%d triples", len(ts))
+	}
+	if ts[0].S.Value != "http://example.org/s" || ts[0].P.Value != "http://univ.example/p" {
+		t.Errorf("prefix resolution wrong: %v", ts[0])
+	}
+}
+
+func TestPredicateAndObjectLists(t *testing.T) {
+	ts := parse(t, `
+		@prefix ex: <http://x/> .
+		ex:s ex:p ex:a , ex:b ;
+		     ex:q ex:c ;
+		     a ex:Class .
+	`)
+	if len(ts) != 4 {
+		t.Fatalf("%d triples, want 4:\n%v", len(ts), ts)
+	}
+	for _, tr := range ts {
+		if tr.S.Value != "http://x/s" {
+			t.Errorf("subject changed: %v", tr)
+		}
+	}
+	if ts[0].O.Value != "http://x/a" || ts[1].O.Value != "http://x/b" {
+		t.Errorf("object list wrong: %v %v", ts[0], ts[1])
+	}
+	if ts[3].P != rdf.Type {
+		t.Errorf("'a' not resolved: %v", ts[3])
+	}
+}
+
+func TestLiterals(t *testing.T) {
+	ts := parse(t, `
+		@prefix ex: <http://x/> .
+		ex:s ex:title "Game of Thrones" ;
+		     ex:year 1996 ;
+		     ex:rating 4.5 ;
+		     ex:label "bonjour"@fr ;
+		     ex:count "7"^^xsd:integer ;
+		     ex:note "say \"hi\"\n" .
+	`)
+	if len(ts) != 6 {
+		t.Fatalf("%d triples, want 6", len(ts))
+	}
+	if ts[0].O != rdf.NewLiteral("Game of Thrones") {
+		t.Errorf("plain literal: %v", ts[0].O)
+	}
+	if ts[1].O != rdf.NewTypedLiteral("1996", rdf.XSDInteger) {
+		t.Errorf("integer: %v", ts[1].O)
+	}
+	if ts[2].O != rdf.NewTypedLiteral("4.5", rdf.XSDNamespace+"decimal") {
+		t.Errorf("decimal: %v", ts[2].O)
+	}
+	if ts[3].O != rdf.NewLangLiteral("bonjour", "fr") {
+		t.Errorf("lang literal: %v", ts[3].O)
+	}
+	if ts[4].O != rdf.NewTypedLiteral("7", rdf.XSDInteger) {
+		t.Errorf("typed literal: %v", ts[4].O)
+	}
+	if ts[5].O != rdf.NewLiteral("say \"hi\"\n") {
+		t.Errorf("escapes: %q", ts[5].O.Value)
+	}
+}
+
+func TestBlankNodes(t *testing.T) {
+	ts := parse(t, `
+		@prefix ex: <http://x/> .
+		_:b1 ex:p ex:o .
+		ex:s ex:q _:b1 .
+	`)
+	if len(ts) != 2 {
+		t.Fatalf("%d triples", len(ts))
+	}
+	if !ts[0].S.IsBlank() || ts[0].S.Value != "b1" {
+		t.Errorf("blank subject: %v", ts[0].S)
+	}
+	if !ts[1].O.IsBlank() {
+		t.Errorf("blank object: %v", ts[1].O)
+	}
+}
+
+func TestComments(t *testing.T) {
+	ts := parse(t, `
+		# a leading comment
+		@prefix ex: <http://x/> . # trailing
+		ex:s ex:p ex:o . # done
+	`)
+	if len(ts) != 1 {
+		t.Fatalf("%d triples", len(ts))
+	}
+}
+
+func TestBase(t *testing.T) {
+	ts := parse(t, `
+		@base <http://base.example/> .
+		<s> <p> <o> .
+	`)
+	if ts[0].S.Value != "http://base.example/s" {
+		t.Errorf("base not applied: %v", ts[0].S)
+	}
+}
+
+// N-Triples is a Turtle subset; our own writer's output must parse.
+func TestAcceptsNTriples(t *testing.T) {
+	src := `<http://x/s> <http://x/p> "v"^^<http://www.w3.org/2001/XMLSchema#string> .
+_:b <http://x/q> "w"@en .
+`
+	ts := parse(t, src)
+	if len(ts) != 2 {
+		t.Fatalf("%d triples", len(ts))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		`<http://x/s> <http://x/p>`,              // missing object and dot
+		`<http://x/s> <http://x/p> <http://x/o>`, // missing dot
+		`ex:s ex:p ex:o .`,                       // undeclared prefix
+		`@prefix ex: <http://x/>`,                // @-directive missing dot
+		`<http://x/s> <http://x/p> "unterminated .`,
+		`"lit" <http://x/p> <http://x/o> .`, // literal subject
+	}
+	for _, src := range bad {
+		if _, err := NewReader(strings.NewReader(src)).ReadAll(); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestMultipleStatements(t *testing.T) {
+	ts := parse(t, `
+		@prefix ex: <http://x/> .
+		ex:a ex:p ex:b .
+		ex:b ex:p ex:c .
+		ex:c ex:p "end" .
+	`)
+	if len(ts) != 3 {
+		t.Fatalf("%d triples", len(ts))
+	}
+}

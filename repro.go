@@ -1,0 +1,478 @@
+// Package repro is a from-scratch Go implementation of cost-based
+// reformulation query answering for RDF, reproducing Bursztyn, Goasdoué
+// and Manolescu, "Optimizing Reformulation-based Query Answering in RDF"
+// (EDBT 2015 / INRIA RR-8646).
+//
+// An RDF database is a set of triples whose RDF Schema constraints
+// (subclass, subproperty, domain, range) make some triples implicit.
+// Answering a SPARQL Basic Graph Pattern query must account for those
+// implicit triples. This library answers such queries by *reformulation*:
+// the query is rewritten, using the constraints, into a Join of Unions of
+// Conjunctive Queries (JUCQ) whose direct evaluation over the raw triples
+// returns the complete answer — and, this being the paper's contribution,
+// the JUCQ is *chosen by a cost model* from the space of cover-based
+// reformulations, which contains the classic UCQ reformulation and the
+// SCQ (join of per-triple unions) reformulation as its two extremes.
+//
+// # Quick start
+//
+//	st := repro.NewStore()
+//	st.MustAdd(rdf.NewTriple(book, rdf.SubClassOf, publication))
+//	st.MustAdd(rdf.NewTriple(doi1, rdf.Type, book))
+//	st.Freeze()
+//	a := st.NewAnswerer(repro.PostgresLike, repro.Options{})
+//	res, err := a.Query(`SELECT ?x WHERE { ?x rdf:type <`+publication.Value+`> }`, repro.GCov)
+//
+// See examples/ for complete programs, DESIGN.md for the system inventory
+// and EXPERIMENTS.md for the reproduction of the paper's evaluation.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dict"
+	"repro/internal/engine"
+	"repro/internal/ntriples"
+	"repro/internal/rdf"
+	"repro/internal/saturate"
+	"repro/internal/schema"
+	"repro/internal/sparql"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/turtle"
+)
+
+// Strategy selects how a query is answered; see the constants.
+type Strategy = core.Strategy
+
+// The five answering strategies of the paper's experimental comparison.
+const (
+	// Saturation precomputes all implicit triples (call Store.Saturate
+	// first) and evaluates queries directly.
+	Saturation = core.Saturation
+	// UCQ evaluates the classic single union-of-CQs reformulation.
+	UCQ = core.UCQ
+	// SCQ evaluates the join of per-triple unions.
+	SCQ = core.SCQ
+	// ECov evaluates the best cover found by exhaustive search.
+	ECov = core.ECov
+	// GCov evaluates the best cover found by the greedy search — the
+	// paper's recommended strategy.
+	GCov = core.GCov
+)
+
+// Profile is an engine personality: resource limits and operator
+// repertoire. The three RDBMS-like profiles reproduce the paper's DB2,
+// PostgreSQL and MySQL behaviours; Native is unconstrained.
+type Profile = engine.Profile
+
+// The built-in engine profiles.
+var (
+	DB2Like      = engine.DB2Like
+	PostgresLike = engine.PostgresLike
+	MySQLLike    = engine.MySQLLike
+	Native       = engine.Native
+)
+
+// Typed evaluation failures (use errors.Is).
+var (
+	ErrPlanTooComplex = engine.ErrPlanTooComplex
+	ErrMemoryBudget   = engine.ErrMemoryBudget
+	ErrWorkBudget     = engine.ErrWorkBudget
+)
+
+// Report describes how a query was answered (chosen cover, search effort,
+// estimated cost, engine metrics).
+type Report = core.Report
+
+// CostParams are the calibrated constants of the paper's cost model.
+type CostParams = cost.Params
+
+// Options tunes an Answerer.
+type Options struct {
+	// CostParams overrides the cost-model constants; zero value uses
+	// defaults (or calibration when Calibrate is set).
+	CostParams CostParams
+	// Calibrate runs the calibration micro-queries against this store
+	// and engine profile to fit CostParams, as the paper does per RDBMS.
+	Calibrate bool
+	// UseEngineCost guides the cover search with the engine's internal
+	// estimate instead of the paper's cost model (the Figure 9
+	// alternative).
+	UseEngineCost bool
+	// MaxCovers bounds the exhaustive search (0 = default).
+	MaxCovers int
+	// SearchBudget bounds optimization wall-clock time (0 = none).
+	SearchBudget time.Duration
+}
+
+// ErrFrozen is returned when a schema triple is added after Freeze.
+var ErrFrozen = errors.New("repro: cannot change the schema after Freeze (rebuild the store)")
+
+// Store is an RDF database: data triples plus RDFS constraints.
+// Populate it with Add/LoadNTriples, call Freeze, then create Answerers.
+// Data triples may still be added after Freeze (the saturated store, if
+// built, is maintained incrementally); schema changes require a rebuild.
+type Store struct {
+	dict    *dict.Dict
+	vocab   schema.Vocab
+	sch     *schema.Schema
+	closed  *schema.Closed
+	pending []storage.Triple
+	orders  []storage.Order
+
+	raw      *storage.Store
+	rawStats *stats.Stats
+	sat      *saturate.Maintained
+	satStats *stats.Stats
+	frozen   bool
+}
+
+// StoreOption configures a Store at creation.
+type StoreOption func(*Store)
+
+// WithAllIndexes maintains all six permutation indexes (the paper's
+// layout) instead of the minimal three.
+func WithAllIndexes() StoreOption {
+	return func(s *Store) { s.orders = storage.AllOrders }
+}
+
+// NewStore returns an empty store.
+func NewStore(opts ...StoreOption) *Store {
+	d := dict.New()
+	s := &Store{
+		dict:   d,
+		vocab:  schema.EncodeVocab(d),
+		orders: storage.DefaultOrders,
+	}
+	s.sch = schema.New(s.vocab)
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Add inserts one triple (schema or data). Schema triples are accepted
+// only before Freeze.
+func (s *Store) Add(t rdf.Triple) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	sub, p, o := s.dict.EncodeTriple(t)
+	if s.sch.Vocab().IsConstraintProperty(p) {
+		if s.frozen {
+			return ErrFrozen
+		}
+		s.sch.AddTriple(sub, p, o)
+		return nil
+	}
+	tr := storage.Triple{S: sub, P: p, O: o}
+	if !s.frozen {
+		s.pending = append(s.pending, tr)
+		return nil
+	}
+	s.raw.Add(tr)
+	if s.sat != nil {
+		s.sat.Add(tr)
+	}
+	return nil
+}
+
+// Remove retracts one data triple, reporting whether it was present. The
+// saturated twin, if built, shrinks by every consequence that is no
+// longer derivable (delete-and-rederive). Constraint triples cannot be
+// retracted after Freeze.
+func (s *Store) Remove(t rdf.Triple) (bool, error) {
+	if err := t.Validate(); err != nil {
+		return false, err
+	}
+	sub, p, o := s.dict.EncodeTriple(t)
+	if s.sch.Vocab().IsConstraintProperty(p) {
+		return false, ErrFrozen
+	}
+	tr := storage.Triple{S: sub, P: p, O: o}
+	if !s.frozen {
+		for i, pend := range s.pending {
+			if pend == tr {
+				s.pending = append(s.pending[:i], s.pending[i+1:]...)
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	removed := s.raw.Remove(tr)
+	if removed && s.sat != nil {
+		s.sat.Remove(tr)
+	}
+	return removed, nil
+}
+
+// MustAdd is Add, panicking on error; for statically known triples.
+func (s *Store) MustAdd(t rdf.Triple) {
+	if err := s.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// AddAll inserts every triple.
+func (s *Store) AddAll(ts []rdf.Triple) error {
+	for _, t := range ts {
+		if err := s.Add(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadNTriples reads N-Triples from r, returning the number of
+// statements loaded.
+func (s *Store) LoadNTriples(r io.Reader) (int, error) {
+	rd := ntriples.NewReader(r)
+	n := 0
+	for {
+		t, err := rd.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := s.Add(t); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// LoadTurtle reads Turtle from r (prefixes, 'a', ';' and ','
+// abbreviations), returning the number of triples loaded.
+func (s *Store) LoadTurtle(r io.Reader) (int, error) {
+	rd := turtle.NewReader(r)
+	n := 0
+	for {
+		t, err := rd.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := s.Add(t); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// Freeze closes the schema, loads the closed constraint triples next to
+// the data, builds the indexes and collects statistics. It is idempotent.
+func (s *Store) Freeze() {
+	if s.frozen {
+		return
+	}
+	s.closed = s.sch.Close()
+	b := storage.NewBuilder(s.orders...)
+	for _, t := range s.pending {
+		b.Add(t)
+	}
+	for _, c := range s.closed.ConstraintTriples() {
+		b.Add(storage.Triple{S: c[0], P: c[1], O: c[2]})
+	}
+	s.raw = b.Build()
+	s.rawStats = stats.Collect(s.raw, s.vocab)
+	s.pending = nil
+	s.frozen = true
+}
+
+// Saturate builds the saturated store next to the raw one, enabling the
+// Saturation strategy. It returns the number of implicit triples added.
+// Freeze is called implicitly.
+func (s *Store) Saturate() int {
+	s.Freeze()
+	if s.sat != nil {
+		return s.sat.Store().Len() - s.raw.Len()
+	}
+	s.sat = saturate.NewMaintained(s.raw.Triples(), s.closed, s.orders...)
+	s.satStats = stats.Collect(s.sat.Store(), s.vocab)
+	return s.sat.Store().Len() - s.raw.Len()
+}
+
+// NumTriples returns the number of distinct triples (data plus closed
+// constraints) in the raw store; before Freeze it counts pending data.
+func (s *Store) NumTriples() int {
+	if !s.frozen {
+		return len(s.pending)
+	}
+	return s.raw.Len()
+}
+
+// NumImplicit returns the number of implicit triples the saturation
+// added, or 0 if Saturate has not run.
+func (s *Store) NumImplicit() int {
+	if s.sat == nil {
+		return 0
+	}
+	return s.sat.Store().Len() - s.raw.Len()
+}
+
+// NewAnswerer builds a query answerer over this store with the given
+// engine profile. Freeze is called implicitly.
+func (s *Store) NewAnswerer(p Profile, opts Options) *Answerer {
+	s.Freeze()
+	raw := engine.New(s.raw, s.rawStats, p)
+	var sat *engine.Engine
+	if s.sat != nil {
+		sat = engine.New(s.sat.Store(), s.satStats, p)
+	}
+	params := opts.CostParams
+	if opts.Calibrate {
+		params = core.Calibrate(raw)
+	}
+	source := core.OwnModel
+	if opts.UseEngineCost {
+		source = core.EngineInternal
+	}
+	inner := core.NewAnswerer(s.closed, raw, sat, core.Options{
+		Params:       params,
+		Source:       source,
+		MaxCovers:    opts.MaxCovers,
+		SearchBudget: opts.SearchBudget,
+	})
+	return &Answerer{store: s, inner: inner, profile: p, params: params}
+}
+
+// Answerer answers SPARQL BGP queries over one store through one engine
+// profile.
+type Answerer struct {
+	store   *Store
+	inner   *core.Answerer
+	profile Profile
+	params  CostParams
+}
+
+// Profile returns the engine profile.
+func (a *Answerer) Profile() Profile { return a.profile }
+
+// Params returns the cost-model constants in use.
+func (a *Answerer) Params() CostParams { return a.params }
+
+// Result is an answer set at the surface level.
+type Result struct {
+	// Vars names the columns (the SELECT variables, in order); empty for
+	// ASK queries.
+	Vars []string
+	// Rows holds the answers; Rows[i][j] is the value of Vars[j]. For an
+	// ASK query, a true answer is a single empty row.
+	Rows [][]rdf.Term
+	// Report describes how the answer was computed.
+	Report Report
+}
+
+// Boolean interprets the result as an ASK answer: true when the BGP has
+// at least one match.
+func (r *Result) Boolean() bool { return len(r.Rows) > 0 }
+
+// Query parses and answers a SPARQL BGP query.
+func (a *Answerer) Query(text string, strategy Strategy) (*Result, error) {
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	return a.QueryParsed(q, strategy)
+}
+
+// QueryParsed answers an already parsed query.
+func (a *Answerer) QueryParsed(q *sparql.Query, strategy Strategy) (*Result, error) {
+	enc, err := sparql.Encode(q, a.store.dict)
+	if err != nil {
+		return nil, err
+	}
+	ans, err := a.inner.Answer(enc.CQ, strategy)
+	if err != nil {
+		return nil, fmt.Errorf("answering %q with %s: %w", q.String(), strategy, err)
+	}
+	return a.decode(q, ans)
+}
+
+// Explain runs only the optimization stage: it reports the cover the
+// strategy would evaluate and the search effort, without touching the
+// data. Saturation has no optimization stage and returns a zero report.
+func (a *Answerer) Explain(text string, strategy Strategy) (Report, error) {
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return Report{}, err
+	}
+	enc, err := sparql.Encode(q, a.store.dict)
+	if err != nil {
+		return Report{}, err
+	}
+	if strategy == Saturation {
+		return Report{Strategy: Saturation}, nil
+	}
+	_, rep, err := a.inner.ChooseCover(enc.CQ, strategy)
+	return rep, err
+}
+
+// ExplainPlan returns the engine's physical-plan description for the
+// reformulation the strategy would evaluate — the EXPLAIN counterpart of
+// Query. Saturation has no reformulation plan and returns a short note.
+func (a *Answerer) ExplainPlan(text string, strategy Strategy) (string, error) {
+	q, err := sparql.Parse(text)
+	if err != nil {
+		return "", err
+	}
+	enc, err := sparql.Encode(q, a.store.dict)
+	if err != nil {
+		return "", err
+	}
+	if strategy == Saturation {
+		return "saturation-based answering: direct evaluation against the saturated store\n", nil
+	}
+	c, _, err := a.inner.ChooseCover(enc.CQ, strategy)
+	if err != nil {
+		return "", err
+	}
+	name := func(id dict.ID) string {
+		term := a.store.dict.Term(id)
+		if term.IsIRI() {
+			// Compact display: the part after the last / or #.
+			v := term.Value
+			for i := len(v) - 1; i >= 0; i-- {
+				if v[i] == '/' || v[i] == '#' {
+					return v[i+1:]
+				}
+			}
+			return v
+		}
+		return term.Canonical()
+	}
+	return a.inner.ExplainPlan(enc.CQ, c, name), nil
+}
+
+func (a *Answerer) decode(q *sparql.Query, ans *core.Answer) (*Result, error) {
+	res := &Result{Report: ans.Report}
+	for _, v := range q.Select {
+		res.Vars = append(res.Vars, string(v))
+	}
+	for _, row := range ans.Rel.Rows {
+		out := make([]rdf.Term, len(row))
+		for i, id := range row {
+			out[i] = a.store.dict.Term(id)
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// EncodeQuery exposes the dictionary-encoded form of a query — used by
+// the benchmark harness; applications should not need it.
+func (a *Answerer) EncodeQuery(q *sparql.Query) (bgp.CQ, error) {
+	enc, err := sparql.Encode(q, a.store.dict)
+	return enc.CQ, err
+}
