@@ -1,0 +1,26 @@
+# Standard entry points; `make check` is the full gauntlet CI runs.
+
+GO ?= go
+
+.PHONY: build test race vet lint bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+lint:
+	$(GO) run ./cmd/lint ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+check:
+	./scripts/check.sh

@@ -31,14 +31,20 @@ func benchScale() benchkit.Scale {
 
 func lubmDB(b *testing.B) *benchkit.Database {
 	b.Helper()
-	db := benchkit.BuildLUBM(benchScale())
+	db, err := benchkit.BuildLUBM(benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	return db
 }
 
 func dblpDB(b *testing.B) *benchkit.Database {
 	b.Helper()
-	db := benchkit.BuildDBLP(benchScale())
+	db, err := benchkit.BuildDBLP(benchScale())
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	return db
 }
@@ -74,7 +80,7 @@ func BenchmarkTable3_MotivatingQ2Stats(b *testing.B) {
 
 func BenchmarkTable4_QueryCharacteristics(b *testing.B) {
 	lubm := lubmDB(b)
-	dblp := benchkit.BuildDBLP(benchScale())
+	dblp := dblpDB(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := lubm.QueryCharacteristics(io.Discard); err != nil {
@@ -209,14 +215,17 @@ func BenchmarkAblation_FactorizedReformulation(b *testing.B) {
 // BenchmarkReformulate measures the CQ-to-UCQ reformulation itself (the
 // factorized form, no materialization), on the two motivating queries.
 func BenchmarkReformulate(b *testing.B) {
-	db := benchkit.BuildLUBM(benchScale())
+	db := lubmDB(b)
 	for _, name := range []string{"Q01", "Q02"} {
 		qi := db.QueryIndex(name)
 		q := db.Encoded[qi]
 		whole := cover.Query(q, cover.WholeQuery(len(q.Atoms))[0])
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				ref := reformulate.Reformulate(whole, db.Closed)
+				ref, err := reformulate.Reformulate(whole, db.Closed)
+				if err != nil {
+					b.Fatal(err)
+				}
 				if ref.NumCQs() == 0 {
 					b.Fatal("empty reformulation")
 				}
@@ -228,7 +237,7 @@ func BenchmarkReformulate(b *testing.B) {
 // BenchmarkCoverSearch measures the two search algorithms' optimization
 // stage on a mid-size and a large query.
 func BenchmarkCoverSearch(b *testing.B) {
-	db := benchkit.BuildLUBM(benchScale())
+	db := lubmDB(b)
 	a := db.Answerer(engine.Native, core.Options{})
 	for _, name := range []string{"Q01", "Q09", "Q28"} {
 		qi := db.QueryIndex(name)
@@ -247,7 +256,7 @@ func BenchmarkCoverSearch(b *testing.B) {
 // BenchmarkStrategyEvaluation measures full answering per strategy on
 // representative queries (the per-bar data of Figures 4–6).
 func BenchmarkStrategyEvaluation(b *testing.B) {
-	db := benchkit.BuildLUBM(benchScale())
+	db := lubmDB(b)
 	a := db.Answerer(engine.PostgresLike, core.Options{})
 	for _, name := range []string{"Q01", "Q05", "Q09", "Q23"} {
 		qi := db.QueryIndex(name)
@@ -266,7 +275,7 @@ func BenchmarkStrategyEvaluation(b *testing.B) {
 
 // BenchmarkSaturation measures building the saturated store.
 func BenchmarkSaturation(b *testing.B) {
-	db := benchkit.BuildLUBM(benchScale())
+	db := lubmDB(b)
 	triples := db.Raw.Triples()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -281,7 +290,7 @@ func BenchmarkSaturation(b *testing.B) {
 // reformulation of a join-heavy query — the isolated mechanism behind
 // the MySQL-like profile's behaviour.
 func BenchmarkArmJoins(b *testing.B) {
-	db := benchkit.BuildLUBM(benchScale())
+	db := lubmDB(b)
 	qi := db.QueryIndex("Q22")
 	for _, algo := range []engine.JoinAlgorithm{engine.HashJoin, engine.MergeJoin, engine.NestedLoopJoin} {
 		prof := engine.Profile{Name: "bench-" + algo.String(), ArmJoin: algo}

@@ -45,7 +45,11 @@ func main() {
 	fmt.Fprintf(out, "Reproduction of Bursztyn, Goasdoué, Manolescu: Optimizing Reformulation-based Query Answering in RDF (EDBT 2015)\n")
 	fmt.Fprintf(out, "scale=%s\n", sc.Name)
 
-	lubmDB := benchkit.BuildLUBM(sc)
+	lubmDB, err := benchkit.BuildLUBM(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Fprintf(out, "LUBM: %d triples (raw incl. closed constraints), %d saturated\n", lubmDB.Raw.Len(), lubmDB.Sat.Len())
 
 	if all || *table == 1 {
@@ -67,7 +71,11 @@ func main() {
 	var dblpDB *benchkit.Database
 	needDBLP := all || *table == 4 || *figure == 6 || *figure == 8
 	if needDBLP {
-		dblpDB = benchkit.BuildDBLP(sc)
+		dblpDB, err = benchkit.BuildDBLP(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Fprintf(out, "DBLP: %d triples (raw incl. closed constraints), %d saturated\n", dblpDB.Raw.Len(), dblpDB.Sat.Len())
 	}
 

@@ -29,7 +29,6 @@ func main() {
 	flag.Parse()
 
 	out := bufio.NewWriterSize(os.Stdout, 1<<20)
-	defer out.Flush()
 	w := ntriples.NewWriter(out)
 	n := 0
 	emit := func(t rdf.Triple) {
@@ -60,6 +59,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	if err := out.Flush(); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,92 @@
+// Lint runs the repository's static-analysis suite (internal/lint) over
+// the module containing the working directory and prints findings in
+// the go vet format. It exits 1 when there are findings, 2 on driver
+// errors, and 0 on a clean run.
+//
+// Usage:
+//
+//	go run ./cmd/lint ./...
+//	go run ./cmd/lint -analyzers panicfree,droppederr ./internal/...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	analyzers := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := lint.All()
+	if *analyzers != "" {
+		var unknown []string
+		selected, unknown = lint.ByName(strings.Split(*analyzers, ","))
+		if len(unknown) > 0 {
+			fmt.Fprintf(os.Stderr, "lint: unknown analyzers: %s\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lint: %v\n", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, selected)
+	for _, line := range lint.Format(diags, root) {
+		fmt.Println(line)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

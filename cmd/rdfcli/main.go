@@ -56,7 +56,9 @@ func main() {
 			fatal(err)
 		}
 		n, err := st.LoadNTriples(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fatal(err)
 		}

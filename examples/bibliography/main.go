@@ -58,7 +58,9 @@ func main() {
 			s, rep.Cover, rep.EstimatedCost, rep.CoversExplored,
 			len(res.Rows), res.Report.EvalTime.Round(10*time.Microsecond))
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
 
 	// Show a couple of answers decoded back to surface terms.
 	res, err := a.Query(query, repro.GCov)

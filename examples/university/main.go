@@ -90,7 +90,9 @@ func main() {
 				rep.EvalTime.Round(10*time.Microsecond))
 		}
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("\nqueries:")
 	for qi, q := range queries {
 		fmt.Printf("  #%d: %s\n", qi+1, q.label)

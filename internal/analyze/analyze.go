@@ -19,6 +19,8 @@ import (
 // frozenBase maps query variables into a dictionary ID range that cannot
 // collide with real constants (dictionary IDs grow from 1; queries never
 // carry billions of constants).
+//
+//lint:ignore dictid deliberate sentinel base far outside any ID the dictionary can assign
 const frozenBase dict.ID = 1 << 30
 
 // RedundantAtoms returns the indexes of the atoms of q that are entailed

@@ -159,12 +159,15 @@ func (db *Database) AblationFactorizedReformulation(w io.Writer, queryNames ...s
 		whole := cover.Query(q, cover.WholeQuery(len(q.Atoms))[0])
 
 		start := time.Now()
-		ref := reformulate.Reformulate(whole, db.Closed)
+		ref, err := reformulate.Reformulate(whole, db.Closed)
+		if err != nil {
+			return fmt.Errorf("benchkit: reformulating %s: %w", n, err)
+		}
 		nCQs := ref.NumCQs()
 		factorized := time.Since(start)
 
 		start = time.Now()
-		_, err := ref.UCQ(0)
+		_, err = ref.UCQ(0)
 		materialized := time.Since(start)
 		matLabel := fmt.Sprintf("%.2f", ms(materialized))
 		if err != nil {

@@ -90,10 +90,11 @@ var (
 )
 
 // BuildLUBM builds (and memoizes per process) the LUBM database at the
-// given scale.
-func BuildLUBM(sc Scale) *Database {
+// given scale. An error means the workload definition itself is broken
+// (a query failed to parse or encode).
+func BuildLUBM(sc Scale) (*Database, error) {
 	key := fmt.Sprintf("lubm/%s/%d", sc.Name, sc.LUBMUnivs)
-	return buildCached(key, func() *Database {
+	return buildCached(key, func() (*Database, error) {
 		specs := make([]Spec, 0, 28)
 		for _, q := range lubm.Queries() {
 			specs = append(specs, Spec{Name: q.Name, Text: q.Text, Comment: q.Comment})
@@ -105,9 +106,9 @@ func BuildLUBM(sc Scale) *Database {
 }
 
 // BuildDBLP builds (and memoizes) the DBLP database at the given scale.
-func BuildDBLP(sc Scale) *Database {
+func BuildDBLP(sc Scale) (*Database, error) {
 	key := fmt.Sprintf("dblp/%s/%d", sc.Name, sc.DBLPPubs)
-	return buildCached(key, func() *Database {
+	return buildCached(key, func() (*Database, error) {
 		specs := make([]Spec, 0, 10)
 		for _, q := range dblp.Queries() {
 			specs = append(specs, Spec{Name: q.Name, Text: q.Text, Comment: q.Comment})
@@ -118,18 +119,21 @@ func BuildDBLP(sc Scale) *Database {
 	})
 }
 
-func buildCached(key string, f func() *Database) *Database {
+func buildCached(key string, f func() (*Database, error)) (*Database, error) {
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
 	if db, ok := cache[key]; ok {
-		return db
+		return db, nil
 	}
-	db := f()
+	db, err := f()
+	if err != nil {
+		return nil, err
+	}
 	cache[key] = db
-	return db
+	return db, nil
 }
 
-func build(name string, ontology []rdf.Triple, gen func(func(rdf.Triple)), specs []Spec) *Database {
+func build(name string, ontology []rdf.Triple, gen func(func(rdf.Triple)), specs []Spec) (*Database, error) {
 	d := dict.New()
 	vocab := schema.EncodeVocab(d)
 	sch := schema.New(vocab)
@@ -162,15 +166,18 @@ func build(name string, ontology []rdf.Triple, gen func(func(rdf.Triple)), specs
 		Specs:    specs,
 	}
 	for _, s := range specs {
-		q := sparql.MustParse(s.Text)
+		q, err := sparql.Parse(s.Text)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: parsing %s %s: %w", name, s.Name, err)
+		}
 		enc, err := sparql.Encode(q, d)
 		if err != nil {
-			panic(fmt.Sprintf("benchkit: encoding %s: %v", s.Name, err))
+			return nil, fmt.Errorf("benchkit: encoding %s %s: %w", name, s.Name, err)
 		}
 		db.Queries = append(db.Queries, q)
 		db.Encoded = append(db.Encoded, enc.CQ)
 	}
-	return db
+	return db, nil
 }
 
 // Answerer builds a core answerer over the database for one engine

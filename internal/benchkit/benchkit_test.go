@@ -11,12 +11,25 @@ import (
 
 func tinyLUBM(t *testing.T) *Database {
 	t.Helper()
-	return BuildLUBM(ScaleTiny)
+	db, err := BuildLUBM(ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func tinyDBLP(t *testing.T) *Database {
+	t.Helper()
+	db, err := BuildDBLP(ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
 }
 
 func TestBuildLUBMMemoized(t *testing.T) {
-	a := BuildLUBM(ScaleTiny)
-	b := BuildLUBM(ScaleTiny)
+	a := tinyLUBM(t)
+	b := tinyLUBM(t)
 	if a != b {
 		t.Error("BuildLUBM not memoized")
 	}
@@ -29,7 +42,7 @@ func TestBuildLUBMMemoized(t *testing.T) {
 }
 
 func TestBuildDBLP(t *testing.T) {
-	db := BuildDBLP(ScaleTiny)
+	db := tinyDBLP(t)
 	if len(db.Specs) != 10 {
 		t.Errorf("DBLP workload has %d specs", len(db.Specs))
 	}
@@ -124,7 +137,7 @@ func TestQueryCharacteristicsReport(t *testing.T) {
 }
 
 func TestStrategyMatrixReport(t *testing.T) {
-	db := BuildDBLP(ScaleTiny)
+	db := tinyDBLP(t)
 	var buf bytes.Buffer
 	if err := db.StrategyMatrix(&buf, []engine.Profile{engine.PostgresLike}); err != nil {
 		t.Fatal(err)

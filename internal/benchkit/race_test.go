@@ -1,0 +1,57 @@
+package benchkit
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// The database cache and the calibration cache are shared package state
+// behind cacheMu and calMu: concurrent builders must get the same
+// memoized database, and concurrent Answerer construction must not race
+// on calibration. Run with -race.
+func TestBuildAndCalibrateConcurrent(t *testing.T) {
+	const workers = 8
+	dbs := make([]*Database, workers)
+	errs := make([]error, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dbs[w], errs[w] = BuildLUBM(ScaleTiny)
+		}(w)
+	}
+	wg.Wait()
+
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if dbs[w] != dbs[0] {
+			t.Fatalf("worker %d got a different database instance than worker 0", w)
+		}
+	}
+
+	// Calibration cache: every profile from every worker, repeatedly.
+	db := dbs[0]
+	wg = sync.WaitGroup{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			prof := engine.Profiles()[w%len(engine.Profiles())]
+			for rep := 0; rep < 3; rep++ {
+				a := db.Answerer(prof, core.Options{})
+				if a == nil {
+					t.Error("Answerer returned nil")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -48,7 +48,10 @@ func (db *Database) TripleCharacteristics(w io.Writer, queryName string) error {
 		if err != nil {
 			return err
 		}
-		ref := reformulate.Reformulate(aq, db.Closed)
+		ref, err := reformulate.Reformulate(aq, db.Closed)
+		if err != nil {
+			return err
+		}
 		u, err := ref.UCQ(0)
 		if err != nil {
 			return err
@@ -71,7 +74,10 @@ func (db *Database) CoverSweep(w io.Writer, queryName string, prof engine.Profil
 	}
 	q := db.Encoded[qi]
 	a := db.Answerer(prof, core.Options{})
-	g := cover.NewGraph(q)
+	g, err := cover.NewGraph(q)
+	if err != nil {
+		return err
+	}
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "Cover\t#reformulations\texec time (ms)\n")
@@ -80,18 +86,27 @@ func (db *Database) CoverSweep(w io.Writer, queryName string, prof engine.Profil
 		var total int64
 		for _, f := range c {
 			sub := cover.Query(q, f)
-			total += reformulate.Reformulate(sub, db.Closed).NumCQs()
+			ref, err := reformulate.Reformulate(sub, db.Closed)
+			if err != nil {
+				sweepErr = fmt.Errorf("benchkit: reformulating fragment %s of %s: %w", f, queryName, err)
+				return false
+			}
+			total += ref.NumCQs()
 		}
 		ans, err := a.EvaluateCover(q, c, core.Report{Strategy: "fixed", Cover: c})
 		if err != nil {
+			// Engine-level failures are the point of the table (the
+			// paper's missing bars), so they are rows, not errors.
 			fmt.Fprintf(tw, "%s\t%d\t%s\n", c, total, failureLabel(err))
 			return true
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%.1f\n", c, total, ms(ans.Report.EvalTime))
-		_ = sweepErr
 		return true
 	})
-	return tw.Flush()
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return sweepErr
 }
 
 // QueryCharacteristics renders the paper's Table 4 for this database:
@@ -102,7 +117,11 @@ func (db *Database) QueryCharacteristics(w io.Writer) error {
 	fmt.Fprintf(tw, "%s q\t|q_ref|\tq(db) (%d triples)\n", db.Name, db.Raw.Len())
 	for i, spec := range db.Specs {
 		sub := cover.Query(db.Encoded[i], cover.WholeQuery(len(db.Encoded[i].Atoms))[0])
-		refSize := reformulate.Reformulate(sub, db.Closed).NumCQs()
+		ref, err := reformulate.Reformulate(sub, db.Closed)
+		if err != nil {
+			return fmt.Errorf("benchkit: reformulating %s: %w", spec.Name, err)
+		}
+		refSize := ref.NumCQs()
 		out := db.Run(a, i, core.GCov)
 		if out.Failed() {
 			fmt.Fprintf(tw, "%s\t%d\t%s\n", spec.Name, refSize, failureLabel(out.Err))

@@ -38,6 +38,7 @@ func C(id dict.ID) Term { return Term{Var: false, ID: uint32(id)} }
 // variable, which always indicates a caller bug.
 func (t Term) Const() dict.ID {
 	if t.Var {
+		//lint:ignore panicfree documented invariant accessor: callers must test Var first, so this is unreachable outside a caller bug
 		panic("bgp: Const called on a variable term")
 	}
 	return dict.ID(t.ID)

@@ -202,7 +202,10 @@ func (a *Answerer) ChooseCover(q bgp.CQ, strategy Strategy) (cover.Cover, Report
 	if err := checkQuery(q); err != nil {
 		return nil, Report{}, err
 	}
-	s := newSearcher(a, q)
+	s, err := newSearcher(a, q)
+	if err != nil {
+		return nil, Report{}, err
+	}
 	start := time.Now()
 	rep := Report{Strategy: strategy, Exhaustive: true}
 	var c cover.Cover
@@ -227,6 +230,9 @@ func (a *Answerer) ChooseCover(q bgp.CQ, strategy Strategy) (cover.Cover, Report
 		rep.FragmentCQs = append(rep.FragmentCQs, info.numCQs)
 		rep.TotalCQs += info.numCQs
 	}
+	if s.err != nil {
+		return nil, Report{}, s.err
+	}
 	rep.OptimizeTime = time.Since(start)
 	return c, rep, nil
 }
@@ -237,7 +243,10 @@ func (a *Answerer) EvaluateCover(q bgp.CQ, c cover.Cover, rep Report) (*Answer, 
 	arms := make([]engine.ArmSource, len(c))
 	for i, f := range c {
 		cq := cover.Query(q, f)
-		ref := reformulate.Reformulate(cq, a.sch)
+		ref, err := reformulate.Reformulate(cq, a.sch)
+		if err != nil {
+			return &Answer{Report: rep}, err
+		}
 		arms[i] = armSource(cq, ref)
 	}
 	head := make([]uint32, len(q.Head))
@@ -258,17 +267,21 @@ func (a *Answerer) EvaluateCover(q bgp.CQ, c cover.Cover, rep Report) (*Answer, 
 // cover-based reformulation of q induced by cover c — the EXPLAIN
 // counterpart of EvaluateCover. name, if non-nil, decodes dictionary
 // constants for display.
-func (a *Answerer) ExplainPlan(q bgp.CQ, c cover.Cover, name func(dict.ID) string) string {
+func (a *Answerer) ExplainPlan(q bgp.CQ, c cover.Cover, name func(dict.ID) string) (string, error) {
 	arms := make([]engine.ArmSource, len(c))
 	for i, f := range c {
 		cq := cover.Query(q, f)
-		arms[i] = armSource(cq, reformulate.Reformulate(cq, a.sch))
+		ref, err := reformulate.Reformulate(cq, a.sch)
+		if err != nil {
+			return "", err
+		}
+		arms[i] = armSource(cq, ref)
 	}
 	head := make([]uint32, len(q.Head))
 	for i, h := range q.Head {
 		head[i] = h.ID
 	}
-	return a.raw.ExplainArms(head, arms, name)
+	return a.raw.ExplainArms(head, arms, name), nil
 }
 
 // armSource streams a fragment's factorized reformulation as an engine

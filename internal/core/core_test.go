@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/naive"
 	"repro/internal/reformulate"
+	"repro/internal/schema"
 	"repro/internal/stats"
 	"repro/internal/testkit"
 )
@@ -100,7 +101,7 @@ func coverableQuery(q bgp.CQ) bool {
 			return false
 		}
 	}
-	g := cover.NewGraph(q)
+	g := mustGraph(q)
 	whole := cover.WholeQuery(len(q.Atoms))
 	return g.FragmentConnected(whole[0])
 }
@@ -121,7 +122,7 @@ func TestEveryCoverEquivalent(t *testing.T) {
 			t.Fatal(err)
 		}
 		want := relRows(wantAns.Rel)
-		g := cover.NewGraph(q)
+		g := mustGraph(q)
 		checked := 0
 		g.EnumerateMinimal(50, func(c cover.Cover) bool {
 			ans, err := a.EvaluateCover(q, c, core.Report{Strategy: "fixed", Cover: c})
@@ -167,7 +168,7 @@ func TestGCovNeverWorseThanFixedCovers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		g := cover.NewGraph(q)
+		g := mustGraph(q)
 		if !g.Valid(gc) {
 			t.Errorf("seed %d: GCov chose invalid cover %v for %s", seed, gc, q)
 		}
@@ -358,9 +359,27 @@ func TestFragmentCQCountsMatch(t *testing.T) {
 	}
 	for i, f := range c {
 		sub := cover.Query(q, f)
-		want := reformulate.Reformulate(sub, e.Closed).NumCQs()
+		want := mustReformulate(sub, e.Closed).NumCQs()
 		if rep.FragmentCQs[i] != want {
 			t.Errorf("fragment %v: reported %d CQs, want %d", f, rep.FragmentCQs[i], want)
 		}
 	}
+}
+
+// mustGraph and mustReformulate wrap the error-returning APIs for test
+// queries that are well-formed by construction.
+func mustGraph(q bgp.CQ) *cover.Graph {
+	g, err := cover.NewGraph(q)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func mustReformulate(q bgp.CQ, sch *schema.Closed) *reformulate.Reformulation {
+	r, err := reformulate.Reformulate(q, sch)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }

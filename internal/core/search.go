@@ -27,6 +27,12 @@ type searcher struct {
 	costs  map[string]float64
 	start  time.Time
 	budget time.Duration
+
+	// err records the first fragment-reformulation failure. checkQuery
+	// rules those out up front, so this is a belt-and-braces channel: frag
+	// cannot return an error itself without contorting the search loops,
+	// so the failure is parked here and surfaced by ChooseCover.
+	err error
 }
 
 // fragInfo caches everything the search needs about one fragment.
@@ -38,17 +44,21 @@ type fragInfo struct {
 	aloneCost float64 // cost of the fragment evaluated by itself
 }
 
-func newSearcher(a *Answerer, q bgp.CQ) *searcher {
+func newSearcher(a *Answerer, q bgp.CQ) (*searcher, error) {
+	g, err := cover.NewGraph(q)
+	if err != nil {
+		return nil, err
+	}
 	return &searcher{
 		a:      a,
 		q:      q,
-		g:      cover.NewGraph(q),
+		g:      g,
 		final:  a.raw.Stats().CQCard(q),
 		frags:  make(map[cover.Fragment]*fragInfo),
 		costs:  make(map[string]float64),
 		start:  time.Now(),
 		budget: a.opts.SearchBudget,
-	}
+	}, nil
 }
 
 func (s *searcher) expired() bool {
@@ -63,7 +73,18 @@ func (s *searcher) frag(f cover.Fragment) *fragInfo {
 		return info
 	}
 	cq := cover.Query(s.q, f)
-	ref := reformulate.Reformulate(cq, s.a.sch)
+	ref, err := reformulate.Reformulate(cq, s.a.sch)
+	if err != nil {
+		// Unreachable after checkQuery (cover queries inherit the head-
+		// variable discipline of the input), but park the failure rather
+		// than lose it: ChooseCover reports s.err after the search.
+		if s.err == nil {
+			s.err = err
+		}
+		info := &fragInfo{cq: cq, ref: &reformulate.Reformulation{}}
+		s.frags[f] = info
+		return info
+	}
 	info := &fragInfo{cq: cq, ref: ref, numCQs: ref.NumCQs()}
 	info.stats = s.armStats(ref)
 	info.aloneCost = s.a.opts.Params.UCQ(info.stats)

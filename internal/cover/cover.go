@@ -121,11 +121,13 @@ type Graph struct {
 	adj [][]bool
 }
 
-// NewGraph builds the sharing graph of the query.
-func NewGraph(q bgp.CQ) *Graph {
+// NewGraph builds the sharing graph of the query. Queries beyond
+// MaxAtoms atoms do not fit the bitmask fragment representation and are
+// reported as an error.
+func NewGraph(q bgp.CQ) (*Graph, error) {
 	n := len(q.Atoms)
 	if n > MaxAtoms {
-		panic(fmt.Sprintf("cover: query has %d atoms, limit is %d", n, MaxAtoms))
+		return nil, fmt.Errorf("cover: query has %d atoms, limit is %d", n, MaxAtoms)
 	}
 	g := &Graph{n: n, adj: make([][]bool, n)}
 	for i := range g.adj {
@@ -139,7 +141,7 @@ func NewGraph(q bgp.CQ) *Graph {
 			}
 		}
 	}
-	return g
+	return g, nil
 }
 
 // N returns the number of atoms.

@@ -62,7 +62,7 @@ func TestCoverCanonical(t *testing.T) {
 
 func TestGraphAdjacency(t *testing.T) {
 	q := chainQuery(3) // t1(v0,v1) t2(v1,v2) t3(v2,v3)
-	g := NewGraph(q)
+	g := mustGraph(q)
 	if !g.Adjacent(0, 1) || !g.Adjacent(1, 2) || g.Adjacent(0, 2) {
 		t.Error("chain adjacency wrong")
 	}
@@ -72,7 +72,7 @@ func TestGraphAdjacency(t *testing.T) {
 }
 
 func TestFragmentConnected(t *testing.T) {
-	g := NewGraph(chainQuery(3))
+	g := mustGraph(chainQuery(3))
 	if !g.FragmentConnected(Single(0).With(1)) {
 		t.Error("{t1,t2} should be connected")
 	}
@@ -88,7 +88,7 @@ func TestFragmentConnected(t *testing.T) {
 }
 
 func TestValid(t *testing.T) {
-	g := NewGraph(chainQuery(3))
+	g := mustGraph(chainQuery(3))
 	cases := []struct {
 		c    Cover
 		want bool
@@ -118,7 +118,7 @@ func TestMinimal(t *testing.T) {
 }
 
 func TestWholeAndPerAtom(t *testing.T) {
-	g := NewGraph(chainQuery(4))
+	g := mustGraph(chainQuery(4))
 	if !g.Valid(WholeQuery(4)) {
 		t.Error("whole-query cover should be valid")
 	}
@@ -135,7 +135,7 @@ func TestWholeAndPerAtom(t *testing.T) {
 // sizes {2,1}, and three of sizes {2,2} — our enumeration must find the
 // same eight (the count the upper bound of Section 3 refers to).
 func TestEnumerateMinimalTriangle(t *testing.T) {
-	g := NewGraph(starQuery(3))
+	g := mustGraph(starQuery(3))
 	var covers []Cover
 	exhaustive := g.EnumerateMinimal(0, func(c Cover) bool {
 		covers = append(covers, c)
@@ -163,7 +163,7 @@ func TestEnumerateMinimalTriangle(t *testing.T) {
 }
 
 func TestEnumerateChain(t *testing.T) {
-	g := NewGraph(chainQuery(3))
+	g := mustGraph(chainQuery(3))
 	count := 0
 	g.EnumerateMinimal(0, func(c Cover) bool {
 		count++
@@ -180,7 +180,7 @@ func TestEnumerateChain(t *testing.T) {
 }
 
 func TestEnumerateLimit(t *testing.T) {
-	g := NewGraph(starQuery(5))
+	g := mustGraph(starQuery(5))
 	count := 0
 	exhaustive := g.EnumerateMinimal(3, func(c Cover) bool {
 		count++
@@ -211,7 +211,7 @@ func TestEnumerateAlwaysValid(t *testing.T) {
 				S: bgp.V(prev), P: bgp.C(dict.ID(100 + i)), O: bgp.V(uint32(i*2 + 2)),
 			})
 		}
-		g := NewGraph(q)
+		g := mustGraph(q)
 		g.EnumerateMinimal(10000, func(c Cover) bool {
 			if !g.Valid(c) {
 				t.Errorf("trial %d: invalid cover %v for %s", trial, c, q)
@@ -245,5 +245,26 @@ func TestCoverQuery(t *testing.T) {
 	sub3 := Query(q, Single(0).With(1).With(2))
 	if len(sub3.Head) != 1 || sub3.Head[0] != bgp.V(0) {
 		t.Errorf("whole-query head = %v, want [?v0]", sub3.Head)
+	}
+}
+
+// mustGraph wraps NewGraph for queries the tests construct under the
+// MaxAtoms limit.
+func mustGraph(q bgp.CQ) *Graph {
+	g, err := NewGraph(q)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Queries beyond MaxAtoms do not fit the bitmask representation and
+// must be rejected, not mis-indexed.
+func TestNewGraphTooManyAtoms(t *testing.T) {
+	if _, err := NewGraph(chainQuery(MaxAtoms + 1)); err == nil {
+		t.Fatal("NewGraph accepted a query beyond MaxAtoms")
+	}
+	if g, err := NewGraph(chainQuery(MaxAtoms)); err != nil || g.N() != MaxAtoms {
+		t.Fatalf("NewGraph rejected a query at the MaxAtoms limit: %v", err)
 	}
 }

@@ -110,7 +110,10 @@ func TestQueriesParse(t *testing.T) {
 		}
 	}
 	// Q10 must have ten atoms — the ECov-infeasible shape.
-	q10 := sparql.MustParse(specs[9].Text)
+	q10, err := sparql.Parse(specs[9].Text)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(q10.Where) != 10 {
 		t.Errorf("Q10 has %d atoms, want 10", len(q10.Where))
 	}

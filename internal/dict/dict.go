@@ -81,6 +81,7 @@ func (d *Dict) Term(id ID) rdf.Term {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if id == None || int(id) > len(d.terms) {
+		//lint:ignore panicfree documented invariant accessor: an unassigned ID is a caller bug, not a recoverable condition
 		panic(fmt.Sprintf("dict: Term called with unassigned ID %d (dictionary size %d)", id, len(d.terms)))
 	}
 	return d.terms[id-1]

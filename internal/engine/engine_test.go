@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/naive"
 	"repro/internal/reformulate"
+	"repro/internal/schema"
 	"repro/internal/stats"
 	"repro/internal/testkit"
 )
@@ -96,7 +97,7 @@ func TestEngineMatchesNaiveUCQ(t *testing.T) {
 		eng := engine.New(raw, stats.Collect(raw, e.Vocab), engine.Native)
 		rng := rand.New(rand.NewSource(seed + 900))
 		q := testkit.RandomQuery(e, rng)
-		r := reformulate.Reformulate(q, e.Closed)
+		r := mustReformulate(q, e.Closed)
 		u, err := r.UCQ(100000)
 		if err != nil {
 			t.Fatal(err)
@@ -156,7 +157,7 @@ func TestEngineSCQEquivalentToUCQ(t *testing.T) {
 		if len(q.Atoms) < 2 || !connectedQuery(q) {
 			continue
 		}
-		full := reformulate.Reformulate(q, e.Closed)
+		full := mustReformulate(q, e.Closed)
 		fullUCQ, err := full.UCQ(100000)
 		if err != nil {
 			t.Fatal(err)
@@ -173,7 +174,7 @@ func TestEngineSCQEquivalentToUCQ(t *testing.T) {
 		var arms []bgp.UCQ
 		for i, a := range q.Atoms {
 			sub := coverQuery(q, []int{i}, head)
-			ru := reformulate.Reformulate(sub, e.Closed)
+			ru := mustReformulate(sub, e.Closed)
 			u, err := ru.UCQ(100000)
 			if err != nil {
 				t.Fatal(err)
@@ -403,4 +404,14 @@ func TestEstimateArmsOrdersStrategies(t *testing.T) {
 	if cheap >= costly {
 		t.Errorf("estimate(selective)=%v >= estimate(everything)=%v", cheap, costly)
 	}
+}
+
+// mustReformulate wraps the error-returning API for test queries that
+// are well-formed by construction.
+func mustReformulate(q bgp.CQ, sch *schema.Closed) *reformulate.Reformulation {
+	r, err := reformulate.Reformulate(q, sch)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }

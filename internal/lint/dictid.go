@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// DictID keeps dictionary codes and plain integers apart: an untyped
+// integer literal must not flow into a dict.ID position, and a
+// conversion to dict.ID must not be applied to an integer constant.
+// Dictionary IDs are assigned by the dictionary; a hand-written ID is
+// either a test fixture (tests are not linted) or a bug waiting for a
+// dataset where the magic number means something else. The literal 0 is
+// exempt: it is dict.None, the documented wildcard.
+var DictID = &Analyzer{
+	Name: "dictid",
+	Doc:  "forbid integer literals and integer constants in dict.ID positions",
+	Run:  dictIDRun,
+}
+
+// isDictIDType reports whether t is the dictionary ID type (a named
+// type ID declared in a package named dict — matching both the real
+// repro/internal/dict and test fixtures).
+func isDictIDType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ID" && obj.Pkg() != nil && obj.Pkg().Name() == "dict"
+}
+
+// declaredDictID reports whether the expression denotes an object whose
+// declared type is dict.ID.
+func declaredDictID(info *types.Info, e ast.Expr) bool {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+	}
+	return obj != nil && isDictIDType(obj.Type())
+}
+
+func dictIDRun(pass *Pass) {
+	// The dict package itself defines the boundary (None, Encode's
+	// ID(len(...))) and is exempt.
+	if pass.Pkg.Types.Name() == "dict" {
+		return
+	}
+	info := pass.TypesInfo()
+	reported := make(map[token.Pos]bool)
+	report := func(pos token.Pos, format string, args ...any) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.ValueSpec:
+				// const/var declarations with an explicit dict.ID type
+				// and constant initializers (const frozen dict.ID = 42).
+				if e.Type == nil {
+					return true
+				}
+				tv, ok := info.Types[e.Type]
+				if !ok || !isDictIDType(tv.Type) {
+					return true
+				}
+				for _, v := range e.Values {
+					vt, ok := info.Types[v]
+					if !ok || vt.Value == nil || constant.Sign(vt.Value) == 0 {
+						continue
+					}
+					report(v.Pos(), "integer constant %s declared as dict.ID; IDs come from the dictionary", vt.Value)
+				}
+			case *ast.BasicLit:
+				// An integer literal whose contextual type is dict.ID.
+				if e.Kind != token.INT {
+					return true
+				}
+				tv, ok := info.Types[e]
+				if !ok || !isDictIDType(tv.Type) {
+					return true
+				}
+				if tv.Value != nil && constant.Sign(tv.Value) == 0 {
+					return true // 0 is dict.None, the wildcard
+				}
+				report(e.Pos(), "integer literal %s used as dict.ID; IDs come from the dictionary", e.Value)
+			case *ast.CallExpr:
+				// A conversion dict.ID(c) of an integer constant whose
+				// own type is not already dict.ID.
+				if !isConversion(info, e) || len(e.Args) != 1 {
+					return true
+				}
+				tv, ok := info.Types[ast.Unparen(e.Fun)]
+				if !ok || !isDictIDType(tv.Type) {
+					return true
+				}
+				arg := ast.Unparen(e.Args[0])
+				atv, ok := info.Types[arg]
+				if !ok || atv.Value == nil || constant.Sign(atv.Value) == 0 {
+					return true
+				}
+				// The recorded type of an untyped constant operand is the
+				// conversion target itself, so consult the declaration:
+				// re-converting a constant declared as dict.ID is fine.
+				if declaredDictID(info, arg) {
+					return true
+				}
+				report(arg.Pos(), "integer constant %s converted to dict.ID; IDs come from the dictionary", atv.Value)
+			}
+			return true
+		})
+	}
+}

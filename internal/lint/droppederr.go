@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// droppedErrExempt lists callees whose error results may be discarded:
+// fmt print errors are the underlying writer's and surface at
+// Flush/Close time (the repository's table renderers rely on exactly
+// that) or are stdout's and unactionable; bufio.Writer write errors are
+// sticky and re-surface at Flush; bufio.Reader.UnreadByte fails only on
+// API misuse; and strings.Builder / bytes.Buffer writes are documented
+// never to fail.
+func droppedErrExempt(name string) bool {
+	switch name {
+	case "fmt.Print", "fmt.Printf", "fmt.Println",
+		"fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln",
+		"(*bufio.Writer).Write", "(*bufio.Writer).WriteByte",
+		"(*bufio.Writer).WriteString", "(*bufio.Writer).WriteRune",
+		"(*bufio.Reader).UnreadByte":
+		return true
+	}
+	return strings.HasPrefix(name, "(*strings.Builder).") ||
+		strings.HasPrefix(name, "(*bytes.Buffer).")
+}
+
+// DroppedErr reports discarded error values: bare call statements (also
+// behind go/defer) whose results include an error, and assignments of
+// an error to the blank identifier. A harness that drops an error can
+// present a failed run as a paper-matching result, so every discard
+// must be explicit and justified via //lint:ignore droppederr.
+var DroppedErr = &Analyzer{
+	Name: "droppederr",
+	Doc:  "forbid discarding error values via bare calls or blank assignment",
+	Run:  droppedErrRun,
+}
+
+func droppedErrRun(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				droppedErrCheckCall(pass, stmt.X)
+			case *ast.GoStmt:
+				droppedErrCheckCall(pass, stmt.Call)
+			case *ast.DeferStmt:
+				droppedErrCheckCall(pass, stmt.Call)
+			case *ast.AssignStmt:
+				droppedErrCheckAssign(pass, stmt)
+			case *ast.ValueSpec:
+				for i, name := range stmt.Names {
+					if name.Name != "_" {
+						continue
+					}
+					if t := blankSpecType(info, stmt, i); t != nil && isErrorType(t) {
+						pass.Reportf(name.Pos(), "error value discarded via blank identifier")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// droppedErrCheckCall flags a statement-position call that produces an
+// unhandled error.
+func droppedErrCheckCall(pass *Pass, x ast.Expr) {
+	call, ok := ast.Unparen(x).(*ast.CallExpr)
+	if !ok || isConversion(pass.TypesInfo(), call) {
+		return
+	}
+	tv, ok := pass.TypesInfo().Types[call]
+	if !ok || !resultHasError(tv.Type) {
+		return
+	}
+	name := funcFullName(pass.TypesInfo(), call)
+	if droppedErrExempt(name) {
+		return
+	}
+	if name == "" {
+		name = "call"
+	}
+	pass.Reportf(call.Pos(), "result of %s includes an error that is discarded", name)
+}
+
+// droppedErrCheckAssign flags blank-identifier positions that receive an
+// error.
+func droppedErrCheckAssign(pass *Pass, stmt *ast.AssignStmt) {
+	info := pass.TypesInfo()
+	for i, lhs := range stmt.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		var t types.Type
+		switch {
+		case len(stmt.Rhs) == len(stmt.Lhs):
+			if tv, ok := info.Types[stmt.Rhs[i]]; ok {
+				t = tv.Type
+			}
+		case len(stmt.Rhs) == 1:
+			// Multi-value call, channel receive, map index or type
+			// assertion on the right.
+			if tv, ok := info.Types[stmt.Rhs[0]]; ok {
+				if tuple, ok := tv.Type.(*types.Tuple); ok && i < tuple.Len() {
+					t = tuple.At(i).Type()
+				}
+			}
+		}
+		if t != nil && isErrorType(t) {
+			if call, ok := ast.Unparen(stmt.Rhs[len(stmt.Rhs)-1]).(*ast.CallExpr); ok {
+				if droppedErrExempt(funcFullName(info, call)) {
+					continue
+				}
+			}
+			pass.Reportf(id.Pos(), "error value discarded via blank identifier")
+		}
+	}
+}
+
+// blankSpecType resolves the type a blank name receives in a var spec.
+func blankSpecType(info *types.Info, spec *ast.ValueSpec, i int) types.Type {
+	switch {
+	case len(spec.Values) == len(spec.Names):
+		if tv, ok := info.Types[spec.Values[i]]; ok {
+			return tv.Type
+		}
+	case len(spec.Values) == 1:
+		if tv, ok := info.Types[spec.Values[0]]; ok {
+			if tuple, ok := tv.Type.(*types.Tuple); ok && i < tuple.Len() {
+				return tuple.At(i).Type()
+			}
+		}
+	}
+	return nil
+}
+
+// isErrorType reports whether t is exactly the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// resultHasError reports whether a call-result type includes an error.
+func resultHasError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}

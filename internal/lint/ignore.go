@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// directive is one //lint:ignore comment.
+type directive struct {
+	pos      token.Position
+	analyzer string // analyzer name, or "*" for all
+	reason   string
+	bad      bool // malformed: missing analyzer or reason
+}
+
+const directivePrefix = "//lint:ignore"
+
+// collectDirectives gathers every //lint:ignore directive of the
+// package.
+func collectDirectives(pkg *Package) []directive {
+	var out []directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				// "//lint:ignoreX" is not a directive.
+				if text != "" && text[0] != ' ' && text[0] != '\t' {
+					continue
+				}
+				d := directive{pos: pkg.Fset.Position(c.Pos())}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					d.bad = true
+				} else {
+					d.analyzer = fields[0]
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// suppresses reports whether the directive applies to the diagnostic:
+// same file, matching analyzer (or "*"), and placed on the diagnostic's
+// line or the line directly above it.
+func (d directive) suppresses(diag Diagnostic) bool {
+	if d.bad || d.pos.Filename != diag.Pos.Filename {
+		return false
+	}
+	if d.analyzer != "*" && d.analyzer != diag.Analyzer {
+		return false
+	}
+	return d.pos.Line == diag.Pos.Line || d.pos.Line == diag.Pos.Line-1
+}
+
+// filterSuppressed drops diagnostics covered by a well-formed directive.
+func filterSuppressed(diags []Diagnostic, dirs []directive) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	var out []Diagnostic
+	for _, diag := range diags {
+		suppressed := false
+		for _, d := range dirs {
+			if d.suppresses(diag) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	return out
+}
+
+// malformedDirectives reports directives missing an analyzer name or a
+// reason; an unexplained suppression is as suspect as the finding it
+// hides.
+func malformedDirectives(dirs []directive) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range dirs {
+		if d.bad {
+			out = append(out, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "ignore",
+				Message:  "malformed directive: want //lint:ignore <analyzer> <reason>",
+			})
+		}
+	}
+	return out
+}

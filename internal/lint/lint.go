@@ -1,0 +1,150 @@
+// Package lint is a vet-style static-analysis driver built only on the
+// Go standard library (go/parser, go/ast, go/types). It loads the
+// packages of this module from source, type-checks them against a
+// source-level importer, and runs a set of domain analyzers that
+// machine-check the repository's internal invariants: no panics
+// escaping library code, no silently dropped errors, no raw integers
+// flowing into dictionary-ID positions, no unlocked writes to
+// mutex-guarded state, and no direct console output from library
+// packages.
+//
+// Findings can be suppressed at the offending line (or the line above
+// it) with a justification:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// A directive without a reason is itself reported. The cmd/lint binary
+// runs the full suite over ./... and exits non-zero on findings, which
+// makes the suite enforceable from scripts/check.sh and CI exactly like
+// go vet.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional vet format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one check. Run inspects the package of the pass and
+// reports findings through pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run performs the analysis on one package.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Fset returns the file set the package positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// TypesInfo returns the type-checker results for the package.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package, drops findings that are
+// suppressed by well-formed ignore directives, reports malformed
+// directives, and returns the surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := collectDirectives(pkg)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+			a.Run(pass)
+		}
+		diags = append(diags, filterSuppressed(pkgDiags, dirs)...)
+		diags = append(diags, malformedDirectives(dirs)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// Format renders the diagnostics with filenames relative to base (when
+// possible), one per line.
+func Format(diags []Diagnostic, base string) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		if rel, err := filepath.Rel(base, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		out[i] = d.String()
+	}
+	return out
+}
+
+// isInternal reports whether the package is library code subject to the
+// strict analyzers (panicfree, printban): any package under an
+// internal/ directory of the module.
+func isInternal(pkg *Package) bool {
+	return strings.Contains(pkg.Path+"/", "/internal/") ||
+		strings.HasPrefix(pkg.Path, "internal/")
+}
+
+// funcFullName returns the types.Func full name ("fmt.Fprintf",
+// "(*strings.Builder).WriteString") for the callee of the call, or ""
+// when the callee cannot be resolved to a declared function.
+func funcFullName(info *types.Info, call *ast.CallExpr) string {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	if f, ok := obj.(*types.Func); ok {
+		return f.FullName()
+	}
+	return ""
+}
+
+// isConversion reports whether the call expression is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}

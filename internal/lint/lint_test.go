@@ -1,0 +1,134 @@
+package lint_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// The fixture module is loaded once and shared across the golden tests:
+// the loader memoizes packages (and the standard library) per instance.
+var (
+	fixtureOnce   sync.Once
+	fixtureLoader *lint.Loader
+	fixtureErr    error
+)
+
+func fixture(t *testing.T) *lint.Loader {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureLoader, fixtureErr = lint.NewLoader(filepath.Join("testdata", "src"))
+	})
+	if fixtureErr != nil {
+		t.Fatal(fixtureErr)
+	}
+	return fixtureLoader
+}
+
+// runFixture runs one analyzer (or all, for "*") over one fixture
+// package and returns the formatted diagnostics with paths relative to
+// the fixture module root.
+func runFixture(t *testing.T, analyzer, pattern string) []string {
+	t.Helper()
+	l := fixture(t)
+	pkgs, err := l.Load(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := lint.All()
+	if analyzer != "*" {
+		var unknown []string
+		analyzers, unknown = lint.ByName([]string{analyzer})
+		if len(unknown) > 0 {
+			t.Fatalf("unknown analyzer %v", unknown)
+		}
+	}
+	return lint.Format(lint.Run(pkgs, analyzers), l.Root())
+}
+
+func checkGolden(t *testing.T, name string, got []string) {
+	t.Helper()
+	text := strings.Join(got, "\n")
+	if len(got) > 0 {
+		text += "\n"
+	}
+	golden := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text != string(want) {
+		t.Errorf("%s diagnostics differ\ngot:\n%s\nwant:\n%s", name, text, want)
+	}
+}
+
+// Each analyzer must keep firing on its fixture package even after the
+// repository itself is lint-clean — the golden files pin the exact
+// findings, positions and messages.
+func TestAnalyzerFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer string
+		pattern  string
+	}{
+		{"panicfree", "./internal/panicfree"},
+		{"droppederr", "./internal/droppederr"},
+		{"dictid", "./internal/dictid"},
+		{"lockguard", "./internal/lockguard"},
+		{"printban", "./internal/printban"},
+	}
+	for _, c := range cases {
+		t.Run(c.analyzer, func(t *testing.T) {
+			checkGolden(t, c.analyzer, runFixture(t, c.analyzer, c.pattern))
+		})
+	}
+}
+
+// Directive handling: justified same-line and line-above suppressions
+// hold, wildcard suppressions hold, a directive naming another analyzer
+// does not suppress, and a directive without a reason is itself a
+// finding.
+func TestIgnoreDirectives(t *testing.T) {
+	checkGolden(t, "ignore", runFixture(t, "*", "./internal/ignore"))
+}
+
+// The dict fixture package defines the ID type; the analyzer must stay
+// silent inside it (the dictionary assigns IDs from integers by design).
+func TestDictPackageExempt(t *testing.T) {
+	if got := runFixture(t, "dictid", "./internal/dict"); len(got) != 0 {
+		t.Errorf("dictid fired inside the dict package:\n%s", strings.Join(got, "\n"))
+	}
+}
+
+// The repository must stay clean under its own linter: any new finding
+// is either a bug to fix or a deliberate exception to justify with a
+// //lint:ignore directive.
+func TestRepositoryIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	l, err := lint.NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := lint.Run(pkgs, lint.All()); len(diags) > 0 {
+		t.Errorf("repository has %d lint findings:\n%s",
+			len(diags), strings.Join(lint.Format(diags, l.Root()), "\n"))
+	}
+}

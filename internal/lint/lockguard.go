@@ -1,0 +1,314 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockGuard is a heuristic lock-discipline check. It infers which state
+// a mutex guards — a struct field (or package-level variable) is
+// considered guarded by a sibling sync.Mutex/sync.RWMutex if some
+// function both locks that mutex and touches the field — and then
+// reports any function that *writes* guarded state without taking the
+// write lock.
+//
+// The analysis is deliberately method-granular, not flow-sensitive: a
+// function that locks anywhere in its body is trusted for its writes.
+// Reads without the lock are not reported (immutable-after-build fields
+// are pervasive and legal under this repository's publication
+// discipline). Helpers that run with the lock already held by their
+// caller must carry a "Locked" name suffix or a //lint:ignore lockguard
+// directive explaining the transfer of responsibility.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "report unlocked writes to state inferred to be mutex-guarded",
+	Run:  lockGuardRun,
+}
+
+// isMutexType reports whether t is sync.Mutex, sync.RWMutex, or a
+// pointer to one.
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// funcFacts summarizes one function body for the lock analysis.
+type funcFacts struct {
+	decl    *ast.FuncDecl
+	locked  map[*types.Var]bool // mutexes write-locked anywhere in the body
+	rlocked map[*types.Var]bool // mutexes read-locked anywhere in the body
+	reads   map[*types.Var]bool // candidate objects read
+	writes  map[*types.Var][]token.Pos
+}
+
+func lockGuardRun(pass *Pass) {
+	info := pass.TypesInfo()
+
+	// Candidate mutexes: struct fields and package-level variables of
+	// mutex type declared in this package. candidateOf maps each
+	// non-mutex struct field to the mutexes of its struct, and each
+	// package-level variable to the package-level mutexes.
+	structMutexes := make(map[*types.Var][]*types.Var) // field -> sibling mutex fields
+	var pkgMutexes []*types.Var
+	var pkgVars []*types.Var
+
+	scope := pass.Pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		switch o := obj.(type) {
+		case *types.TypeName:
+			st, ok := o.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			var mus []*types.Var
+			for i := 0; i < st.NumFields(); i++ {
+				if f := st.Field(i); isMutexType(f.Type()) {
+					mus = append(mus, f)
+				}
+			}
+			if len(mus) == 0 {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if f := st.Field(i); !isMutexType(f.Type()) {
+					structMutexes[f] = mus
+				}
+			}
+		case *types.Var:
+			if isMutexType(o.Type()) {
+				pkgMutexes = append(pkgMutexes, o)
+			} else {
+				pkgVars = append(pkgVars, o)
+			}
+		}
+	}
+	if len(structMutexes) == 0 && len(pkgMutexes) == 0 {
+		return
+	}
+	pkgVarCandidate := make(map[*types.Var]bool, len(pkgVars))
+	if len(pkgMutexes) > 0 {
+		for _, v := range pkgVars {
+			pkgVarCandidate[v] = true
+		}
+	}
+	isCandidate := func(v *types.Var) bool {
+		_, isField := structMutexes[v]
+		return isField || pkgVarCandidate[v]
+	}
+
+	// Summarize every function of the package.
+	var facts []*funcFacts
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			facts = append(facts, summarizeFunc(info, fd, isCandidate))
+		}
+	}
+
+	// Guard inference: an object is guarded by mutex M if some function
+	// holds M (either mode) while — at method granularity — touching it.
+	guardedBy := make(map[*types.Var]map[*types.Var]bool) // object -> mutexes
+	mark := func(obj, mu *types.Var) {
+		// A struct field can only be guarded by a sibling mutex; a
+		// package variable only by a package-level mutex.
+		valid := false
+		for _, sib := range structMutexes[obj] {
+			if sib == mu {
+				valid = true
+			}
+		}
+		if pkgVarCandidate[obj] {
+			for _, pm := range pkgMutexes {
+				if pm == mu {
+					valid = true
+				}
+			}
+		}
+		if !valid {
+			return
+		}
+		if guardedBy[obj] == nil {
+			guardedBy[obj] = make(map[*types.Var]bool)
+		}
+		guardedBy[obj][mu] = true
+	}
+	for _, ff := range facts {
+		for mu := range ff.locked {
+			for obj := range ff.reads {
+				mark(obj, mu)
+			}
+			for obj := range ff.writes {
+				mark(obj, mu)
+			}
+		}
+		for mu := range ff.rlocked {
+			for obj := range ff.reads {
+				mark(obj, mu)
+			}
+			for obj := range ff.writes {
+				mark(obj, mu)
+			}
+		}
+	}
+
+	// Violations: writes to guarded objects without the write lock.
+	for _, ff := range facts {
+		if strings.HasSuffix(ff.decl.Name.Name, "Locked") {
+			continue // runs with the caller's lock held, by convention
+		}
+		for obj, positions := range ff.writes {
+			mus := guardedBy[obj]
+			if len(mus) == 0 {
+				continue
+			}
+			missing := ""
+			for mu := range mus {
+				if !ff.locked[mu] {
+					missing = mu.Name()
+					break
+				}
+			}
+			if missing == "" {
+				continue
+			}
+			for _, pos := range positions {
+				pass.Reportf(pos, "write to %s without holding %s (inferred to guard it)", obj.Name(), missing)
+			}
+		}
+	}
+}
+
+// summarizeFunc records the locking calls, candidate-object reads and
+// candidate-object writes of one function body (including closures).
+func summarizeFunc(info *types.Info, fd *ast.FuncDecl, isCandidate func(*types.Var) bool) *funcFacts {
+	ff := &funcFacts{
+		decl:    fd,
+		locked:  make(map[*types.Var]bool),
+		rlocked: make(map[*types.Var]bool),
+		reads:   make(map[*types.Var]bool),
+		writes:  make(map[*types.Var][]token.Pos),
+	}
+
+	// resolve maps an expression to the candidate object it denotes:
+	// a field selector (x.f) or a package-level variable identifier.
+	resolve := func(e ast.Expr) *types.Var {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok && isCandidate(v) {
+					return v
+				}
+			}
+			if v, ok := info.Uses[x.Sel].(*types.Var); ok && isCandidate(v) {
+				return v // package-qualified variable
+			}
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok && isCandidate(v) {
+				return v
+			}
+		}
+		return nil
+	}
+	// writeRoot unwraps index/star expressions so that s.m[k] = v and
+	// *s.p = v count as writes to s.m and s.p.
+	var writeRoot func(e ast.Expr) ast.Expr
+	writeRoot = func(e ast.Expr) ast.Expr {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			return writeRoot(x.X)
+		case *ast.StarExpr:
+			return writeRoot(x.X)
+		case *ast.SliceExpr:
+			return writeRoot(x.X)
+		default:
+			return x
+		}
+	}
+	markWrite := func(e ast.Expr) {
+		if v := resolve(writeRoot(e)); v != nil {
+			ff.writes[v] = append(ff.writes[v], e.Pos())
+		}
+	}
+
+	// mutexOf resolves the receiver of a .Lock/.RLock call to a mutex
+	// variable: a field (x.mu), a package-level var (mu), or either
+	// behind an address-of.
+	mutexOf := func(e ast.Expr) *types.Var {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+				if v, ok := sel.Obj().(*types.Var); ok && isMutexType(v.Type()) {
+					return v
+				}
+			}
+			if v, ok := info.Uses[x.Sel].(*types.Var); ok && isMutexType(v.Type()) {
+				return v
+			}
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok && isMutexType(v.Type()) {
+				return v
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				return nil
+			}
+		}
+		return nil
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				markWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			markWrite(s.X)
+		case *ast.UnaryExpr:
+			if s.Op == token.AND {
+				markWrite(s.X) // taking the address may alias a write
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok &&
+				info.Uses[id] == types.Universe.Lookup("delete") && len(s.Args) > 0 {
+				markWrite(s.Args[0])
+			}
+			if sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok {
+				if mu := mutexOf(sel.X); mu != nil {
+					switch sel.Sel.Name {
+					case "Lock":
+						ff.locked[mu] = true
+					case "RLock":
+						ff.rlocked[mu] = true
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			if v := resolve(s); v != nil {
+				ff.reads[v] = true
+			}
+		case *ast.Ident:
+			if v := resolve(s); v != nil {
+				ff.reads[v] = true
+			}
+		}
+		return true
+	})
+	return ff
+}

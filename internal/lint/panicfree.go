@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicFree reports panic calls in library (internal/*) packages.
+// Library code must return errors: a panic crossing a package boundary
+// turns a malformed query or a storage edge case into a process crash,
+// which the query-serving north star cannot afford. Deliberate
+// invariant helpers (accessors whose misuse is always a caller bug,
+// documented as panicking) carry a //lint:ignore panicfree directive
+// with the justification.
+var PanicFree = &Analyzer{
+	Name: "panicfree",
+	Doc:  "forbid panic in internal packages; library code returns errors",
+	Run: func(pass *Pass) {
+		if !isInternal(pass.Pkg) {
+			return
+		}
+		builtin := types.Universe.Lookup("panic")
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || pass.TypesInfo().Uses[id] != builtin {
+					return true
+				}
+				pass.Reportf(call.Pos(), "panic in library code; return an error instead")
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// bannedPrinters are the console-printing functions library code must
+// not call: output belongs to an injected io.Writer so that callers
+// (CLIs, benchmarks, services) own their streams.
+var bannedPrinters = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+	"log.Print":   true,
+	"log.Printf":  true,
+	"log.Println": true,
+	"log.Fatal":   true,
+	"log.Fatalf":  true,
+	"log.Fatalln": true,
+	"log.Panic":   true,
+	"log.Panicf":  true,
+	"log.Panicln": true,
+}
+
+// PrintBan reports direct console output from internal packages.
+var PrintBan = &Analyzer{
+	Name: "printban",
+	Doc:  "forbid fmt.Print*/log.Print* in internal packages; write to injected writers",
+	Run: func(pass *Pass) {
+		if !isInternal(pass.Pkg) {
+			return
+		}
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name := funcFullName(pass.TypesInfo(), call); bannedPrinters[name] {
+					pass.Reportf(call.Pos(), "%s in library code; write to an injected io.Writer", name)
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,24 @@
+package lint
+
+// All returns every analyzer of the suite, in the order findings are
+// conventionally reported.
+func All() []*Analyzer {
+	return []*Analyzer{PanicFree, DroppedErr, DictID, LockGuard, PrintBan}
+}
+
+// ByName resolves analyzer names ("panicfree,dictid"); unknown names
+// are reported by the caller.
+func ByName(names []string) (out []*Analyzer, unknown []string) {
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	for _, n := range names {
+		if a, ok := byName[n]; ok {
+			out = append(out, a)
+		} else {
+			unknown = append(unknown, n)
+		}
+	}
+	return out, unknown
+}

@@ -1,0 +1,10 @@
+// Package dict is a lint fixture standing in for the real dictionary
+// package: the dictid analyzer matches the ID type by package and type
+// name, and exempts the dict package itself.
+package dict
+
+// ID is a dictionary code.
+type ID uint32
+
+// None is the zero wildcard.
+const None ID = 0

@@ -1,0 +1,29 @@
+// Package dictid is a lint fixture: hand-written dictionary codes.
+package dictid
+
+import "fixture/internal/dict"
+
+// frozen is a hand-written ID in a typed constant declaration.
+const frozen dict.ID = 42
+
+// magic is an untyped constant a conversion smuggles into ID space.
+const magic = 9000
+
+// Vals exercises the literal and conversion forms.
+func Vals(n int) []dict.ID {
+	var out []dict.ID
+	out = append(out, frozen)
+	out = append(out, 7)
+	out = append(out, dict.ID(9))
+	out = append(out, dict.ID(magic))
+	out = append(out, dict.None)
+	out = append(out, 0)
+	out = append(out, dict.ID(n))
+	return out
+}
+
+//lint:ignore dictid fixture: deliberate sentinel
+const allowed dict.ID = 99
+
+// Use keeps the suppressed constant referenced.
+func Use() dict.ID { return allowed }

@@ -1,0 +1,39 @@
+// Package droppederr is a lint fixture: discarded error values.
+package droppederr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func step() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+// Drops exercises every discard form the analyzer flags.
+func Drops() int {
+	step()
+	go step()
+	defer step()
+	_ = step()
+	n, _ := pair()
+	var _ = step()
+	return n
+}
+
+// Exempt callees may discard their error results.
+func Exempt() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x")
+	b.WriteString("y")
+	return b.String()
+}
+
+// Handled errors are not findings.
+func Handled() error {
+	if err := step(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+// Package ignore is a lint fixture for directive handling.
+package ignore
+
+// Suppressed carries a justified directive on the line above.
+func Suppressed() {
+	//lint:ignore panicfree fixture: justified
+	panic("suppressed")
+}
+
+// SameLine carries the directive on the offending line.
+func SameLine() {
+	panic("suppressed") //lint:ignore panicfree fixture: same line
+}
+
+// Wildcard suppresses every analyzer at the line.
+func Wildcard() {
+	//lint:ignore * fixture: wildcard
+	panic("suppressed")
+}
+
+// WrongAnalyzer names a different analyzer, so the panic still fires.
+func WrongAnalyzer() {
+	//lint:ignore droppederr fixture: wrong analyzer
+	panic("reported")
+}
+
+// Unjustified is malformed (no reason) and suppresses nothing.
+func Unjustified() {
+	//lint:ignore panicfree
+	panic("reported")
+}

@@ -1,0 +1,45 @@
+// Package lockguard is a lint fixture: writes to mutex-guarded state.
+package lockguard
+
+import "sync"
+
+// Counter holds guarded state: Add locks mu around n, which is what
+// establishes the inferred guard.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Add increments under the lock.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Reset writes the guarded field without locking.
+func (c *Counter) Reset() {
+	c.n = 0
+}
+
+// resetLocked runs with the caller's lock held, by convention.
+func (c *Counter) resetLocked() {
+	c.n = 0
+}
+
+var (
+	tableMu sync.Mutex
+	table   = map[string]int{}
+)
+
+// Put writes the package-level map under its lock.
+func Put(k string, v int) {
+	tableMu.Lock()
+	defer tableMu.Unlock()
+	table[k] = v
+}
+
+// Drop deletes from the guarded map without the lock.
+func Drop(k string) {
+	delete(table, k)
+}

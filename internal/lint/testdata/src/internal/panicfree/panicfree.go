@@ -1,0 +1,23 @@
+// Package panicfree is a lint fixture: library code that panics.
+package panicfree
+
+import "fmt"
+
+// Bad panics on invalid input instead of returning an error.
+func Bad(x int) int {
+	if x < 0 {
+		panic("negative input")
+	}
+	return x
+}
+
+// Wrapped panics with a formatted message.
+func Wrapped(err error) {
+	panic(fmt.Sprintf("failed: %v", err))
+}
+
+// Allowed documents an invariant helper and suppresses the finding.
+func Allowed() {
+	//lint:ignore panicfree fixture: documented invariant helper
+	panic("unreachable")
+}

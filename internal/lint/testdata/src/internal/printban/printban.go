@@ -1,0 +1,19 @@
+// Package printban is a lint fixture: console output from library code.
+package printban
+
+import (
+	"fmt"
+	"io"
+	"log"
+)
+
+// Report prints straight to the console.
+func Report(n int) {
+	fmt.Println("count:", n)
+	log.Printf("n=%d", n)
+}
+
+// WriteReport writes to an injected writer, which is allowed.
+func WriteReport(w io.Writer, n int) {
+	fmt.Fprintf(w, "count: %d\n", n)
+}

@@ -158,15 +158,22 @@ func TestQueriesParse(t *testing.T) {
 			t.Errorf("%s has no design comment", s.Name)
 		}
 	}
-	// MustParse must succeed on the full set.
-	if got := MustParse(specs); len(got) != 28 {
-		t.Errorf("MustParse returned %d queries", len(got))
+	// ParseAll must succeed on the full set.
+	got, err := ParseAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 28 {
+		t.Errorf("ParseAll returned %d queries", len(got))
 	}
 }
 
 // The motivating queries must have the shapes the paper describes.
 func TestMotivatingQueryShapes(t *testing.T) {
-	qs := MustParse(Queries())
+	qs, err := ParseAll(Queries())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(qs[0].Where) != 3 {
 		t.Errorf("Q01 has %d triples, want 3", len(qs[0].Where))
 	}

@@ -1,6 +1,10 @@
 package lubm
 
-import "repro/internal/sparql"
+import (
+	"fmt"
+
+	"repro/internal/sparql"
+)
 
 // QuerySpec is one benchmark query: a name and its SPARQL text.
 type QuerySpec struct {
@@ -279,12 +283,17 @@ func Queries() []QuerySpec {
 	}
 }
 
-// MustParse parses every query, panicking on error; the query texts are
-// static so a parse failure is a programming error.
-func MustParse(specs []QuerySpec) []*sparql.Query {
+// ParseAll parses every query, reporting the first failure with the
+// query's name; the texts are static, so an error always indicates a
+// workload-definition bug.
+func ParseAll(specs []QuerySpec) ([]*sparql.Query, error) {
 	out := make([]*sparql.Query, len(specs))
 	for i, s := range specs {
-		out[i] = sparql.MustParse(s.Text)
+		q, err := sparql.Parse(s.Text)
+		if err != nil {
+			return nil, fmt.Errorf("lubm: parsing %s: %w", s.Name, err)
+		}
+		out[i] = q
 	}
-	return out
+	return out, nil
 }

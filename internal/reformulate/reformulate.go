@@ -90,12 +90,13 @@ type Reformulation struct {
 
 // Reformulate computes the reformulation of q with respect to the closed
 // schema. Every head term of q must be a variable (cover queries and
-// user queries always satisfy this; reformulated members may not).
-func Reformulate(q bgp.CQ, sch *schema.Closed) *Reformulation {
+// user queries always satisfy this; reformulated members may not); a
+// constant head position is reported as an error.
+func Reformulate(q bgp.CQ, sch *schema.Closed) (*Reformulation, error) {
 	r := &Reformulation{Query: q}
 	for i, h := range q.Head {
 		if !h.Var {
-			panic(fmt.Sprintf("reformulate: head position %d of input query is not a variable: %s", i, q))
+			return nil, fmt.Errorf("reformulate: head position %d of input query is not a variable: %s", i, q)
 		}
 		r.Vars = append(r.Vars, h.ID)
 	}
@@ -109,7 +110,7 @@ func Reformulate(q bgp.CQ, sch *schema.Closed) *Reformulation {
 		}
 		r.Blocks = append(r.Blocks, blk)
 	}
-	return r
+	return r, nil
 }
 
 // NumCQs returns the number of member CQs (|q_ref| in the paper's Table 4

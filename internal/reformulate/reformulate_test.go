@@ -10,6 +10,7 @@ import (
 	"repro/internal/naive"
 	"repro/internal/rdf"
 	"repro/internal/reformulate"
+	"repro/internal/schema"
 	"repro/internal/testkit"
 )
 
@@ -29,7 +30,7 @@ func TestPaperExample4(t *testing.T) {
 		Head:  []bgp.Term{bgp.V(0), bgp.V(1)},
 		Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.C(e.Vocab.Type), O: bgp.V(1)}},
 	}
-	r := reformulate.Reformulate(q, e.Closed)
+	r := mustReformulate(q, e.Closed)
 	if n := r.NumCQs(); n != 8 {
 		var all []string
 		r.Each(func(cq bgp.CQ) bool { all = append(all, cq.String()); return true })
@@ -85,7 +86,7 @@ func TestPaperExample3(t *testing.T) {
 	if got := naive.EvalCQ(raw, q); len(got) != 0 {
 		t.Fatalf("direct evaluation should be empty, got %v", got)
 	}
-	r := reformulate.Reformulate(q, e.Closed)
+	r := mustReformulate(q, e.Closed)
 	u, err := r.UCQ(0)
 	if err != nil {
 		t.Fatal(err)
@@ -113,7 +114,7 @@ func TestReformulationEquivalentToSaturation(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed * 1000))
 		for i := 0; i < queriesPerDB; i++ {
 			q := testkit.RandomQuery(e, rng)
-			r := reformulate.Reformulate(q, e.Closed)
+			r := mustReformulate(q, e.Closed)
 			u, err := r.UCQ(200000)
 			if err != nil {
 				t.Fatalf("seed %d query %d (%s): %v", seed, i, q, err)
@@ -142,7 +143,7 @@ func TestReformulationSound(t *testing.T) {
 		for _, row := range want {
 			inWant[rowString(row)] = true
 		}
-		r := reformulate.Reformulate(q, e.Closed)
+		r := mustReformulate(q, e.Closed)
 		r.Each(func(cq bgp.CQ) bool {
 			for _, row := range naive.EvalCQ(raw, cq) {
 				if !inWant[rowString(row)] {
@@ -173,7 +174,7 @@ func TestCountsConsistent(t *testing.T) {
 		e := testkit.Random(seed, 30)
 		rng := rand.New(rand.NewSource(seed + 77))
 		q := testkit.RandomQuery(e, rng)
-		r := reformulate.Reformulate(q, e.Closed)
+		r := mustReformulate(q, e.Closed)
 		n := r.NumCQs()
 		var streamed int64
 		r.Each(func(bgp.CQ) bool { streamed++; return true })
@@ -197,7 +198,7 @@ func TestUCQLimit(t *testing.T) {
 		Head:  []bgp.Term{bgp.V(0), bgp.V(1)},
 		Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.C(e.Vocab.Type), O: bgp.V(1)}},
 	}
-	r := reformulate.Reformulate(q, e.Closed)
+	r := mustReformulate(q, e.Closed)
 	if _, err := r.UCQ(3); !errors.Is(err, reformulate.ErrTooLarge) {
 		t.Errorf("UCQ(3) error = %v, want ErrTooLarge", err)
 	}
@@ -221,7 +222,7 @@ func TestFreshVariablesDistinct(t *testing.T) {
 		},
 	}
 	maxVar, _ := q.MaxVar()
-	r := reformulate.Reformulate(q, e.Closed)
+	r := mustReformulate(q, e.Closed)
 	r.Each(func(cq bgp.CQ) bool {
 		// Collect fresh vars (IDs above the original max) per atom.
 		perAtom := make([]map[uint32]bool, len(cq.Atoms))
@@ -256,7 +257,7 @@ func TestPropertyVariableInstantiation(t *testing.T) {
 		Head:  []bgp.Term{bgp.V(0)},
 		Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.V(1), O: bgp.V(2)}},
 	}
-	r := reformulate.Reformulate(q, e.Closed)
+	r := mustReformulate(q, e.Closed)
 	sawUnbound, sawType := false, false
 	props := make(map[uint32]bool)
 	r.Each(func(cq bgp.CQ) bool {
@@ -291,7 +292,7 @@ func TestNoConstraintsNoExpansion(t *testing.T) {
 		Head:  []bgp.Term{bgp.V(0)},
 		Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.C(p), O: bgp.V(1)}},
 	}
-	r := reformulate.Reformulate(q, e.Closed)
+	r := mustReformulate(q, e.Closed)
 	if n := r.NumCQs(); n != 1 {
 		t.Errorf("NumCQs = %d, want 1", n)
 	}
@@ -306,7 +307,7 @@ func TestHeadInstantiation(t *testing.T) {
 		Head:  []bgp.Term{bgp.V(0), bgp.V(1)},
 		Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.C(e.Vocab.Type), O: bgp.V(1)}},
 	}
-	r := reformulate.Reformulate(q, e.Closed)
+	r := mustReformulate(q, e.Closed)
 	found := false
 	r.Each(func(cq bgp.CQ) bool {
 		if !cq.Head[1].Var && cq.Head[1].Const() == book {
@@ -317,5 +318,28 @@ func TestHeadInstantiation(t *testing.T) {
 	})
 	if !found {
 		t.Error("no member CQ has Book as its second head term")
+	}
+}
+
+// mustReformulate wraps the error-returning API for test queries that
+// are well-formed by construction.
+func mustReformulate(q bgp.CQ, sch *schema.Closed) *reformulate.Reformulation {
+	r, err := reformulate.Reformulate(q, sch)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// A constant in the head violates the CQ form of Section 2.2 and must
+// surface as an error, not a panic.
+func TestReformulateConstantHead(t *testing.T) {
+	e := testkit.Paper()
+	q := bgp.CQ{
+		Head:  []bgp.Term{bgp.C(e.Vocab.Type)},
+		Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.C(e.Vocab.Type), O: bgp.V(1)}},
+	}
+	if _, err := reformulate.Reformulate(q, e.Closed); err == nil {
+		t.Fatal("Reformulate accepted a constant head term")
 	}
 }

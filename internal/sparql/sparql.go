@@ -218,13 +218,3 @@ func Encode(q *Query, d *dict.Dict) (Encoded, error) {
 	}
 	return Encoded{CQ: cq, VarNames: names}, nil
 }
-
-// MustParse parses the query text and panics on error; for tests and
-// static query tables.
-func MustParse(text string) *Query {
-	q, err := Parse(text)
-	if err != nil {
-		panic(err)
-	}
-	return q
-}

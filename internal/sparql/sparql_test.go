@@ -237,3 +237,13 @@ func TestVarsOrder(t *testing.T) {
 		}
 	}
 }
+
+// MustParse is the test-only convenience the production API deliberately
+// does not provide: parse or panic.
+func MustParse(text string) *Query {
+	q, err := Parse(text)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

@@ -1,0 +1,53 @@
+package stats_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/testkit"
+)
+
+// PatternCount memoizes under a mutex and is documented safe for
+// concurrent use: hammer one Stats from many goroutines over an
+// overlapping pattern set and check every answer matches a serial
+// recomputation. Run with -race.
+func TestPatternCountConcurrent(t *testing.T) {
+	e := testkit.Random(1, 200)
+	store := e.RawStore()
+	st := stats.Collect(store, e.Vocab)
+
+	triples := store.Triples()
+	patterns := make([]storage.Pattern, 0, 64)
+	for i := 0; i < len(triples) && len(patterns) < 64; i += 7 {
+		tr := triples[i]
+		patterns = append(patterns,
+			storage.Pattern{P: tr.P},
+			storage.Pattern{S: tr.S},
+			storage.Pattern{P: tr.P, O: tr.O},
+		)
+	}
+
+	want := make([]int, len(patterns))
+	for i, p := range patterns {
+		want[i] = store.Count(p)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				for i, p := range patterns {
+					if got := st.PatternCount(p); got != want[i] {
+						t.Errorf("worker %d: PatternCount(%v) = %d, want %d", w, p, got, want[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

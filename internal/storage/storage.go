@@ -87,6 +87,7 @@ func (o Order) perm() [3]int {
 	case OrderOPS:
 		return [3]int{2, 1, 0}
 	default:
+		//lint:ignore panicfree unreachable enum default: Order has exactly the six cases above
 		panic("storage: invalid order")
 	}
 }

@@ -222,7 +222,9 @@ func (r *Reader) tryDirective() (bool, error) {
 
 func (r *Reader) discard(n int) {
 	for i := 0; i < n; i++ {
-		r.r.ReadByte()
+		if _, err := r.r.ReadByte(); err != nil {
+			return // at EOF there is nothing left to discard
+		}
 	}
 }
 

@@ -452,7 +452,7 @@ func (a *Answerer) ExplainPlan(text string, strategy Strategy) (string, error) {
 		}
 		return term.Canonical()
 	}
-	return a.inner.ExplainPlan(enc.CQ, c, name), nil
+	return a.inner.ExplainPlan(enc.CQ, c, name)
 }
 
 func (a *Answerer) decode(q *sparql.Query, ans *core.Answer) (*Result, error) {
