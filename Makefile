@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint bench check
+.PHONY: build test race vet lint bench bench-json check
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,10 @@ lint:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# bench-json runs the suite at the tiny scale and writes BENCH_<date>.json.
+bench-json:
+	./scripts/bench.sh
 
 check:
 	./scripts/check.sh

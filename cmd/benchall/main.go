@@ -9,12 +9,14 @@
 //	benchall -table 2            # only Table 2
 //	benchall -figure 4           # only Figure 4
 //	benchall -ablations          # only the ablation benches
+//	benchall -parallel           # only the parallelism sweep
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/benchkit"
@@ -26,12 +28,13 @@ func main() {
 	table := flag.Int("table", 0, "regenerate only this table (1-4)")
 	figure := flag.Int("figure", 0, "regenerate only this figure (4-10)")
 	ablations := flag.Bool("ablations", false, "run only the ablation benches")
+	parallel := flag.Bool("parallel", false, "run only the parallelism sweep")
 	flag.Parse()
 
 	sc := benchkit.ScaleByName(*scale)
 	out := os.Stdout
 
-	all := *table == 0 && *figure == 0 && !*ablations
+	all := *table == 0 && *figure == 0 && !*ablations && !*parallel
 	section := func(title string, f func() error) {
 		fmt.Fprintf(out, "\n==== %s ====\n", title)
 		start := time.Now()
@@ -139,6 +142,12 @@ func main() {
 		})
 		section("Ablation A5: factorized vs materialized reformulation", func() error {
 			return lubmDB.AblationFactorizedReformulation(out, "Q01", "Q09", "Q13", "Q24")
+		})
+	}
+
+	if all || *parallel {
+		section(fmt.Sprintf("Parallelism sweep: GCov JUCQ on the native profile (GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)), func() error {
+			return lubmDB.ParallelismSweep(out, []int{1, 2, 4, runtime.GOMAXPROCS(0)}, 3)
 		})
 	}
 }

@@ -26,6 +26,9 @@ import (
 // wall-clock measurements. The NestedLoopArmJoin flag follows the
 // engine's profile.
 func Calibrate(eng *engine.Engine) cost.Params {
+	// The cost model prices sequential work, so calibration measures the
+	// engine running serially regardless of the engine's parallelism knob.
+	eng = eng.WithParallelism(1)
 	p := cost.DefaultParams
 	p.NestedLoopArmJoin = eng.Profile().ArmJoin == engine.NestedLoopJoin
 

@@ -11,6 +11,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/bgp"
@@ -89,6 +90,10 @@ type Options struct {
 	// fragments after each move — an ablation knob for measuring how
 	// much that step of Algorithm 1 contributes.
 	NoRedundancyElimination bool
+	// Parallelism is the worker count for both engine evaluation and the
+	// cover-search pricing pools. 0 means runtime.GOMAXPROCS(0); 1 runs
+	// everything serially. Results are identical regardless of the value.
+	Parallelism int
 }
 
 // DefaultMaxCovers bounds ECov's enumeration when Options.MaxCovers is 0.
@@ -129,7 +134,22 @@ func NewAnswerer(sch *schema.Closed, raw, sat *engine.Engine, opts Options) *Ans
 	if opts.MaxUCQMembers == 0 {
 		opts.MaxUCQMembers = DefaultMaxUCQMembers
 	}
-	return &Answerer{sch: sch, raw: raw, sat: sat, opts: opts}
+	a := &Answerer{sch: sch, raw: raw, sat: sat, opts: opts}
+	if raw != nil {
+		a.raw = raw.WithParallelism(opts.Parallelism)
+	}
+	if sat != nil {
+		a.sat = sat.WithParallelism(opts.Parallelism)
+	}
+	return a
+}
+
+// parallelism resolves the worker count the cover searches price with.
+func (a *Answerer) parallelism() int {
+	if a.opts.Parallelism > 0 {
+		return a.opts.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Raw returns the engine over the non-saturated store.
@@ -230,8 +250,8 @@ func (a *Answerer) ChooseCover(q bgp.CQ, strategy Strategy) (cover.Cover, Report
 		rep.FragmentCQs = append(rep.FragmentCQs, info.numCQs)
 		rep.TotalCQs += info.numCQs
 	}
-	if s.err != nil {
-		return nil, Report{}, s.err
+	if err := s.failure(); err != nil {
+		return nil, Report{}, err
 	}
 	rep.OptimizeTime = time.Since(start)
 	return c, rep, nil

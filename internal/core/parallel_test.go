@@ -1,0 +1,128 @@
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/naive"
+	"repro/internal/testkit"
+)
+
+// The cover searches must be deterministic in the worker count: the
+// chosen cover, the search effort, the estimated cost, and the final
+// answer must be identical at Parallelism 1 and 8 for both ECov and GCov.
+func TestParallelSearchMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		e := testkit.Random(seed, 50)
+		seq := answererFor(e, engine.Native, core.Options{Parallelism: 1})
+		par := answererFor(e, engine.Native, core.Options{Parallelism: 8})
+		rng := rand.New(rand.NewSource(seed + 5100))
+		for qi := 0; qi < 3; qi++ {
+			q := testkit.RandomQuery(e, rng)
+			if !coverableQuery(q) {
+				continue
+			}
+			for _, strat := range []core.Strategy{core.ECov, core.GCov} {
+				wantC, wantRep, err := seq.ChooseCover(q, strat)
+				if err != nil {
+					t.Fatalf("seed %d %s sequential: %v", seed, strat, err)
+				}
+				gotC, gotRep, err := par.ChooseCover(q, strat)
+				if err != nil {
+					t.Fatalf("seed %d %s parallel: %v", seed, strat, err)
+				}
+				if gotC.Key() != wantC.Key() {
+					t.Errorf("seed %d %s on %s: parallel cover %v, sequential %v",
+						seed, strat, q, gotC, wantC)
+				}
+				if gotRep.CoversExplored != wantRep.CoversExplored {
+					t.Errorf("seed %d %s: parallel explored %d covers, sequential %d",
+						seed, strat, gotRep.CoversExplored, wantRep.CoversExplored)
+				}
+				if gotRep.Exhaustive != wantRep.Exhaustive {
+					t.Errorf("seed %d %s: parallel exhaustive=%v, sequential %v",
+						seed, strat, gotRep.Exhaustive, wantRep.Exhaustive)
+				}
+				if gotRep.EstimatedCost != wantRep.EstimatedCost {
+					t.Errorf("seed %d %s: parallel cost %v, sequential %v",
+						seed, strat, gotRep.EstimatedCost, wantRep.EstimatedCost)
+				}
+				if !reflect.DeepEqual(gotRep.FragmentCQs, wantRep.FragmentCQs) {
+					t.Errorf("seed %d %s: parallel fragment CQs %v, sequential %v",
+						seed, strat, gotRep.FragmentCQs, wantRep.FragmentCQs)
+				}
+
+				wantAns, err := seq.Answer(q, strat)
+				if err != nil {
+					t.Fatalf("seed %d %s sequential answer: %v", seed, strat, err)
+				}
+				gotAns, err := par.Answer(q, strat)
+				if err != nil {
+					t.Fatalf("seed %d %s parallel answer: %v", seed, strat, err)
+				}
+				if !naive.Equal(relRows(gotAns.Rel), relRows(wantAns.Rel)) {
+					t.Errorf("seed %d %s: parallel answer differs from sequential", seed, strat)
+				}
+				if gotAns.Report.Metrics != wantAns.Report.Metrics {
+					t.Errorf("seed %d %s: parallel metrics %+v, sequential %+v",
+						seed, strat, gotAns.Report.Metrics, wantAns.Report.Metrics)
+				}
+			}
+		}
+	}
+}
+
+// Concurrent Answer calls on one shared parallel answerer exercise the
+// searcher memos and the engine shards together under the race detector.
+func TestParallelAnswerRace(t *testing.T) {
+	e := testkit.Random(5, 60)
+	a := answererFor(e, engine.Native, core.Options{Parallelism: 4})
+	rng := rand.New(rand.NewSource(5500))
+	var queries []bgp.CQ
+	for len(queries) < 3 {
+		q := testkit.RandomQuery(e, rng)
+		if coverableQuery(q) {
+			queries = append(queries, q)
+		}
+	}
+	want := make(map[int]map[core.Strategy]naive.Rows)
+	seq := answererFor(e, engine.Native, core.Options{Parallelism: 1})
+	for i, q := range queries {
+		want[i] = make(map[core.Strategy]naive.Rows)
+		for _, strat := range []core.Strategy{core.ECov, core.GCov} {
+			ans, err := seq.Answer(q, strat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i][strat] = relRows(ans.Rel)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i, q := range queries {
+				strat := core.ECov
+				if (w+i)%2 == 1 {
+					strat = core.GCov
+				}
+				ans, err := a.Answer(q, strat)
+				if err != nil {
+					t.Errorf("concurrent %s: %v", strat, err)
+					return
+				}
+				if !naive.Equal(relRows(ans.Rel), want[i][strat]) {
+					t.Errorf("concurrent %s diverged from sequential answer", strat)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bgp"
@@ -16,23 +18,40 @@ import (
 // graph, memoized fragment reformulations and statistics, and memoized
 // cover costs. Fragment information is shared across all covers the
 // search prices, which is what keeps ECov affordable on spaces of
-// thousands of covers.
+// thousands of covers. The memos are safe for concurrent use so that
+// cover pricing can run on a bounded worker pool (par > 1): ECov prices
+// enumerated covers as they stream out of the enumeration, GCov prices
+// the develop moves of one round concurrently, and both reduce their
+// results deterministically, so the chosen cover is independent of the
+// worker count.
 type searcher struct {
 	a     *Answerer
 	q     bgp.CQ
 	g     *cover.Graph
 	final float64 // estimated |q| — the JUCQ result size for the model
+	par   int     // pricing worker count; <= 1 searches sequentially
 
-	frags  map[cover.Fragment]*fragInfo
-	costs  map[string]float64
 	start  time.Time
 	budget time.Duration
 
+	// mu guards the memo maps and the parked error below.
+	mu    sync.Mutex
+	frags map[cover.Fragment]*fragEntry
+	costs map[string]float64
 	// err records the first fragment-reformulation failure. checkQuery
 	// rules those out up front, so this is a belt-and-braces channel: frag
 	// cannot return an error itself without contorting the search loops,
 	// so the failure is parked here and surfaced by ChooseCover.
 	err error
+}
+
+// fragEntry is the once-filled memo slot of one fragment: the map under
+// s.mu only stores the slot, and the slot's sync.Once fills it outside
+// the lock, so two workers never compute the same fragment twice and a
+// slow fragment never blocks memo lookups of other fragments.
+type fragEntry struct {
+	once sync.Once
+	info *fragInfo
 }
 
 // fragInfo caches everything the search needs about one fragment.
@@ -54,7 +73,8 @@ func newSearcher(a *Answerer, q bgp.CQ) (*searcher, error) {
 		q:      q,
 		g:      g,
 		final:  a.raw.Stats().CQCard(q),
-		frags:  make(map[cover.Fragment]*fragInfo),
+		par:    a.parallelism(),
+		frags:  make(map[cover.Fragment]*fragEntry),
 		costs:  make(map[string]float64),
 		start:  time.Now(),
 		budget: a.opts.SearchBudget,
@@ -65,30 +85,75 @@ func (s *searcher) expired() bool {
 	return s.budget > 0 && time.Since(s.start) > s.budget
 }
 
+// failure returns the parked fragment-reformulation error, if any.
+func (s *searcher) failure() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// runParallel runs f(0..n-1) on up to s.par workers, sequentially when
+// the searcher or the job list has no parallelism to exploit.
+func (s *searcher) runParallel(n int, f func(int)) {
+	workers := s.par
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // frag returns the memoized fragment information, computing it on first
 // use: the cover query (Definition 3.4), its factorized reformulation,
 // and the arm statistics the cost model consumes.
 func (s *searcher) frag(f cover.Fragment) *fragInfo {
-	if info, ok := s.frags[f]; ok {
-		return info
+	s.mu.Lock()
+	e, ok := s.frags[f]
+	if !ok {
+		e = &fragEntry{}
+		s.frags[f] = e
 	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		e.info = s.computeFrag(f)
+	})
+	return e.info
+}
+
+func (s *searcher) computeFrag(f cover.Fragment) *fragInfo {
 	cq := cover.Query(s.q, f)
 	ref, err := reformulate.Reformulate(cq, s.a.sch)
 	if err != nil {
-		// Unreachable after checkQuery (cover queries inherit the head-
-		// variable discipline of the input), but park the failure rather
-		// than lose it: ChooseCover reports s.err after the search.
+		s.mu.Lock()
 		if s.err == nil {
 			s.err = err
 		}
-		info := &fragInfo{cq: cq, ref: &reformulate.Reformulation{}}
-		s.frags[f] = info
-		return info
+		s.mu.Unlock()
+		return &fragInfo{cq: cq, ref: &reformulate.Reformulation{}}
 	}
 	info := &fragInfo{cq: cq, ref: ref, numCQs: ref.NumCQs()}
 	info.stats = s.armStats(ref)
 	info.aloneCost = s.a.opts.Params.UCQ(info.stats)
-	s.frags[f] = info
 	return info
 }
 
@@ -134,10 +199,10 @@ func (s *searcher) armStats(ref *reformulate.Reformulation) cost.ArmStats {
 				c := st.AtomCard(alt)
 				si.sum += c
 				buf = alt.Vars(buf[:0])
-				handled := make(map[uint32]bool, len(buf))
-				for _, v := range buf {
-					if !handled[v] {
-						handled[v] = true
+				for j, v := range buf {
+					// Atoms carry at most three variables; a linear dup
+					// scan beats a per-alternative map allocation.
+					if !dupVarBefore(buf, j) {
 						si.distinct[v] += st.DistinctForVar(alt, v)
 					}
 				}
@@ -183,6 +248,16 @@ func (s *searcher) armStats(ref *reformulate.Reformulation) cost.ArmStats {
 	return out
 }
 
+// dupVarBefore reports whether vars[i] already occurs in vars[:i].
+func dupVarBefore(vars []uint32, i int) bool {
+	for j := 0; j < i; j++ {
+		if vars[j] == vars[i] {
+			return true
+		}
+	}
+	return false
+}
+
 func maxFloat(a, b float64) float64 {
 	if a > b {
 		return a
@@ -198,12 +273,16 @@ func minFloat(a, b float64) float64 {
 }
 
 // coverCost prices one cover's induced JUCQ reformulation, memoized.
+// Pricing is deterministic, so two workers racing on one cover store the
+// same value and the memo stays consistent without a per-key latch.
 func (s *searcher) coverCost(c cover.Cover) float64 {
 	key := c.Key()
-	if v, ok := s.costs[key]; ok {
+	s.mu.Lock()
+	v, ok := s.costs[key]
+	s.mu.Unlock()
+	if ok {
 		return v
 	}
-	var v float64
 	switch s.a.opts.Source {
 	case EngineInternal:
 		v = s.engineCost(c)
@@ -214,7 +293,9 @@ func (s *searcher) coverCost(c cover.Cover) float64 {
 		}
 		v = s.a.opts.Params.JUCQ(arms, s.final)
 	}
+	s.mu.Lock()
 	s.costs[key] = v
+	s.mu.Unlock()
 	return v
 }
 
@@ -240,22 +321,81 @@ func (s *searcher) engineCost(c cover.Cover) float64 {
 // ecov is the exhaustive search of Section 4.2: enumerate every valid
 // minimal cover, price each, return the cheapest. The enumeration bound
 // and the search budget reproduce the paper's ECov timeout on its largest
-// query.
+// query. With par > 1 the enumerated covers are priced by a worker pool
+// as they stream out of the enumeration (the bounded job channel applies
+// backpressure, so the MaxCovers bound and the expiry check keep their
+// meaning); ties on cost resolve to the earliest-enumerated cover, which
+// is exactly the cover the sequential scan keeps.
 func (s *searcher) ecov() (best cover.Cover, explored int, exhaustive bool) {
-	bestCost := math.Inf(1)
-	timedOut := false
-	enumerated := s.g.EnumerateMinimal(s.a.opts.MaxCovers, func(c cover.Cover) bool {
-		v := s.coverCost(c)
-		explored++
-		if v < bestCost {
-			best, bestCost = c, v
+	if s.par <= 1 {
+		bestCost := math.Inf(1)
+		timedOut := false
+		enumerated := s.g.EnumerateMinimal(s.a.opts.MaxCovers, func(c cover.Cover) bool {
+			v := s.coverCost(c)
+			explored++
+			if v < bestCost {
+				best, bestCost = c, v
+			}
+			if s.expired() {
+				timedOut = true
+				return false
+			}
+			return true
+		})
+		if best == nil {
+			best = cover.WholeQuery(len(s.q.Atoms))
 		}
+		return best, explored, enumerated && !timedOut
+	}
+
+	type job struct {
+		idx int
+		c   cover.Cover
+	}
+	type priced struct {
+		idx int
+		c   cover.Cover
+		v   float64
+	}
+	jobs := make(chan job, s.par*2)
+	out := make(chan priced, s.par*2)
+	var workers sync.WaitGroup
+	for w := 0; w < s.par; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for j := range jobs {
+				out <- priced{j.idx, j.c, s.coverCost(j.c)}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	bestIdx := -1
+	bestCost := math.Inf(1)
+	go func() {
+		defer close(done)
+		for p := range out {
+			explored++
+			if p.v < bestCost || (p.v == bestCost && bestIdx >= 0 && p.idx < bestIdx) {
+				best, bestCost, bestIdx = p.c, p.v, p.idx
+			}
+		}
+	}()
+	timedOut := false
+	n := 0
+	enumerated := s.g.EnumerateMinimal(s.a.opts.MaxCovers, func(c cover.Cover) bool {
+		jobs <- job{n, c}
+		n++
 		if s.expired() {
 			timedOut = true
 			return false
 		}
 		return true
 	})
+	close(jobs)
+	workers.Wait()
+	close(out)
+	<-done
 	if best == nil {
 		best = cover.WholeQuery(len(s.q.Atoms))
 	}
@@ -266,6 +406,11 @@ func (s *searcher) ecov() (best cover.Cover, explored int, exhaustive bool) {
 // develop "add a joining triple to a fragment" moves, keep the move list
 // sorted by the estimated cost of the resulting cover, and greedily apply
 // the most promising move while it does not worsen the best cover found.
+// With par > 1 one develop round applies and prices its moves on the
+// worker pool, then replays the sequential bookkeeping — budget check
+// before dedup check, explored counting only freshly priced covers, moves
+// inserted in candidate order — so the move list, the explored count, and
+// the chosen cover are identical to the sequential search.
 func (s *searcher) gcov() (cover.Cover, int) {
 	n := len(s.q.Atoms)
 	c0 := cover.PerAtom(n)
@@ -286,25 +431,70 @@ func (s *searcher) gcov() (cover.Cover, int) {
 	}
 	maxCovers := s.a.opts.GCovMaxCovers
 	develop := func(c cover.Cover) {
+		if s.par <= 1 {
+			for fi, f := range c {
+				for t := 0; t < n; t++ {
+					if f.Has(t) || !s.g.Joins(t, f) {
+						continue
+					}
+					if explored >= maxCovers {
+						return
+					}
+					c2 := s.apply(c, fi, t)
+					k := c2.Key()
+					if analysed[k] {
+						continue
+					}
+					analysed[k] = true
+					v := s.coverCost(c2)
+					explored++
+					if v <= bestCost {
+						insert(move{c2, v})
+					}
+				}
+			}
+			return
+		}
+		// Candidate moves in (fragment, triple) order — the order the
+		// sequential scan prices them in.
+		type cand struct{ fi, t int }
+		var cands []cand
 		for fi, f := range c {
 			for t := 0; t < n; t++ {
 				if f.Has(t) || !s.g.Joins(t, f) {
 					continue
 				}
-				if explored >= maxCovers {
-					return
-				}
-				c2 := s.apply(c, fi, t)
-				k := c2.Key()
-				if analysed[k] {
-					continue
-				}
-				analysed[k] = true
-				v := s.coverCost(c2)
-				explored++
-				if v <= bestCost {
-					insert(move{c2, v})
-				}
+				cands = append(cands, cand{fi, t})
+			}
+		}
+		// Apply every move on the pool (apply only touches the concurrent
+		// fragment memo), then replay the sequential per-candidate
+		// bookkeeping: budget check before dedup check, explored counting
+		// only freshly priced covers.
+		applied := make([]cover.Cover, len(cands))
+		s.runParallel(len(cands), func(i int) {
+			applied[i] = s.apply(c, cands[i].fi, cands[i].t)
+		})
+		var fresh []cover.Cover
+		for _, c2 := range applied {
+			if explored+len(fresh) >= maxCovers {
+				break
+			}
+			k := c2.Key()
+			if analysed[k] {
+				continue
+			}
+			analysed[k] = true
+			fresh = append(fresh, c2)
+		}
+		costs := make([]float64, len(fresh))
+		s.runParallel(len(fresh), func(i int) {
+			costs[i] = s.coverCost(fresh[i])
+		})
+		for i, c2 := range fresh {
+			explored++
+			if costs[i] <= bestCost {
+				insert(move{c2, costs[i]})
 			}
 		}
 	}

@@ -29,6 +29,8 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
 	"repro/internal/bgp"
 	"repro/internal/stats"
@@ -158,12 +160,38 @@ type Engine struct {
 	store *storage.Store
 	st    *stats.Stats
 	prof  Profile
+	// par is the configured worker count for one evaluation; 0 means
+	// runtime.GOMAXPROCS(0), 1 means strictly sequential evaluation.
+	par int
 }
 
 // New returns an engine over the store with the given statistics and
 // profile.
 func New(store *storage.Store, st *stats.Stats, prof Profile) *Engine {
 	return &Engine{store: store, st: st, prof: prof}
+}
+
+// WithParallelism returns a copy of the engine whose evaluations use n
+// workers: member CQs of one arm are sharded over n dedup sets, and
+// independent JUCQ arms are evaluated concurrently. n = 1 is the strictly
+// sequential evaluation the paper's reproduction benchmarks assume;
+// n <= 0 restores the default, runtime.GOMAXPROCS(0). Results are
+// identical for every n (set semantics with a deterministic merge order).
+func (e *Engine) WithParallelism(n int) *Engine {
+	e2 := *e
+	if n < 0 {
+		n = 0
+	}
+	e2.par = n
+	return &e2
+}
+
+// Parallelism returns the resolved worker count of one evaluation.
+func (e *Engine) Parallelism() int {
+	if e.par > 0 {
+		return e.par
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Profile returns the engine's profile.
@@ -175,17 +203,41 @@ func (e *Engine) Stats() *stats.Stats { return e.st }
 // Store returns the underlying triple store.
 func (e *Engine) Store() *storage.Store { return e.store }
 
-// evalCtx tracks budgets and metrics for one evaluation.
+// evalCtx tracks budgets and metrics for one evaluation. Counters are
+// atomics so that arm workers and member shards charge one shared budget:
+// the typed budget errors fire when the *total* spent by all workers
+// exceeds the profile limit, independent of goroutine interleaving. With
+// a single worker the accumulated values are exactly the sequential ones.
 type evalCtx struct {
-	prof    Profile
-	metrics Metrics
+	prof Profile
+	par  int // resolved worker count; <= 1 evaluates sequentially
+
+	tuplesScanned    atomic.Int64
+	rowsMaterialized atomic.Int64
+	rowsJoined       atomic.Int64
+	rowsDeduped      atomic.Int64
+	unionArms        atomic.Int64
+	work             atomic.Int64
+}
+
+// snapshot returns the metrics accumulated so far. Only call after the
+// workers of the evaluation have finished (or for a sequential context).
+func (c *evalCtx) snapshot() Metrics {
+	return Metrics{
+		TuplesScanned:    c.tuplesScanned.Load(),
+		RowsMaterialized: c.rowsMaterialized.Load(),
+		RowsJoined:       c.rowsJoined.Load(),
+		RowsDeduped:      c.rowsDeduped.Load(),
+		UnionArms:        c.unionArms.Load(),
+		Work:             c.work.Load(),
+	}
 }
 
 // charge adds n work units, failing when the budget is exhausted.
 func (c *evalCtx) charge(n int64) error {
-	c.metrics.Work += n
-	if c.prof.WorkBudget > 0 && c.metrics.Work > c.prof.WorkBudget {
-		return fmt.Errorf("%w (%s: %d units)", ErrWorkBudget, c.prof.Name, c.metrics.Work)
+	w := c.work.Add(n)
+	if c.prof.WorkBudget > 0 && w > c.prof.WorkBudget {
+		return fmt.Errorf("%w (%s: %d units)", ErrWorkBudget, c.prof.Name, w)
 	}
 	return nil
 }

@@ -59,15 +59,13 @@ func (e *Engine) estimateMember(cq bgp.CQ) (cost, card float64) {
 	bound := make(map[uint32]bool)
 	bindings := 1.0
 	cost = 0.0
+	var buf []uint32 // scratch, reused across atoms
 	for _, idx := range order {
 		a := cq.Atoms[idx]
 		per := e.st.AtomCard(a)
-		var buf []uint32
-		buf = a.Vars(buf)
-		seen := make(map[uint32]bool, len(buf))
-		for _, v := range buf {
-			if bound[v] && !seen[v] {
-				seen[v] = true
+		buf = a.Vars(buf[:0])
+		for j, v := range buf {
+			if bound[v] && !dupBefore(buf, j) {
 				if d := e.st.DistinctForVar(a, v); d > 1 {
 					per /= d
 				}

@@ -76,7 +76,7 @@ func (e *Engine) EvalJUCQ(j bgp.JUCQ) (*Relation, Metrics, error) {
 // EvalArms is the general entry point: a join of streamed UCQ arms,
 // projected on head. A single arm is a plain UCQ evaluation.
 func (e *Engine) EvalArms(head []uint32, arms []ArmSource) (*Relation, Metrics, error) {
-	ctx := &evalCtx{prof: e.prof}
+	ctx := &evalCtx{prof: e.prof, par: e.Parallelism()}
 
 	// Admission control: total plan size.
 	var leaves int64
@@ -84,17 +84,14 @@ func (e *Engine) EvalArms(head []uint32, arms []ArmSource) (*Relation, Metrics, 
 		leaves += a.Leaves
 	}
 	if e.prof.MaxPlanLeaves > 0 && leaves > e.prof.MaxPlanLeaves {
-		return nil, ctx.metrics, fmt.Errorf("%w (%s: %d scan leaves)", ErrPlanTooComplex, e.prof.Name, leaves)
+		return nil, ctx.snapshot(), fmt.Errorf("%w (%s: %d scan leaves)", ErrPlanTooComplex, e.prof.Name, leaves)
 	}
 
-	// Evaluate each arm into a materialized relation.
-	rels := make([]*Relation, len(arms))
-	for i, a := range arms {
-		rel, err := e.evalArm(ctx, a)
-		if err != nil {
-			return nil, ctx.metrics, err
-		}
-		rels[i] = rel
+	// Evaluate each arm into a materialized relation; independent arms
+	// run concurrently when the engine has more than one worker.
+	rels, err := e.evalAllArms(ctx, arms)
+	if err != nil {
+		return nil, ctx.snapshot(), err
 	}
 	// The largest-result arm is pipelined into the top join (the cost
 	// model's assumption); every other arm is a materialized
@@ -108,7 +105,7 @@ func (e *Engine) EvalArms(head []uint32, arms []ArmSource) (*Relation, Metrics, 
 		}
 		for i, r := range rels {
 			if i != largest {
-				ctx.metrics.RowsMaterialized += int64(r.Len())
+				ctx.rowsMaterialized.Add(int64(r.Len()))
 			}
 		}
 	}
@@ -145,7 +142,7 @@ func (e *Engine) EvalArms(head []uint32, arms []ArmSource) (*Relation, Metrics, 
 		used[next] = true
 		joined, err := joinRelations(ctx, cur, rels[next], e.prof.ArmJoin)
 		if err != nil {
-			return nil, ctx.metrics, err
+			return nil, ctx.snapshot(), err
 		}
 		cur = joined
 	}
@@ -156,26 +153,51 @@ func (e *Engine) EvalArms(head []uint32, arms []ArmSource) (*Relation, Metrics, 
 	for i, v := range head {
 		c, ok := pos[v]
 		if !ok {
-			return nil, ctx.metrics, fmt.Errorf("engine: head variable ?v%d not produced by any arm", v)
+			return nil, ctx.snapshot(), fmt.Errorf("engine: head variable ?v%d not produced by any arm", v)
 		}
 		cols[i] = c
 	}
+	out, err := projectDistinct(ctx, cur, cols, head)
+	if err != nil {
+		return nil, ctx.snapshot(), err
+	}
+	return out, ctx.snapshot(), nil
+}
+
+// projectDistinct projects cur on cols with duplicate elimination — the
+// final operator of every plan. The output relation is charged against
+// the materialization budget like any other intermediate (the dedup set
+// grows in lockstep with out.Rows, and checkRows guards the appends), so
+// ErrMemoryBudget cannot be bypassed at the last operator. With more than
+// one worker the input is split into contiguous chunks deduplicated
+// locally and re-deduplicated in chunk order, which keeps the output rows
+// in exactly the sequential first-occurrence order.
+func projectDistinct(ctx *evalCtx, cur *Relation, cols []int, head []uint32) (*Relation, error) {
+	if ctx.par > 1 && len(cur.Rows) >= parallelRowThreshold {
+		return projectDistinctParallel(ctx, cur, cols, head)
+	}
 	out := &Relation{Vars: head}
 	dedup := newDedupSet(ctx)
+	var arena rowArena
 	for _, row := range cur.Rows {
-		proj := make([]dict.ID, len(cols))
+		proj := arena.alloc(len(cols))
 		for i, c := range cols {
 			proj[i] = row[c]
 		}
 		fresh, err := dedup.add(proj)
 		if err != nil {
-			return nil, ctx.metrics, err
+			return nil, err
 		}
 		if fresh {
 			out.Rows = append(out.Rows, proj)
+			if err := ctx.checkRows(len(out.Rows)); err != nil {
+				return nil, err
+			}
+		} else {
+			arena.release(proj)
 		}
 	}
-	return out, ctx.metrics, nil
+	return out, nil
 }
 
 func sharesVars(a, b []uint32) bool {
@@ -189,16 +211,21 @@ func sharesVars(a, b []uint32) bool {
 	return false
 }
 
-// evalArm evaluates one UCQ arm: every member CQ is bind-joined against
-// the store and its head rows flow into a shared duplicate-elimination
-// set.
+// evalArm evaluates one UCQ arm. With one worker, every member CQ is
+// bind-joined against the store and its head rows flow into a shared
+// duplicate-elimination set; with more, the members are sharded over a
+// worker pool (see evalArmSharded) with a deterministic merge.
 func (e *Engine) evalArm(ctx *evalCtx, arm ArmSource) (*Relation, error) {
+	if ctx.par > 1 {
+		return e.evalArmSharded(ctx, arm)
+	}
 	out := &Relation{Vars: arm.Vars}
 	dedup := newDedupSet(ctx)
+	var arena rowArena
 	var failure error
 	arm.Each(func(cq bgp.CQ) bool {
-		ctx.metrics.UnionArms++
-		if err := e.evalMember(ctx, cq, dedup, out); err != nil {
+		ctx.unionArms.Add(1)
+		if err := e.evalMember(ctx, cq, dedup, out, &arena); err != nil {
 			failure = err
 			return false
 		}
@@ -211,11 +238,13 @@ func (e *Engine) evalArm(ctx *evalCtx, arm ArmSource) (*Relation, error) {
 }
 
 // evalMember evaluates one member CQ by an index bind-join in a greedily
-// chosen atom order, emitting projected head rows.
-func (e *Engine) evalMember(ctx *evalCtx, cq bgp.CQ, dedup *dedupSet, out *Relation) error {
+// chosen atom order, emitting projected head rows. Fresh rows are copied
+// out of the shared row buffer through the arena.
+func (e *Engine) evalMember(ctx *evalCtx, cq bgp.CQ, dedup *dedupSet, out *Relation, arena *rowArena) error {
 	order := e.joinOrder(cq)
 	bind := make(map[uint32]dict.ID)
 	row := make([]dict.ID, len(cq.Head))
+	newlyStack := make([][]uint32, len(order))
 	var rec func(depth int) error
 	rec = func(depth int) error {
 		if depth == len(order) {
@@ -231,7 +260,7 @@ func (e *Engine) evalMember(ctx *evalCtx, cq bgp.CQ, dedup *dedupSet, out *Relat
 				return err
 			}
 			if fresh {
-				out.Rows = append(out.Rows, append([]dict.ID(nil), row...))
+				out.Rows = append(out.Rows, arena.copy(row))
 			}
 			return nil
 		}
@@ -247,14 +276,14 @@ func (e *Engine) evalMember(ctx *evalCtx, cq bgp.CQ, dedup *dedupSet, out *Relat
 
 		var failure error
 		e.store.Scan(pat, func(tr storage.Triple) bool {
-			ctx.metrics.TuplesScanned++
+			ctx.tuplesScanned.Add(1)
 			if err := ctx.charge(1); err != nil {
 				failure = err
 				return false
 			}
 			vals := [3]dict.ID{tr.S, tr.P, tr.O}
 			terms := a.Positions()
-			var newly []uint32
+			newly := newlyStack[depth][:0]
 			ok := true
 			for i, t := range terms {
 				if !t.Var {
@@ -270,6 +299,7 @@ func (e *Engine) evalMember(ctx *evalCtx, cq bgp.CQ, dedup *dedupSet, out *Relat
 					newly = append(newly, t.ID)
 				}
 			}
+			newlyStack[depth] = newly
 			if ok {
 				if err := rec(depth + 1); err != nil {
 					failure = err
@@ -301,27 +331,24 @@ func (e *Engine) joinOrder(cq bgp.CQ) []int {
 	order := make([]int, 0, n)
 	usedAtoms := make([]bool, n)
 	bound := make(map[uint32]bool)
+	var buf []uint32 // scratch, reused across atoms and rounds
 
 	est := func(i int) float64 {
 		a := cq.Atoms[i]
 		card := e.st.AtomCard(a)
-		var buf []uint32
-		buf = a.Vars(buf)
-		seen := make(map[uint32]bool, len(buf))
-		for _, v := range buf {
-			if bound[v] && !seen[v] {
-				seen[v] = true
-				if d := e.st.DistinctForVar(a, v); d > 1 {
-					card /= d
-				}
+		buf = a.Vars(buf[:0])
+		for j, v := range buf {
+			if !bound[v] || dupBefore(buf, j) {
+				continue
+			}
+			if d := e.st.DistinctForVar(a, v); d > 1 {
+				card /= d
 			}
 		}
 		return card
 	}
 	connected := func(i int) bool {
-		a := cq.Atoms[i]
-		var buf []uint32
-		buf = a.Vars(buf)
+		buf = cq.Atoms[i].Vars(buf[:0])
 		for _, v := range buf {
 			if bound[v] {
 				return true
@@ -345,11 +372,22 @@ func (e *Engine) joinOrder(cq bgp.CQ) []int {
 		}
 		order = append(order, best)
 		usedAtoms[best] = true
-		var buf []uint32
-		buf = cq.Atoms[best].Vars(buf)
+		buf = cq.Atoms[best].Vars(buf[:0])
 		for _, v := range buf {
 			bound[v] = true
 		}
 	}
 	return order
+}
+
+// dupBefore reports whether vars[i] already occurs in vars[:i] — the
+// allocation-free replacement for the per-atom "seen" map in the hot
+// ordering and estimation loops (atoms have at most three variables).
+func dupBefore(vars []uint32, i int) bool {
+	for j := 0; j < i; j++ {
+		if vars[j] == vars[i] {
+			return true
+		}
+	}
+	return false
 }

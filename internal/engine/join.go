@@ -30,14 +30,16 @@ func joinRelations(ctx *evalCtx, left, right *Relation, algo JoinAlgorithm) (*Re
 		}
 	}
 	out := &Relation{Vars: outVars}
+	var arena rowArena
 	emit := func(lr, rr []dict.ID) error {
-		row := make([]dict.ID, 0, len(outVars))
-		row = append(row, lr...)
+		row := arena.alloc(len(outVars))
+		n := copy(row, lr)
 		for _, i := range rightOnly {
-			row = append(row, rr[i])
+			row[n] = rr[i]
+			n++
 		}
 		out.Rows = append(out.Rows, row)
-		ctx.metrics.RowsJoined++
+		ctx.rowsJoined.Add(1)
 		if err := ctx.charge(1); err != nil {
 			return err
 		}

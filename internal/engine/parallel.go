@@ -1,0 +1,253 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bgp"
+	"repro/internal/dict"
+)
+
+// This file is the engine's parallelism layer. Two independent axes of
+// the JUCQ shape are exploited:
+//
+//   - arms of one JUCQ are independent subqueries, evaluated concurrently
+//     (evalAllArms);
+//   - member CQs of one UCQ arm are independent scans under set
+//     semantics, sharded over a worker pool (evalArmSharded).
+//
+// Parallel evaluation returns byte-identical relations to sequential
+// evaluation: each shard deduplicates locally in member order, and the
+// shard outputs are re-deduplicated in global member order, so every row
+// appears exactly where the first member producing it would have emitted
+// it sequentially. Budgets live in shared atomics (see evalCtx), so the
+// typed budget errors still fire on the *total* spent; on the success
+// path the accumulated metrics are identical to the sequential ones
+// (shard-local sets charge exactly the rows sequential dedup charges, and
+// the merge charges nothing — see dedupSet.addMerged).
+
+// memberBatch is the number of member CQs dispatched to a shard at once;
+// batches round-robin over the shards so the merge order is a function of
+// the member index alone.
+const memberBatch = 32
+
+// parallelRowThreshold is the input size below which the final projection
+// stays sequential — goroutine handoff costs more than the projection.
+const parallelRowThreshold = 4096
+
+// evalAllArms materializes every arm. Arms run concurrently when the
+// context has more than one worker; the first failure in arm order is
+// reported, which is the failure sequential evaluation surfaces (arms
+// before it succeeded, so sequential evaluation would have reached it).
+func (e *Engine) evalAllArms(ctx *evalCtx, arms []ArmSource) ([]*Relation, error) {
+	rels := make([]*Relation, len(arms))
+	if ctx.par <= 1 || len(arms) < 2 {
+		for i, a := range arms {
+			rel, err := e.evalArm(ctx, a)
+			if err != nil {
+				return nil, err
+			}
+			rels[i] = rel
+		}
+		return rels, nil
+	}
+	errs := make([]error, len(arms))
+	var wg sync.WaitGroup
+	for i := range arms {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rels[i], errs[i] = e.evalArm(ctx, arms[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rels, nil
+}
+
+// shardResult is one shard's share of an arm evaluation: the locally
+// fresh rows of every batch the shard processed, in dispatch order.
+type shardResult struct {
+	batches  [][][]dict.ID // batches[k] is the rows of global batch k*shards+s
+	err      error
+	errBatch int // global index of the batch err occurred in
+}
+
+// evalArmSharded evaluates one arm's member CQs on ctx.par workers. The
+// producer streams members into fixed-size batches, round-robin over the
+// shards; every shard bind-joins its members against its own dedup set
+// and buffers the locally fresh rows per batch; the merge then walks the
+// batches in global order through one final set. See the file comment for
+// why the result (and the success-path metrics) are exactly sequential.
+func (e *Engine) evalArmSharded(ctx *evalCtx, arm ArmSource) (*Relation, error) {
+	shards := ctx.par
+	type batch struct {
+		idx int
+		cqs []bgp.CQ
+	}
+	chans := make([]chan batch, shards)
+	results := make([]*shardResult, shards)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		chans[s] = make(chan batch, 2)
+		res := &shardResult{errBatch: -1}
+		results[s] = res
+		wg.Add(1)
+		go func(in chan batch, res *shardResult) {
+			defer wg.Done()
+			dedup := newDedupSet(ctx)
+			var arena rowArena
+			for b := range in {
+				if res.err != nil {
+					continue // drain after a failure
+				}
+				out := &Relation{Vars: arm.Vars}
+				for _, cq := range b.cqs {
+					ctx.unionArms.Add(1)
+					if err := e.evalMember(ctx, cq, dedup, out, &arena); err != nil {
+						res.err, res.errBatch = err, b.idx
+						failed.Store(true)
+						break
+					}
+				}
+				if res.err == nil {
+					res.batches = append(res.batches, out.Rows)
+				}
+			}
+		}(chans[s], res)
+	}
+
+	// Producer: the member stream is chunked into batches dispatched
+	// round-robin, so batch k belongs to shard k mod shards.
+	nextBatch := 0
+	pending := make([]bgp.CQ, 0, memberBatch)
+	flush := func() {
+		chans[nextBatch%shards] <- batch{idx: nextBatch, cqs: pending}
+		nextBatch++
+		pending = make([]bgp.CQ, 0, memberBatch)
+	}
+	arm.Each(func(cq bgp.CQ) bool {
+		if failed.Load() {
+			return false
+		}
+		pending = append(pending, cq)
+		if len(pending) == memberBatch {
+			flush()
+		}
+		return true
+	})
+	if len(pending) > 0 {
+		flush()
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+
+	// Report the failure of the earliest batch in global member order:
+	// the failure whose members sequential evaluation reaches first.
+	var firstErr error
+	firstBatch := -1
+	for _, res := range results {
+		if res.err != nil && (firstBatch == -1 || res.errBatch < firstBatch) {
+			firstErr, firstBatch = res.err, res.errBatch
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Deterministic merge: batches in global order, one shared set.
+	out := &Relation{Vars: arm.Vars}
+	merge := newDedupSet(ctx)
+	for b := 0; b < nextBatch; b++ {
+		for _, row := range results[b%shards].batches[b/shards] {
+			fresh, err := merge.addMerged(row)
+			if err != nil {
+				return nil, err
+			}
+			if fresh {
+				out.Rows = append(out.Rows, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+// projectDistinctParallel is projectDistinct on ctx.par workers: the
+// input rows are split into contiguous chunks, projected and deduplicated
+// locally, and the chunk outputs re-deduplicated in chunk order — the
+// same local-set-then-ordered-merge scheme as evalArmSharded, with the
+// same byte-identical-output and identical-metrics guarantees.
+func projectDistinctParallel(ctx *evalCtx, cur *Relation, cols []int, head []uint32) (*Relation, error) {
+	workers := ctx.par
+	chunk := (len(cur.Rows) + workers - 1) / workers
+	type chunkResult struct {
+		rows [][]dict.ID
+		err  error
+	}
+	results := make([]chunkResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if lo >= len(cur.Rows) {
+			break
+		}
+		if hi > len(cur.Rows) {
+			hi = len(cur.Rows)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			dedup := newDedupSet(ctx)
+			var arena rowArena
+			var rows [][]dict.ID
+			for _, row := range cur.Rows[lo:hi] {
+				proj := arena.alloc(len(cols))
+				for i, c := range cols {
+					proj[i] = row[c]
+				}
+				fresh, err := dedup.add(proj)
+				if err != nil {
+					results[w].err = err
+					return
+				}
+				if fresh {
+					rows = append(rows, proj)
+				} else {
+					arena.release(proj)
+				}
+			}
+			results[w].rows = rows
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, res := range results {
+		if res.err != nil {
+			return nil, res.err
+		}
+	}
+	out := &Relation{Vars: head}
+	merge := newDedupSet(ctx)
+	for _, res := range results {
+		for _, row := range res.rows {
+			fresh, err := merge.addMerged(row)
+			if err != nil {
+				return nil, err
+			}
+			if fresh {
+				out.Rows = append(out.Rows, row)
+				if err := ctx.checkRows(len(out.Rows)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,192 @@
+package engine_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/engine"
+	"repro/internal/reformulate"
+	"repro/internal/stats"
+	"repro/internal/testkit"
+)
+
+// relEqual reports whether two relations are byte-identical: same column
+// order and same rows in the same order.
+func relEqual(a, b *engine.Relation) bool {
+	if !reflect.DeepEqual(a.Vars, b.Vars) || len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Rows {
+		if !reflect.DeepEqual(a.Rows[i], b.Rows[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// scqArms builds the per-atom (SCQ) reformulated arms of q — a multi-arm
+// JUCQ workload with non-trivial unions per arm.
+func scqArms(t *testing.T, e *testkit.Example, q bgp.CQ) ([]uint32, []engine.ArmSource) {
+	t.Helper()
+	head := headVars(q)
+	var arms []engine.ArmSource
+	for i := range q.Atoms {
+		sub := coverQuery(q, []int{i}, head)
+		ref, err := reformulate.Reformulate(sub, e.Closed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := ref.UCQ(100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arms = append(arms, engine.SourceFromUCQ(u))
+	}
+	return head, arms
+}
+
+// Parallel evaluation must return byte-identical relations and identical
+// metrics to sequential evaluation, on every profile, for single-arm UCQs
+// and multi-arm JUCQs alike.
+func TestParallelMatchesSequential(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		e := testkit.Random(seed, 50)
+		raw := e.RawStore()
+		st := stats.Collect(raw, e.Vocab)
+		rng := rand.New(rand.NewSource(seed + 77))
+		q := testkit.RandomQuery(e, rng)
+		if len(q.Atoms) < 2 || !connectedQuery(q) {
+			continue
+		}
+		ref, err := reformulate.Reformulate(q, e.Closed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := ref.UCQ(100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		head, arms := scqArms(t, e, q)
+		for _, prof := range append(engine.Profiles(), engine.Native) {
+			seq := engine.New(raw, st, prof).WithParallelism(1)
+			par := engine.New(raw, st, prof).WithParallelism(8)
+
+			wantRel, wantM, err := seq.EvalUCQ(u)
+			if err != nil {
+				t.Fatalf("seed %d %s: sequential UCQ: %v", seed, prof.Name, err)
+			}
+			gotRel, gotM, err := par.EvalUCQ(u)
+			if err != nil {
+				t.Fatalf("seed %d %s: parallel UCQ: %v", seed, prof.Name, err)
+			}
+			if !relEqual(gotRel, wantRel) {
+				t.Errorf("seed %d %s: parallel UCQ relation differs from sequential", seed, prof.Name)
+			}
+			if gotM != wantM {
+				t.Errorf("seed %d %s: parallel UCQ metrics = %+v, sequential = %+v", seed, prof.Name, gotM, wantM)
+			}
+
+			wantRel, wantM, err = seq.EvalArms(head, arms)
+			if err != nil {
+				t.Fatalf("seed %d %s: sequential JUCQ: %v", seed, prof.Name, err)
+			}
+			gotRel, gotM, err = par.EvalArms(head, arms)
+			if err != nil {
+				t.Fatalf("seed %d %s: parallel JUCQ: %v", seed, prof.Name, err)
+			}
+			if !relEqual(gotRel, wantRel) {
+				t.Errorf("seed %d %s: parallel JUCQ relation differs from sequential", seed, prof.Name)
+			}
+			if gotM != wantM {
+				t.Errorf("seed %d %s: parallel JUCQ metrics = %+v, sequential = %+v", seed, prof.Name, gotM, wantM)
+			}
+		}
+	}
+}
+
+// The typed budget errors must fire identically under parallel and
+// sequential evaluation when a budget is clearly exceeded.
+func TestParallelBudgetErrorsMatchSequential(t *testing.T) {
+	e := testkit.Paper()
+	raw := e.RawStore()
+	st := stats.Collect(raw, e.Vocab)
+	q := bgp.CQ{
+		Head:  []bgp.Term{bgp.V(0), bgp.V(2)},
+		Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.V(1), O: bgp.V(2)}},
+	}
+	cases := []struct {
+		name string
+		prof engine.Profile
+		want error
+	}{
+		{"work", engine.Profile{Name: "w", WorkBudget: 2, ArmJoin: engine.HashJoin}, engine.ErrWorkBudget},
+		{"memory", engine.Profile{Name: "m", MaxMaterializedRows: 1, ArmJoin: engine.HashJoin}, engine.ErrMemoryBudget},
+		{"plan", engine.Profile{Name: "p", MaxPlanLeaves: 1, ArmJoin: engine.HashJoin}, engine.ErrPlanTooComplex},
+	}
+	planQ := bgp.CQ{
+		Head: []bgp.Term{bgp.V(0)},
+		Atoms: []bgp.Atom{
+			{S: bgp.V(0), P: bgp.V(1), O: bgp.V(2)},
+			{S: bgp.V(0), P: bgp.V(3), O: bgp.V(4)},
+		},
+	}
+	for _, tc := range cases {
+		for _, par := range []int{1, 8} {
+			eng := engine.New(raw, st, tc.prof).WithParallelism(par)
+			in := q
+			if errors.Is(tc.want, engine.ErrPlanTooComplex) {
+				in = planQ
+			}
+			_, _, err := eng.EvalCQ(in)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("%s (parallelism %d): err = %v, want %v", tc.name, par, err, tc.want)
+			}
+		}
+	}
+}
+
+// Concurrent evaluations on one shared engine, each itself parallel, must
+// be race-free and agree with the sequential answer (run with -race; the
+// schedule is the test).
+func TestParallelEvalRace(t *testing.T) {
+	e := testkit.Random(3, 60)
+	raw := e.RawStore()
+	st := stats.Collect(raw, e.Vocab)
+	rng := rand.New(rand.NewSource(99))
+	var q bgp.CQ
+	for {
+		q = testkit.RandomQuery(e, rng)
+		if len(q.Atoms) >= 2 && connectedQuery(q) {
+			break
+		}
+	}
+	head, arms := scqArms(t, e, q)
+	want, _, err := engine.New(raw, st, engine.Native).WithParallelism(1).EvalArms(head, arms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(raw, st, engine.Native).WithParallelism(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				got, _, err := eng.EvalArms(head, arms)
+				if err != nil {
+					t.Errorf("parallel eval: %v", err)
+					return
+				}
+				if !relEqual(got, want) {
+					t.Error("parallel eval diverged from sequential under concurrency")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -52,6 +52,8 @@ func keyOf(row []dict.ID, cols []int) string {
 }
 
 // dedupSet is a streaming duplicate-elimination set with budget checks.
+// A set is used by one goroutine at a time; concurrent shards each hold
+// their own set and merge deterministically (see evalArmSharded).
 type dedupSet struct {
 	seen map[string]struct{}
 	ctx  *evalCtx
@@ -69,7 +71,7 @@ func (d *dedupSet) add(row []dict.ID) (bool, error) {
 	}
 	k := rowKey(row)
 	if _, dup := d.seen[k]; dup {
-		d.ctx.metrics.RowsDeduped++
+		d.ctx.rowsDeduped.Add(1)
 		return false, nil
 	}
 	d.seen[k] = struct{}{}
@@ -77,4 +79,71 @@ func (d *dedupSet) add(row []dict.ID) (bool, error) {
 		return false, err
 	}
 	return true, nil
+}
+
+// addMerged is add without the work charge: the row was already charged
+// by the shard-local set that admitted it, so the deterministic merge
+// only restores global set semantics (counting the cross-shard duplicates
+// it drops) and enforces the materialization budget on the true union
+// size — which shard-local sets, each smaller than the union, cannot see.
+// This keeps the accumulated Work and RowsDeduped totals of a parallel
+// evaluation identical to the sequential ones.
+func (d *dedupSet) addMerged(row []dict.ID) (bool, error) {
+	k := rowKey(row)
+	if _, dup := d.seen[k]; dup {
+		d.ctx.rowsDeduped.Add(1)
+		return false, nil
+	}
+	d.seen[k] = struct{}{}
+	if err := d.ctx.checkRows(len(d.seen)); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// rowArena allocates row copies out of chunked backing arrays, replacing
+// the per-row make in the hot emit paths. Rows handed out stay valid for
+// the arena's lifetime; only the most recent allocation can be released.
+type rowArena struct {
+	buf []dict.ID
+}
+
+// arenaChunk is the backing-array size, in dict.ID values.
+const arenaChunk = 4096
+
+// alloc returns a zeroed row of n columns.
+func (a *rowArena) alloc(n int) []dict.ID {
+	if n == 0 {
+		return nil
+	}
+	if len(a.buf)+n > cap(a.buf) {
+		size := arenaChunk
+		if n > size {
+			size = n
+		}
+		a.buf = make([]dict.ID, 0, size)
+	}
+	start := len(a.buf)
+	a.buf = a.buf[:start+n]
+	row := a.buf[start : start+n : start+n]
+	for i := range row {
+		row[i] = 0
+	}
+	return row
+}
+
+// copy returns an arena-backed copy of row.
+func (a *rowArena) copy(row []dict.ID) []dict.ID {
+	out := a.alloc(len(row))
+	copy(out, row)
+	return out
+}
+
+// release returns the most recent allocation to the arena (a no-op for
+// any other slice); duplicate rows dropped right after projection reuse
+// their space.
+func (a *rowArena) release(row []dict.ID) {
+	if n := len(a.buf); len(row) > 0 && n >= len(row) && &a.buf[n-len(row)] == &row[0] {
+		a.buf = a.buf[:n-len(row)]
+	}
 }

@@ -1,0 +1,25 @@
+#!/bin/sh
+# bench.sh runs the benchmark suite at the tiny scale and records the
+# results as BENCH_<date>.json in the repository root: one entry per
+# benchmark with ns/op and allocs/op, plus the runner's go version,
+# GOMAXPROCS and CPU count (the parallel benchmarks only show their
+# speedup on a multi-core runner; the metadata makes single-core numbers
+# self-explaining). `make bench-json` and CI run exactly this script.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+date="$(date -u +%Y-%m-%d)"
+out="BENCH_${date}.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-tiny}"
+export REPRO_BENCH_SCALE
+
+echo "==> go test -bench=$pattern -benchmem (scale: $REPRO_BENCH_SCALE)"
+go test -run '^$' -bench "$pattern" -benchmem . | tee "$raw"
+
+go run ./cmd/benchjson -in "$raw" -out "$out"
+echo "==> wrote $out"
