@@ -318,6 +318,36 @@ func BenchmarkParallelCoverSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOverhead measures the disabled-tracing hot path on a
+// JUCQ evaluation. The `/off` variant never touches the trace API; the
+// `/nil-span` variant answers through WithTrace(nil), so every
+// instrumentation site runs its nil-receiver check. scripts/bench.sh's
+// tracealloc step asserts the two report identical allocs/op — the
+// zero-cost-when-disabled claim of DESIGN.md's Observability section.
+func BenchmarkTraceOverhead(b *testing.B) {
+	db := lubmDB(b)
+	qi := db.QueryIndex("Q09")
+	off := db.Answerer(engine.Native, core.Options{})
+	variants := []struct {
+		name string
+		a    *core.Answerer
+	}{
+		{"off", off},
+		{"nil-span", off.WithTrace(nil)},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out := db.Run(v.a, qi, core.SCQ)
+				if out.Failed() {
+					b.Fatal(out.Err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSaturation measures building the saturated store.
 func BenchmarkSaturation(b *testing.B) {
 	db := lubmDB(b)

@@ -20,8 +20,37 @@ import (
 	"time"
 
 	"repro/internal/benchkit"
+	"repro/internal/core"
 	"repro/internal/engine"
 )
+
+// writeStageSweep answers a representative LUBM query set with every
+// reformulation strategy under tracing and writes the per-stage
+// breakdown as JSON — the stage data scripts/bench.sh embeds into the
+// committed BENCH_*.json files.
+func writeStageSweep(sc benchkit.Scale, path string) error {
+	db, err := benchkit.BuildLUBM(sc)
+	if err != nil {
+		return err
+	}
+	prof := engine.PostgresLike
+	a := db.Answerer(prof, core.Options{})
+	rep := db.StageSweep(a, prof.Name,
+		[]string{"Q01", "Q05", "Q09", "Q13"},
+		[]core.Strategy{core.UCQ, core.SCQ, core.ECov, core.GCov})
+	if path == "-" {
+		return rep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := rep.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
 
 func main() {
 	scale := flag.String("scale", "small", "dataset scale: tiny, small or medium")
@@ -29,10 +58,19 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate only this figure (4-10)")
 	ablations := flag.Bool("ablations", false, "run only the ablation benches")
 	parallel := flag.Bool("parallel", false, "run only the parallelism sweep")
+	stageJSON := flag.String("stagejson", "", "run the traced stage sweep and write its JSON to this file ('-' = stdout), then exit")
 	flag.Parse()
 
 	sc := benchkit.ScaleByName(*scale)
 	out := os.Stdout
+
+	if *stageJSON != "" {
+		if err := writeStageSweep(sc, *stageJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	all := *table == 0 && *figure == 0 && !*ablations && !*parallel
 	section := func(title string, f func() error) {

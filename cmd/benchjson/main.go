@@ -33,11 +33,15 @@ type report struct {
 	CPUs       int      `json:"cpus"`
 	Scale      string   `json:"scale,omitempty"`
 	Benchmarks []result `json:"benchmarks"`
+	// Stages embeds the traced per-stage breakdown produced by
+	// `benchall -stagejson` (see -stages), verbatim.
+	Stages json.RawMessage `json:"stages,omitempty"`
 }
 
 func main() {
 	in := flag.String("in", "", "benchmark output to parse (default stdin)")
 	out := flag.String("out", "", "JSON file to write (default stdout)")
+	stages := flag.String("stages", "", "stage-breakdown JSON file (from benchall -stagejson) to embed")
 	flag.Parse()
 
 	src := os.Stdin
@@ -72,6 +76,17 @@ func main() {
 	}
 	if err := sc.Err(); err != nil {
 		fatal(err)
+	}
+
+	if *stages != "" {
+		raw, err := os.ReadFile(*stages)
+		if err != nil {
+			fatal(err)
+		}
+		if !json.Valid(raw) {
+			fatal(fmt.Errorf("%s: not valid JSON", *stages))
+		}
+		rep.Stages = json.RawMessage(raw)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -7,9 +7,11 @@
 //	rdfcli -data lubm.nt -strategy gcov -query 'SELECT ?x WHERE { ... }'
 //	rdfcli -data lubm.nt -strategy ucq -queryfile q.sparql -profile db2like
 //	rdfcli -data lubm.nt -explain -query '...'   # optimizer output only
+//	rdfcli -data lubm.nt -trace -query '...'     # EXPLAIN ANALYZE-style span tree
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +30,9 @@ func main() {
 	explain := flag.Bool("explain", false, "show the chosen cover and estimated cost without evaluating")
 	calibrate := flag.Bool("calibrate", false, "calibrate the cost model on this store before answering")
 	maxRows := flag.Int("maxrows", 20, "answers to print (0 = all)")
+	traceFlag := flag.Bool("trace", false, "print the query-lifecycle span tree and counters after the answers")
+	traceJSON := flag.Bool("tracejson", false, "with -trace, emit only the span tree as JSON on stdout (suppresses the answer table)")
+	parallelism := flag.Int("parallel", 0, "evaluation worker count (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	if *data == "" {
@@ -75,7 +80,15 @@ func main() {
 	}
 
 	prof := profileByName(*profile)
-	a := st.NewAnswerer(prof, repro.Options{Calibrate: *calibrate})
+	var tr *repro.Trace
+	if *traceFlag {
+		tr = repro.NewTrace("query")
+	}
+	a := st.NewAnswerer(prof, repro.Options{
+		Calibrate:   *calibrate,
+		Parallelism: *parallelism,
+		Trace:       tr,
+	})
 
 	if *explain {
 		rep, err := a.Explain(text, strat)
@@ -98,22 +111,46 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%s\n", strings.Join(res.Vars, "\t"))
-	for i, row := range res.Rows {
-		if *maxRows > 0 && i >= *maxRows {
-			fmt.Printf("... (%d more rows)\n", len(res.Rows)-i)
-			break
+	// With -tracejson, stdout carries only the span-tree JSON so it can
+	// be piped into tooling; the row count still reports on stderr.
+	if !(*traceFlag && *traceJSON) {
+		fmt.Printf("%s\n", strings.Join(res.Vars, "\t"))
+		for i, row := range res.Rows {
+			if *maxRows > 0 && i >= *maxRows {
+				fmt.Printf("... (%d more rows)\n", len(res.Rows)-i)
+				break
+			}
+			parts := make([]string, len(row))
+			for j, term := range row {
+				parts[j] = term.Canonical()
+			}
+			fmt.Println(strings.Join(parts, "\t"))
 		}
-		parts := make([]string, len(row))
-		for j, term := range row {
-			parts[j] = term.Canonical()
-		}
-		fmt.Println(strings.Join(parts, "\t"))
 	}
 	rep := res.Report
 	fmt.Fprintf(os.Stderr, "\n%d rows; strategy=%s cover=%v |q_ref|=%d optimize=%v evaluate=%v\n",
 		len(res.Rows), rep.Strategy, rep.Cover, rep.TotalCQs,
 		rep.OptimizeTime.Round(time.Microsecond), rep.EvalTime.Round(time.Microsecond))
+
+	if tr != nil {
+		tr.End()
+		if *traceJSON {
+			data, err := json.MarshalIndent(tr, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s\n", data)
+			return
+		}
+		fmt.Fprintln(os.Stderr)
+		if err := tr.Render(os.Stderr); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "\ncounters:")
+		if err := tr.Registry().WriteJSON(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 func profileByName(name string) repro.Profile {

@@ -220,6 +220,9 @@ type Outcome struct {
 	Total    time.Duration
 	Report   core.Report
 	Err      error
+	// Stages is the per-stage breakdown of a traced run; only RunStaged
+	// fills it (plain Run leaves it nil to keep the hot path untraced).
+	Stages []Stage
 }
 
 // Failed reports whether the run failed (the paper's "missing bars").

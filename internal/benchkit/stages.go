@@ -1,0 +1,167 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Stage is one query-lifecycle stage of a staged run: a direct child of
+// the run's trace root (optimize, reformulate, evaluate, ...) with its
+// duration and integer counters.
+type Stage struct {
+	Name     string           `json:"name"`
+	Ns       int64            `json:"ns"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// RunStaged is Run with a fresh trace attached: the returned outcome
+// additionally carries the per-stage breakdown in Outcome.Stages. The
+// trace costs a few allocations per stage, so benchmarks measuring the
+// steady-state hot path should keep using Run.
+func (db *Database) RunStaged(a *core.Answerer, qi int, strat core.Strategy) Outcome {
+	root := trace.New(db.Specs[qi].Name)
+	out := db.Run(a.WithTrace(root), qi, strat)
+	root.End()
+	out.Stages = StagesFromTrace(root)
+	return out
+}
+
+// StagesFromTrace flattens the root's direct children into stages,
+// carrying each child's integer attributes as counters. Deeper spans
+// (per-arm, per-shard) are deliberately dropped: the stage breakdown is
+// the BENCH_*.json summary, not the full trace.
+func StagesFromTrace(root *trace.Span) []Stage {
+	var out []Stage
+	for _, c := range root.Children() {
+		st := Stage{Name: c.Name(), Ns: c.Duration().Nanoseconds()}
+		for _, a := range c.Attrs() {
+			if a.IsStr {
+				continue
+			}
+			if st.Counters == nil {
+				st.Counters = make(map[string]int64)
+			}
+			st.Counters[a.Key] = a.Int
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// StageEntry is the stage breakdown of one (query, strategy) run, the
+// unit of the exported stage report.
+type StageEntry struct {
+	Query    string  `json:"query"`
+	Strategy string  `json:"strategy"`
+	Rows     int     `json:"rows"`
+	TotalNs  int64   `json:"total_ns"`
+	Err      string  `json:"err,omitempty"`
+	Stages   []Stage `json:"stages"`
+}
+
+// StageReport is the document scripts/bench.sh embeds into the
+// committed BENCH_*.json files.
+type StageReport struct {
+	Database string       `json:"database"`
+	Profile  string       `json:"profile"`
+	Entries  []StageEntry `json:"entries"`
+}
+
+// StageSweep answers every named query with every strategy through a
+// traced answerer and collects the per-stage breakdowns. Unknown query
+// names are skipped.
+func (db *Database) StageSweep(a *core.Answerer, profile string, queries []string, strats []core.Strategy) StageReport {
+	rep := StageReport{Database: db.Name, Profile: profile, Entries: []StageEntry{}}
+	for _, name := range queries {
+		qi := db.QueryIndex(name)
+		if qi < 0 {
+			continue
+		}
+		for _, strat := range strats {
+			out := db.RunStaged(a, qi, strat)
+			e := StageEntry{
+				Query:    name,
+				Strategy: string(strat),
+				Rows:     out.Rows,
+				TotalNs:  out.Total.Nanoseconds(),
+				Stages:   out.Stages,
+			}
+			if out.Err != nil {
+				e.Err = out.Err.Error()
+			}
+			rep.Entries = append(rep.Entries, e)
+		}
+	}
+	return rep
+}
+
+// WriteJSON writes the stage report as indented JSON plus a newline.
+func (r StageReport) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// StageBreakdown renders the report as a text table: one line per run
+// with the stage durations side by side, the human-readable counterpart
+// of WriteJSON.
+func (r StageReport) StageBreakdown(w io.Writer) error {
+	// Collect the stage names present, in a stable order.
+	names := make([]string, 0, 4)
+	seen := map[string]bool{}
+	for _, e := range r.Entries {
+		for _, st := range e.Stages {
+			if !seen[st.Name] {
+				seen[st.Name] = true
+				names = append(names, st.Name)
+			}
+		}
+	}
+	sort.Strings(names)
+	if _, err := fmt.Fprintf(w, "%-8s %-10s %10s", "query", "strategy", "total"); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, " %10s", n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, e := range r.Entries {
+		if _, err := fmt.Fprintf(w, "%-8s %-10s %10s", e.Query, e.Strategy, time.Duration(e.TotalNs).Round(time.Microsecond)); err != nil {
+			return err
+		}
+		byName := make(map[string]int64, len(e.Stages))
+		for _, st := range e.Stages {
+			byName[st.Name] += st.Ns
+		}
+		for _, n := range names {
+			cell := "-"
+			if ns, ok := byName[n]; ok {
+				cell = time.Duration(ns).Round(time.Microsecond).String()
+			}
+			if _, err := fmt.Fprintf(w, " %10s", cell); err != nil {
+				return err
+			}
+		}
+		suffix := "\n"
+		if e.Err != "" {
+			suffix = "  FAILED\n"
+		}
+		if _, err := fmt.Fprint(w, suffix); err != nil {
+			return err
+		}
+	}
+	return nil
+}

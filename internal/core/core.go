@@ -21,6 +21,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/reformulate"
 	"repro/internal/schema"
+	"repro/internal/trace"
 )
 
 // Strategy selects how a query is answered.
@@ -94,6 +95,12 @@ type Options struct {
 	// cover-search pricing pools. 0 means runtime.GOMAXPROCS(0); 1 runs
 	// everything serially. Results are identical regardless of the value.
 	Parallelism int
+	// Trace, when non-nil, is the span query answering records its stage
+	// tree under: ChooseCover adds an "optimize" child carrying search
+	// effort, EvaluateCover adds "reformulate" (with per-fragment
+	// children) and "evaluate" (with the engine's operator tree). nil —
+	// the default — disables tracing at zero cost.
+	Trace *trace.Span
 }
 
 // DefaultMaxCovers bounds ECov's enumeration when Options.MaxCovers is 0.
@@ -142,6 +149,16 @@ func NewAnswerer(sch *schema.Closed, raw, sat *engine.Engine, opts Options) *Ans
 		a.sat = sat.WithParallelism(opts.Parallelism)
 	}
 	return a
+}
+
+// WithTrace returns a copy of the answerer whose queries record their
+// lifecycle under sp (see Options.Trace). The engines and the store are
+// shared; only the trace attachment differs, so harnesses can attach a
+// fresh root per run without rebuilding the answerer.
+func (a *Answerer) WithTrace(sp *trace.Span) *Answerer {
+	a2 := *a
+	a2.opts.Trace = sp
+	return &a2
 }
 
 // parallelism resolves the worker count the cover searches price with.
@@ -197,8 +214,16 @@ func (a *Answerer) Answer(q bgp.CQ, strategy Strategy) (*Answer, error) {
 		if a.sat == nil {
 			return nil, ErrNoSaturatedStore
 		}
+		eng := a.sat
+		var evalSp *trace.Span
+		if a.opts.Trace != nil {
+			evalSp = a.opts.Trace.Child("evaluate")
+			evalSp.SetStr("strategy", string(Saturation))
+			eng = eng.WithSpan(evalSp)
+		}
 		start := time.Now()
-		rel, m, err := a.sat.EvalCQ(q)
+		rel, m, err := eng.EvalCQ(q)
+		evalSp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -225,6 +250,12 @@ func (a *Answerer) ChooseCover(q bgp.CQ, strategy Strategy) (cover.Cover, Report
 	s, err := newSearcher(a, q)
 	if err != nil {
 		return nil, Report{}, err
+	}
+	var sp *trace.Span
+	if a.opts.Trace != nil {
+		sp = a.opts.Trace.Child("optimize")
+		sp.SetStr("strategy", string(strategy))
+		defer sp.End()
 	}
 	start := time.Now()
 	rep := Report{Strategy: strategy, Exhaustive: true}
@@ -254,27 +285,63 @@ func (a *Answerer) ChooseCover(q bgp.CQ, strategy Strategy) (cover.Cover, Report
 		return nil, Report{}, err
 	}
 	rep.OptimizeTime = time.Since(start)
+	if sp != nil {
+		sp.SetInt("covers_explored", int64(rep.CoversExplored))
+		sp.SetInt("fragments", int64(len(c)))
+		sp.SetInt("total_cqs", rep.TotalCQs)
+		if strategy == ECov && !rep.Exhaustive {
+			sp.SetInt("truncated", 1)
+		}
+		s.recordSpan(sp)
+	}
 	return c, rep, nil
 }
 
 // EvaluateCover evaluates the cover-based JUCQ reformulation of q induced
 // by cover c (Theorem 3.1) through the raw engine, completing the report.
 func (a *Answerer) EvaluateCover(q bgp.CQ, c cover.Cover, rep Report) (*Answer, error) {
+	var refSp *trace.Span
+	if a.opts.Trace != nil {
+		refSp = a.opts.Trace.Child("reformulate")
+		refSp.SetInt("fragments", int64(len(c)))
+	}
 	arms := make([]engine.ArmSource, len(c))
 	for i, f := range c {
 		cq := cover.Query(q, f)
+		var fragSp *trace.Span
+		if refSp != nil {
+			fragSp = refSp.Child(fmt.Sprintf("fragment[%d]", i))
+			fragSp.SetInt("atoms", int64(len(cq.Atoms)))
+		}
 		ref, err := reformulate.Reformulate(cq, a.sch)
 		if err != nil {
+			refSp.End()
 			return &Answer{Report: rep}, err
 		}
 		arms[i] = armSource(cq, ref)
+		if fragSp != nil {
+			fragSp.SetInt("member_cqs", ref.NumCQs())
+			fragSp.End()
+		}
+	}
+	if refSp != nil {
+		refSp.SetInt("total_cqs", rep.TotalCQs)
+		refSp.End()
 	}
 	head := make([]uint32, len(q.Head))
 	for i, h := range q.Head {
 		head[i] = h.ID
 	}
+	eng := a.raw
+	var evalSp *trace.Span
+	if a.opts.Trace != nil {
+		evalSp = a.opts.Trace.Child("evaluate")
+		evalSp.SetStr("strategy", string(rep.Strategy))
+		eng = eng.WithSpan(evalSp)
+	}
 	start := time.Now()
-	rel, m, err := a.raw.EvalArms(head, arms)
+	rel, m, err := eng.EvalArms(head, arms)
+	evalSp.End()
 	rep.EvalTime = time.Since(start)
 	rep.Metrics = m
 	if err != nil {

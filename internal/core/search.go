@@ -12,6 +12,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/engine"
 	"repro/internal/reformulate"
+	"repro/internal/trace"
 )
 
 // searcher carries the per-query state of a cover search: the sharing
@@ -33,6 +34,17 @@ type searcher struct {
 
 	start  time.Time
 	budget time.Duration
+
+	// Search-effort counters, reported on the optimize trace span by
+	// recordSpan. The memo counters are atomics because pricing workers
+	// bump them concurrently; gcovRounds and prunedByBound are only
+	// touched by gcov's sequential bookkeeping.
+	fragComputed  atomic.Int64
+	fragMemoHits  atomic.Int64
+	coversPriced  atomic.Int64
+	costMemoHits  atomic.Int64
+	gcovRounds    int64
+	prunedByBound int64
 
 	// mu guards the memo maps and the parked error below.
 	mu    sync.Mutex
@@ -92,6 +104,27 @@ func (s *searcher) failure() error {
 	return s.err
 }
 
+// recordSpan reports the search-effort counters on the optimize span and
+// bumps the trace-wide search.* totals. Only called after the search's
+// pricing workers have finished; a nil span makes it a no-op.
+func (s *searcher) recordSpan(sp *trace.Span) {
+	if sp == nil {
+		return
+	}
+	sp.SetInt("frags_reformulated", s.fragComputed.Load())
+	sp.SetInt("frag_memo_hits", s.fragMemoHits.Load())
+	sp.SetInt("covers_priced", s.coversPriced.Load())
+	sp.SetInt("cost_memo_hits", s.costMemoHits.Load())
+	if s.gcovRounds > 0 {
+		sp.SetInt("gcov_rounds", s.gcovRounds)
+		sp.SetInt("pruned_by_bound", s.prunedByBound)
+	}
+	reg := sp.Registry()
+	reg.Counter("search.frags_reformulated").Add(s.fragComputed.Load())
+	reg.Counter("search.covers_priced").Add(s.coversPriced.Load())
+	reg.Counter("search.cost_memo_hits").Add(s.costMemoHits.Load())
+}
+
 // runParallel runs f(0..n-1) on up to s.par workers, sequentially when
 // the searcher or the job list has no parallelism to exploit.
 func (s *searcher) runParallel(n int, f func(int)) {
@@ -134,6 +167,9 @@ func (s *searcher) frag(f cover.Fragment) *fragInfo {
 		s.frags[f] = e
 	}
 	s.mu.Unlock()
+	if ok {
+		s.fragMemoHits.Add(1)
+	}
 	e.once.Do(func() {
 		e.info = s.computeFrag(f)
 	})
@@ -141,6 +177,7 @@ func (s *searcher) frag(f cover.Fragment) *fragInfo {
 }
 
 func (s *searcher) computeFrag(f cover.Fragment) *fragInfo {
+	s.fragComputed.Add(1)
 	cq := cover.Query(s.q, f)
 	ref, err := reformulate.Reformulate(cq, s.a.sch)
 	if err != nil {
@@ -281,8 +318,10 @@ func (s *searcher) coverCost(c cover.Cover) float64 {
 	v, ok := s.costs[key]
 	s.mu.Unlock()
 	if ok {
+		s.costMemoHits.Add(1)
 		return v
 	}
+	s.coversPriced.Add(1)
 	switch s.a.opts.Source {
 	case EngineInternal:
 		v = s.engineCost(c)
@@ -340,6 +379,11 @@ func (s *searcher) ecov() (best cover.Cover, explored int, exhaustive bool) {
 				timedOut = true
 				return false
 			}
+			// A parked fragment failure fails the whole search in
+			// ChooseCover; pricing the rest of the space is wasted work.
+			if s.failure() != nil {
+				return false
+			}
 			return true
 		})
 		if best == nil {
@@ -359,12 +403,22 @@ func (s *searcher) ecov() (best cover.Cover, explored int, exhaustive bool) {
 	}
 	jobs := make(chan job, s.par*2)
 	out := make(chan priced, s.par*2)
+	// aborted flips when the search must stop early — budget expiry or a
+	// parked fragment failure. Workers then drain their remaining jobs
+	// without pricing them, so the linear shutdown below (close jobs →
+	// join workers → close out → join collector) finishes promptly and
+	// leaves no goroutine behind even when the producer returns early
+	// mid-stream.
+	var aborted atomic.Bool
 	var workers sync.WaitGroup
 	for w := 0; w < s.par; w++ {
 		workers.Add(1)
 		go func() {
 			defer workers.Done()
 			for j := range jobs {
+				if aborted.Load() {
+					continue
+				}
 				out <- priced{j.idx, j.c, s.coverCost(j.c)}
 			}
 		}()
@@ -388,6 +442,11 @@ func (s *searcher) ecov() (best cover.Cover, explored int, exhaustive bool) {
 		n++
 		if s.expired() {
 			timedOut = true
+			aborted.Store(true)
+			return false
+		}
+		if s.failure() != nil {
+			aborted.Store(true)
 			return false
 		}
 		return true
@@ -431,6 +490,7 @@ func (s *searcher) gcov() (cover.Cover, int) {
 	}
 	maxCovers := s.a.opts.GCovMaxCovers
 	develop := func(c cover.Cover) {
+		s.gcovRounds++
 		if s.par <= 1 {
 			for fi, f := range c {
 				for t := 0; t < n; t++ {
@@ -450,6 +510,8 @@ func (s *searcher) gcov() (cover.Cover, int) {
 					explored++
 					if v <= bestCost {
 						insert(move{c2, v})
+					} else {
+						s.prunedByBound++
 					}
 				}
 			}
@@ -495,6 +557,8 @@ func (s *searcher) gcov() (cover.Cover, int) {
 			explored++
 			if costs[i] <= bestCost {
 				insert(move{c2, costs[i]})
+			} else {
+				s.prunedByBound++
 			}
 		}
 	}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Typed failures, mirroring the failure modes of Section 5's experiments.
@@ -163,6 +164,11 @@ type Engine struct {
 	// par is the configured worker count for one evaluation; 0 means
 	// runtime.GOMAXPROCS(0), 1 means strictly sequential evaluation.
 	par int
+	// span, when non-nil, is the trace span evaluations record their
+	// operator tree under (see WithSpan). nil — the default — disables
+	// tracing: the evaluation hot path then pays one nil check per
+	// instrumentation point and allocates nothing for tracing.
+	span *trace.Span
 }
 
 // New returns an engine over the store with the given statistics and
@@ -183,6 +189,17 @@ func (e *Engine) WithParallelism(n int) *Engine {
 		n = 0
 	}
 	e2.par = n
+	return &e2
+}
+
+// WithSpan returns a copy of the engine whose evaluations record their
+// operator tree (per-arm, per-shard, join and projection spans with row
+// and dedup counters) as children of sp, and accumulate engine.* totals
+// into sp's counter registry. A nil sp returns an engine with tracing
+// disabled — the zero-overhead default.
+func (e *Engine) WithSpan(sp *trace.Span) *Engine {
+	e2 := *e
+	e2.span = sp
 	return &e2
 }
 
@@ -211,6 +228,9 @@ func (e *Engine) Store() *storage.Store { return e.store }
 type evalCtx struct {
 	prof Profile
 	par  int // resolved worker count; <= 1 evaluates sequentially
+	// span is the evaluation's trace span (nil = tracing off). Operator
+	// code creates children of it; per-row work never touches it.
+	span *trace.Span
 
 	tuplesScanned    atomic.Int64
 	rowsMaterialized atomic.Int64
@@ -230,6 +250,40 @@ func (c *evalCtx) snapshot() Metrics {
 		RowsDeduped:      c.rowsDeduped.Load(),
 		UnionArms:        c.unionArms.Load(),
 		Work:             c.work.Load(),
+	}
+}
+
+// finishSpan records the evaluation's accumulated metrics and budget
+// consumption on the trace span and bumps the trace-wide engine.*
+// counters. Called once per evaluation, after every worker has finished;
+// a nil span makes it a no-op.
+func (c *evalCtx) finishSpan(sp *trace.Span, err error) {
+	if sp == nil {
+		return
+	}
+	m := c.snapshot()
+	sp.SetInt("tuples_scanned", m.TuplesScanned)
+	sp.SetInt("rows_materialized", m.RowsMaterialized)
+	sp.SetInt("rows_joined", m.RowsJoined)
+	sp.SetInt("dedup_hits", m.RowsDeduped)
+	sp.SetInt("union_arms", m.UnionArms)
+	sp.SetInt("work", m.Work)
+	if c.prof.WorkBudget > 0 {
+		sp.SetInt("work_budget", c.prof.WorkBudget)
+	}
+	if err != nil {
+		sp.SetStr("error", err.Error())
+	}
+	reg := sp.Registry()
+	reg.Counter("engine.evals").Add(1)
+	reg.Counter("engine.tuples_scanned").Add(m.TuplesScanned)
+	reg.Counter("engine.rows_materialized").Add(m.RowsMaterialized)
+	reg.Counter("engine.rows_joined").Add(m.RowsJoined)
+	reg.Counter("engine.dedup_hits").Add(m.RowsDeduped)
+	reg.Counter("engine.union_arms").Add(m.UnionArms)
+	reg.Counter("engine.work").Add(m.Work)
+	if err != nil {
+		reg.Counter("engine.errors").Add(1)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/bgp"
 	"repro/internal/dict"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // ArmSource supplies the member CQs of one UCQ arm without requiring the
@@ -74,24 +75,40 @@ func (e *Engine) EvalJUCQ(j bgp.JUCQ) (*Relation, Metrics, error) {
 }
 
 // EvalArms is the general entry point: a join of streamed UCQ arms,
-// projected on head. A single arm is a plain UCQ evaluation.
+// projected on head. A single arm is a plain UCQ evaluation. When the
+// engine carries a trace span (WithSpan), the evaluation records its
+// operator tree and metrics under it.
 func (e *Engine) EvalArms(head []uint32, arms []ArmSource) (*Relation, Metrics, error) {
-	ctx := &evalCtx{prof: e.prof, par: e.Parallelism()}
+	ctx := &evalCtx{prof: e.prof, par: e.Parallelism(), span: e.span}
+	rel, err := e.evalArms(ctx, head, arms)
+	ctx.finishSpan(e.span, err)
+	return rel, ctx.snapshot(), err
+}
 
+// evalArms is EvalArms' body, with the metrics snapshot and the span
+// bookkeeping hoisted into the wrapper so every return path stays a
+// plain error return.
+func (e *Engine) evalArms(ctx *evalCtx, head []uint32, arms []ArmSource) (*Relation, error) {
 	// Admission control: total plan size.
 	var leaves int64
 	for _, a := range arms {
 		leaves += a.Leaves
 	}
+	if sp := ctx.span; sp != nil {
+		sp.SetStr("profile", e.prof.Name)
+		sp.SetInt("arms", int64(len(arms)))
+		sp.SetInt("plan_leaves", leaves)
+		sp.SetInt("workers", int64(ctx.par))
+	}
 	if e.prof.MaxPlanLeaves > 0 && leaves > e.prof.MaxPlanLeaves {
-		return nil, ctx.snapshot(), fmt.Errorf("%w (%s: %d scan leaves)", ErrPlanTooComplex, e.prof.Name, leaves)
+		return nil, fmt.Errorf("%w (%s: %d scan leaves)", ErrPlanTooComplex, e.prof.Name, leaves)
 	}
 
 	// Evaluate each arm into a materialized relation; independent arms
 	// run concurrently when the engine has more than one worker.
 	rels, err := e.evalAllArms(ctx, arms)
 	if err != nil {
-		return nil, ctx.snapshot(), err
+		return nil, err
 	}
 	// The largest-result arm is pipelined into the top join (the cost
 	// model's assumption); every other arm is a materialized
@@ -142,7 +159,7 @@ func (e *Engine) EvalArms(head []uint32, arms []ArmSource) (*Relation, Metrics, 
 		used[next] = true
 		joined, err := joinRelations(ctx, cur, rels[next], e.prof.ArmJoin)
 		if err != nil {
-			return nil, ctx.snapshot(), err
+			return nil, err
 		}
 		cur = joined
 	}
@@ -153,15 +170,18 @@ func (e *Engine) EvalArms(head []uint32, arms []ArmSource) (*Relation, Metrics, 
 	for i, v := range head {
 		c, ok := pos[v]
 		if !ok {
-			return nil, ctx.snapshot(), fmt.Errorf("engine: head variable ?v%d not produced by any arm", v)
+			return nil, fmt.Errorf("engine: head variable ?v%d not produced by any arm", v)
 		}
 		cols[i] = c
 	}
 	out, err := projectDistinct(ctx, cur, cols, head)
 	if err != nil {
-		return nil, ctx.snapshot(), err
+		return nil, err
 	}
-	return out, ctx.snapshot(), nil
+	if sp := ctx.span; sp != nil {
+		sp.SetInt("rows_out", int64(out.Len()))
+	}
+	return out, nil
 }
 
 // projectDistinct projects cur on cols with duplicate elimination — the
@@ -173,8 +193,13 @@ func (e *Engine) EvalArms(head []uint32, arms []ArmSource) (*Relation, Metrics, 
 // locally and re-deduplicated in chunk order, which keeps the output rows
 // in exactly the sequential first-occurrence order.
 func projectDistinct(ctx *evalCtx, cur *Relation, cols []int, head []uint32) (*Relation, error) {
+	sp := ctx.span.Child("project")
+	if sp != nil {
+		sp.SetInt("rows_in", int64(cur.Len()))
+		defer sp.End()
+	}
 	if ctx.par > 1 && len(cur.Rows) >= parallelRowThreshold {
-		return projectDistinctParallel(ctx, cur, cols, head)
+		return projectDistinctParallel(ctx, sp, cur, cols, head)
 	}
 	out := &Relation{Vars: head}
 	dedup := newDedupSet(ctx)
@@ -197,6 +222,11 @@ func projectDistinct(ctx *evalCtx, cur *Relation, cols []int, head []uint32) (*R
 			arena.release(proj)
 		}
 	}
+	if sp != nil {
+		sp.SetInt("rows_out", int64(out.Len()))
+		sp.SetInt("dedup_hits", dedup.hits)
+		sp.SetInt("arena_chunks", int64(arena.chunks))
+	}
 	return out, nil
 }
 
@@ -215,9 +245,13 @@ func sharesVars(a, b []uint32) bool {
 // bind-joined against the store and its head rows flow into a shared
 // duplicate-elimination set; with more, the members are sharded over a
 // worker pool (see evalArmSharded) with a deterministic merge.
-func (e *Engine) evalArm(ctx *evalCtx, arm ArmSource) (*Relation, error) {
+func (e *Engine) evalArm(ctx *evalCtx, sp *trace.Span, arm ArmSource) (*Relation, error) {
+	if sp != nil {
+		sp.SetInt("members", arm.NumCQs)
+		defer sp.End()
+	}
 	if ctx.par > 1 {
-		return e.evalArmSharded(ctx, arm)
+		return e.evalArmSharded(ctx, sp, arm)
 	}
 	out := &Relation{Vars: arm.Vars}
 	dedup := newDedupSet(ctx)
@@ -233,6 +267,11 @@ func (e *Engine) evalArm(ctx *evalCtx, arm ArmSource) (*Relation, error) {
 	})
 	if failure != nil {
 		return nil, failure
+	}
+	if sp != nil {
+		sp.SetInt("rows_out", int64(out.Len()))
+		sp.SetInt("dedup_hits", dedup.hits)
+		sp.SetInt("arena_chunks", int64(arena.chunks))
 	}
 	return out, nil
 }

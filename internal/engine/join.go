@@ -13,6 +13,13 @@ import (
 // total). The output schema is left's columns followed by right-only
 // columns.
 func joinRelations(ctx *evalCtx, left, right *Relation, algo JoinAlgorithm) (*Relation, error) {
+	sp := ctx.span.Child("join")
+	if sp != nil {
+		sp.SetStr("algo", algo.String())
+		sp.SetInt("left_rows", int64(left.Len()))
+		sp.SetInt("right_rows", int64(right.Len()))
+		defer sp.End()
+	}
 	lpos := left.colIndex()
 	var lcols, rcols []int
 	for i, v := range right.Vars {
@@ -59,6 +66,10 @@ func joinRelations(ctx *evalCtx, left, right *Relation, algo JoinAlgorithm) (*Re
 	}
 	if err != nil {
 		return nil, err
+	}
+	if sp != nil {
+		sp.SetInt("rows_out", int64(out.Len()))
+		sp.SetInt("arena_chunks", int64(arena.chunks))
 	}
 	return out, nil
 }

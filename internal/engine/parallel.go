@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/bgp"
 	"repro/internal/dict"
+	"repro/internal/trace"
 )
 
 // This file is the engine's parallelism layer. Two independent axes of
@@ -40,10 +42,18 @@ const parallelRowThreshold = 4096
 // reported, which is the failure sequential evaluation surfaces (arms
 // before it succeeded, so sequential evaluation would have reached it).
 func (e *Engine) evalAllArms(ctx *evalCtx, arms []ArmSource) ([]*Relation, error) {
+	// armSpan names the arm's span eagerly: Child and Sprintf run only on
+	// a live trace, so the disabled path stays allocation-free.
+	armSpan := func(i int) *trace.Span {
+		if ctx.span == nil {
+			return nil
+		}
+		return ctx.span.Child(fmt.Sprintf("arm[%d]", i))
+	}
 	rels := make([]*Relation, len(arms))
 	if ctx.par <= 1 || len(arms) < 2 {
 		for i, a := range arms {
-			rel, err := e.evalArm(ctx, a)
+			rel, err := e.evalArm(ctx, armSpan(i), a)
 			if err != nil {
 				return nil, err
 			}
@@ -51,13 +61,19 @@ func (e *Engine) evalAllArms(ctx *evalCtx, arms []ArmSource) ([]*Relation, error
 		}
 		return rels, nil
 	}
+	// Create the arm spans before dispatching so their order under the
+	// parent is the arm order, independent of goroutine scheduling.
+	spans := make([]*trace.Span, len(arms))
+	for i := range arms {
+		spans[i] = armSpan(i)
+	}
 	errs := make([]error, len(arms))
 	var wg sync.WaitGroup
 	for i := range arms {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			rels[i], errs[i] = e.evalArm(ctx, arms[i])
+			rels[i], errs[i] = e.evalArm(ctx, spans[i], arms[i])
 		}(i)
 	}
 	wg.Wait()
@@ -83,7 +99,7 @@ type shardResult struct {
 // and buffers the locally fresh rows per batch; the merge then walks the
 // batches in global order through one final set. See the file comment for
 // why the result (and the success-path metrics) are exactly sequential.
-func (e *Engine) evalArmSharded(ctx *evalCtx, arm ArmSource) (*Relation, error) {
+func (e *Engine) evalArmSharded(ctx *evalCtx, sp *trace.Span, arm ArmSource) (*Relation, error) {
 	shards := ctx.par
 	type batch struct {
 		idx int
@@ -97,11 +113,16 @@ func (e *Engine) evalArmSharded(ctx *evalCtx, arm ArmSource) (*Relation, error) 
 		chans[s] = make(chan batch, 2)
 		res := &shardResult{errBatch: -1}
 		results[s] = res
+		var shardSp *trace.Span
+		if sp != nil {
+			shardSp = sp.Child(fmt.Sprintf("shard[%d]", s))
+		}
 		wg.Add(1)
-		go func(in chan batch, res *shardResult) {
+		go func(in chan batch, res *shardResult, shardSp *trace.Span) {
 			defer wg.Done()
 			dedup := newDedupSet(ctx)
 			var arena rowArena
+			var members, rows int64
 			for b := range in {
 				if res.err != nil {
 					continue // drain after a failure
@@ -109,6 +130,7 @@ func (e *Engine) evalArmSharded(ctx *evalCtx, arm ArmSource) (*Relation, error) 
 				out := &Relation{Vars: arm.Vars}
 				for _, cq := range b.cqs {
 					ctx.unionArms.Add(1)
+					members++
 					if err := e.evalMember(ctx, cq, dedup, out, &arena); err != nil {
 						res.err, res.errBatch = err, b.idx
 						failed.Store(true)
@@ -116,10 +138,18 @@ func (e *Engine) evalArmSharded(ctx *evalCtx, arm ArmSource) (*Relation, error) 
 					}
 				}
 				if res.err == nil {
+					rows += int64(len(out.Rows))
 					res.batches = append(res.batches, out.Rows)
 				}
 			}
-		}(chans[s], res)
+			if shardSp != nil {
+				shardSp.SetInt("members", members)
+				shardSp.SetInt("rows_out", rows)
+				shardSp.SetInt("dedup_hits", dedup.hits)
+				shardSp.SetInt("arena_chunks", int64(arena.chunks))
+				shardSp.End()
+			}
+		}(chans[s], res, shardSp)
 	}
 
 	// Producer: the member stream is chunked into batches dispatched
@@ -163,6 +193,12 @@ func (e *Engine) evalArmSharded(ctx *evalCtx, arm ArmSource) (*Relation, error) 
 	}
 
 	// Deterministic merge: batches in global order, one shared set.
+	var mergeSp *trace.Span
+	if sp != nil {
+		mergeSp = sp.Child("merge")
+		mergeSp.SetInt("batches", int64(nextBatch))
+		defer mergeSp.End()
+	}
 	out := &Relation{Vars: arm.Vars}
 	merge := newDedupSet(ctx)
 	for b := 0; b < nextBatch; b++ {
@@ -176,6 +212,10 @@ func (e *Engine) evalArmSharded(ctx *evalCtx, arm ArmSource) (*Relation, error) 
 			}
 		}
 	}
+	if mergeSp != nil {
+		mergeSp.SetInt("rows_out", int64(out.Len()))
+		mergeSp.SetInt("dedup_hits", merge.hits)
+	}
 	return out, nil
 }
 
@@ -184,7 +224,7 @@ func (e *Engine) evalArmSharded(ctx *evalCtx, arm ArmSource) (*Relation, error) 
 // locally, and the chunk outputs re-deduplicated in chunk order — the
 // same local-set-then-ordered-merge scheme as evalArmSharded, with the
 // same byte-identical-output and identical-metrics guarantees.
-func projectDistinctParallel(ctx *evalCtx, cur *Relation, cols []int, head []uint32) (*Relation, error) {
+func projectDistinctParallel(ctx *evalCtx, sp *trace.Span, cur *Relation, cols []int, head []uint32) (*Relation, error) {
 	workers := ctx.par
 	chunk := (len(cur.Rows) + workers - 1) / workers
 	type chunkResult struct {
@@ -202,12 +242,25 @@ func projectDistinctParallel(ctx *evalCtx, cur *Relation, cols []int, head []uin
 		if hi > len(cur.Rows) {
 			hi = len(cur.Rows)
 		}
+		var chunkSp *trace.Span
+		if sp != nil {
+			chunkSp = sp.Child(fmt.Sprintf("chunk[%d]", w))
+			chunkSp.SetInt("rows_in", int64(hi-lo))
+		}
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(w, lo, hi int, chunkSp *trace.Span) {
 			defer wg.Done()
 			dedup := newDedupSet(ctx)
 			var arena rowArena
 			var rows [][]dict.ID
+			defer func() {
+				if chunkSp != nil {
+					chunkSp.SetInt("rows_out", int64(len(rows)))
+					chunkSp.SetInt("dedup_hits", dedup.hits)
+					chunkSp.SetInt("arena_chunks", int64(arena.chunks))
+					chunkSp.End()
+				}
+			}()
 			for _, row := range cur.Rows[lo:hi] {
 				proj := arena.alloc(len(cols))
 				for i, c := range cols {
@@ -225,7 +278,7 @@ func projectDistinctParallel(ctx *evalCtx, cur *Relation, cols []int, head []uin
 				}
 			}
 			results[w].rows = rows
-		}(w, lo, hi)
+		}(w, lo, hi, chunkSp)
 	}
 	wg.Wait()
 	for _, res := range results {
@@ -248,6 +301,10 @@ func projectDistinctParallel(ctx *evalCtx, cur *Relation, cols []int, head []uin
 				}
 			}
 		}
+	}
+	if sp != nil {
+		sp.SetInt("rows_out", int64(out.Len()))
+		sp.SetInt("merge_dedup_hits", merge.hits)
 	}
 	return out, nil
 }

@@ -190,3 +190,87 @@ func TestParallelEvalRace(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// fullScanArm streams n copies of a full-scan member CQ — a synthetic
+// arm whose evaluation cost is easy to push over any budget.
+func fullScanArm(n int) engine.ArmSource {
+	member := bgp.CQ{
+		Head:  []bgp.Term{bgp.V(0), bgp.V(2)},
+		Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.V(1), O: bgp.V(2)}},
+	}
+	return engine.ArmSource{
+		Vars:   []uint32{0, 2},
+		NumCQs: int64(n),
+		Leaves: int64(n),
+		Each: func(f func(bgp.CQ) bool) bool {
+			for i := 0; i < n; i++ {
+				if !f(member) {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// A failing member CQ must surface exactly one typed error — never a
+// hang, never a nil error with a nil relation — at every worker count,
+// for single-arm and multi-arm evaluations alike. The failure is
+// injected through tight budgets, the only way a member evaluation can
+// fail (budget errors are the engine's typed failures).
+func TestParallelMemberFailureSurfacesTypedError(t *testing.T) {
+	e := testkit.Random(5, 80)
+	raw := e.RawStore()
+	st := stats.Collect(raw, e.Vocab)
+	cases := []struct {
+		name string
+		prof engine.Profile
+		want error
+	}{
+		{"work-budget", engine.Profile{Name: "w", WorkBudget: 500, ArmJoin: engine.HashJoin}, engine.ErrWorkBudget},
+		{"memory-budget", engine.Profile{Name: "m", MaxMaterializedRows: 3, ArmJoin: engine.HashJoin}, engine.ErrMemoryBudget},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 2, 4, 8, 16} {
+			eng := engine.New(raw, st, tc.prof).WithParallelism(workers)
+
+			rel, _, err := eng.EvalArms([]uint32{0, 2}, []engine.ArmSource{fullScanArm(200)})
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("%s (workers=%d): single-arm err = %v, want %v", tc.name, workers, err, tc.want)
+			}
+			if rel != nil {
+				t.Errorf("%s (workers=%d): single-arm relation = %v rows, want nil on error", tc.name, workers, rel.Len())
+			}
+
+			rel, _, err = eng.EvalArms([]uint32{0}, []engine.ArmSource{fullScanArm(100), fullScanArm(100)})
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("%s (workers=%d): multi-arm err = %v, want %v", tc.name, workers, err, tc.want)
+			}
+			if rel != nil {
+				t.Errorf("%s (workers=%d): multi-arm relation = %v rows, want nil on error", tc.name, workers, rel.Len())
+			}
+		}
+	}
+}
+
+// A failure must not depend on where in the member stream it fires: the
+// worker count must never change *which* typed error surfaces when only
+// one budget is breachable.
+func TestParallelFailureIsWorkerCountIndependent(t *testing.T) {
+	e := testkit.Random(9, 60)
+	raw := e.RawStore()
+	st := stats.Collect(raw, e.Vocab)
+	prof := engine.Profile{Name: "tight", WorkBudget: 1000, ArmJoin: engine.HashJoin}
+	want, _, errSeq := engine.New(raw, st, prof).WithParallelism(1).EvalArms(
+		[]uint32{0, 2}, []engine.ArmSource{fullScanArm(300)})
+	if errSeq == nil || want != nil {
+		t.Fatalf("sequential run: rel=%v err=%v, want nil rel and a budget error", want, errSeq)
+	}
+	for _, workers := range []int{2, 4, 8, 16} {
+		_, _, err := engine.New(raw, st, prof).WithParallelism(workers).EvalArms(
+			[]uint32{0, 2}, []engine.ArmSource{fullScanArm(300)})
+		if !errors.Is(err, engine.ErrWorkBudget) {
+			t.Errorf("workers=%d: err = %v, want %v", workers, err, engine.ErrWorkBudget)
+		}
+	}
+}

@@ -57,6 +57,10 @@ func keyOf(row []dict.ID, cols []int) string {
 type dedupSet struct {
 	seen map[string]struct{}
 	ctx  *evalCtx
+	// hits counts the duplicates this set dropped — the set's share of
+	// the context-wide rowsDeduped total, read by trace instrumentation
+	// after the owning goroutine is done with the set.
+	hits int64
 }
 
 func newDedupSet(ctx *evalCtx) *dedupSet {
@@ -71,6 +75,7 @@ func (d *dedupSet) add(row []dict.ID) (bool, error) {
 	}
 	k := rowKey(row)
 	if _, dup := d.seen[k]; dup {
+		d.hits++
 		d.ctx.rowsDeduped.Add(1)
 		return false, nil
 	}
@@ -91,6 +96,7 @@ func (d *dedupSet) add(row []dict.ID) (bool, error) {
 func (d *dedupSet) addMerged(row []dict.ID) (bool, error) {
 	k := rowKey(row)
 	if _, dup := d.seen[k]; dup {
+		d.hits++
 		d.ctx.rowsDeduped.Add(1)
 		return false, nil
 	}
@@ -106,6 +112,9 @@ func (d *dedupSet) addMerged(row []dict.ID) (bool, error) {
 // the arena's lifetime; only the most recent allocation can be released.
 type rowArena struct {
 	buf []dict.ID
+	// chunks counts the backing arrays allocated, a cheap proxy for the
+	// arena's memory footprint reported on trace spans.
+	chunks int
 }
 
 // arenaChunk is the backing-array size, in dict.ID values.
@@ -122,6 +131,7 @@ func (a *rowArena) alloc(n int) []dict.ID {
 			size = n
 		}
 		a.buf = make([]dict.ID, 0, size)
+		a.chunks++
 	}
 	start := len(a.buf)
 	a.buf = a.buf[:start+n]

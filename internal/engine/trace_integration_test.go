@@ -1,0 +1,135 @@
+package engine_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/engine"
+	"repro/internal/stats"
+	"repro/internal/testkit"
+	"repro/internal/trace"
+)
+
+// WithSpan must record the evaluation's operator tree — arm, join and
+// project spans with row counters — and the engine.* registry totals,
+// while leaving the answer identical to an untraced run.
+func TestEvalRecordsSpanTree(t *testing.T) {
+	e := testkit.Paper()
+	raw := e.RawStore()
+	st := stats.Collect(raw, e.Vocab)
+	q := bgp.CQ{
+		Head:  []bgp.Term{bgp.V(0), bgp.V(1)},
+		Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.C(e.Vocab.Type), O: bgp.V(1)}},
+	}
+
+	plain := engine.New(raw, st, engine.Native).WithParallelism(1)
+	want, wantM, err := plain.EvalCQ(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := trace.New("evaluate")
+	got, gotM, err := plain.WithSpan(root).EvalCQ(q)
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relEqual(got, want) || gotM != wantM {
+		t.Fatal("traced evaluation diverged from untraced")
+	}
+
+	if sp := root.Find("arm[0]"); sp == nil {
+		t.Error("no arm[0] span recorded")
+	} else if v, ok := sp.IntAttr("rows_out"); !ok || v != int64(want.Len()) {
+		t.Errorf("arm[0] rows_out = %d, %v; want %d", v, ok, want.Len())
+	}
+	if root.Find("project") == nil {
+		t.Error("no project span recorded")
+	}
+	if v, ok := root.IntAttr("rows_out"); !ok || v != int64(want.Len()) {
+		t.Errorf("root rows_out = %d, %v; want %d", v, ok, want.Len())
+	}
+	if v, ok := root.IntAttr("tuples_scanned"); !ok || v != wantM.TuplesScanned {
+		t.Errorf("root tuples_scanned = %d, %v; want %d", v, ok, wantM.TuplesScanned)
+	}
+	if got := root.Counter("engine.evals").Value(); got != 1 {
+		t.Errorf("engine.evals counter = %d, want 1", got)
+	}
+	if got := root.Counter("engine.tuples_scanned").Value(); got != wantM.TuplesScanned {
+		t.Errorf("engine.tuples_scanned counter = %d, want %d", got, wantM.TuplesScanned)
+	}
+
+	var buf bytes.Buffer
+	if err := root.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, needle := range []string{"evaluate", "arm[0]", "project", "rows_out="} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("rendered trace missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+// Parallel evaluation must record per-shard spans under the arm span
+// and still return the sequential answer.
+func TestParallelEvalRecordsShardSpans(t *testing.T) {
+	e := testkit.Random(4, 70)
+	raw := e.RawStore()
+	st := stats.Collect(raw, e.Vocab)
+
+	eng := engine.New(raw, st, engine.Native).WithParallelism(4)
+	root := trace.New("evaluate")
+	_, _, err := eng.WithSpan(root).EvalArms([]uint32{0, 2}, []engine.ArmSource{fullScanArm(100)})
+	root.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arm := root.Find("arm[0]")
+	if arm == nil {
+		t.Fatal("no arm[0] span recorded")
+	}
+	if arm.Find("shard[0]") == nil {
+		t.Error("no shard[0] span under the arm")
+	}
+	merge := arm.Find("merge")
+	if merge == nil {
+		t.Fatal("no merge span under the arm")
+	}
+	if v, ok := merge.IntAttr("batches"); !ok || v <= 0 {
+		t.Errorf("merge batches = %d, %v; want > 0", v, ok)
+	}
+	// The shard members must add up to the arm's member count.
+	var members int64
+	for _, c := range arm.Children() {
+		if strings.HasPrefix(c.Name(), "shard[") {
+			v, _ := c.IntAttr("members")
+			members += v
+		}
+	}
+	if members != 100 {
+		t.Errorf("shard members sum = %d, want 100", members)
+	}
+}
+
+// A traced failing evaluation must record the error on the span and
+// count it in the registry.
+func TestTraceRecordsError(t *testing.T) {
+	e := testkit.Random(5, 80)
+	raw := e.RawStore()
+	st := stats.Collect(raw, e.Vocab)
+	prof := engine.Profile{Name: "tight", WorkBudget: 100, ArmJoin: engine.HashJoin}
+
+	root := trace.New("evaluate")
+	_, _, err := engine.New(raw, st, prof).WithSpan(root).EvalArms(
+		[]uint32{0, 2}, []engine.ArmSource{fullScanArm(50)})
+	root.End()
+	if err == nil {
+		t.Fatal("expected a budget error")
+	}
+	if got := root.Counter("engine.errors").Value(); got != 1 {
+		t.Errorf("engine.errors counter = %d, want 1", got)
+	}
+}

@@ -1,0 +1,46 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/dict"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// The pattern-count memo must stay bounded under a workload that asks
+// about arbitrarily many distinct patterns, and keep returning correct
+// counts across the reset.
+func TestPatternMemoBounded(t *testing.T) {
+	d := dict.New()
+	vocab := schema.EncodeVocab(d)
+	b := storage.NewBuilder()
+	b.Add(storage.Triple{S: 1_000_001, P: 1_000_002, O: 1_000_003})
+	st := Collect(b.Build(), vocab)
+
+	// Synthetic many-pattern workload: every probe coins a fresh pattern.
+	const extra = 500
+	for i := 0; i < maxPatternMemo+extra; i++ {
+		st.PatternCount(storage.Pattern{S: dict.ID(i + 1)})
+	}
+
+	st.mu.Lock()
+	size := len(st.memo)
+	st.mu.Unlock()
+	if size > maxPatternMemo {
+		t.Fatalf("memo grew to %d entries, cap is %d", size, maxPatternMemo)
+	}
+	if size == 0 {
+		t.Fatal("memo empty: reset must still admit fresh entries")
+	}
+	if size != extra {
+		t.Errorf("memo holds %d entries after overflow, want %d (reset-on-overflow)", size, extra)
+	}
+
+	// Counts stay correct across the reset, both fresh and re-memoized.
+	for i := 0; i < 2; i++ {
+		if got := st.PatternCount(storage.Pattern{S: 1_000_001}); got != 1 {
+			t.Fatalf("PatternCount after reset (probe %d) = %d, want 1", i, got)
+		}
+	}
+}

@@ -89,8 +89,19 @@ func (st *Stats) EachProperty(f func(dict.ID, PropStat) bool) {
 	}
 }
 
+// maxPatternMemo bounds the pattern-count memo. Stats live for the whole
+// process (one instance per store), while the distinct patterns a
+// long-running workload asks about are unbounded — every fresh constant
+// in a query coins a fresh pattern — so an uncapped memo is a slow leak.
+// When the cap is hit the memo is reset wholesale: counts are cheap to
+// recompute (two binary searches in storage), so a dumb reset beats the
+// bookkeeping of an eviction policy here.
+const maxPatternMemo = 1 << 16
+
 // PatternCount returns the exact number of triples matching the pattern,
-// memoized. Safe for concurrent use.
+// memoized. Safe for concurrent use. The memo is bounded by
+// maxPatternMemo and reset on overflow, so arbitrarily many distinct
+// patterns cannot grow it without limit.
 func (st *Stats) PatternCount(p storage.Pattern) int {
 	st.mu.Lock()
 	n, ok := st.memo[p]
@@ -100,6 +111,9 @@ func (st *Stats) PatternCount(p storage.Pattern) int {
 	}
 	n = st.store.Count(p)
 	st.mu.Lock()
+	if len(st.memo) >= maxPatternMemo {
+		st.memo = make(map[storage.Pattern]int, 1024)
+	}
 	st.memo[p] = n
 	st.mu.Unlock()
 	return n

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a named atomic counter. A nil *Counter (from a disabled
+// trace's registry) absorbs Add calls and reads as 0, so counter
+// handles thread through instrumented code the same way spans do.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add adds n to the counter (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Registry is a set of named atomic counters, created once per trace
+// and shared by every span of the tree. A nil *Registry is the disabled
+// registry: Counter returns nil and Snapshot returns nothing.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Safe for concurrent use; nil registries return nil.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	r.mu.Unlock()
+	return c
+}
+
+// Snapshot returns the current value of every counter, keyed by name.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// Names returns the registered counter names, sorted, so exports are
+// deterministic.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Render writes the span tree as an indented EXPLAIN ANALYZE-style
+// report: one line per span with its duration and attributes, children
+// indented under their parent. Rendering a nil span writes nothing.
+//
+//	query                            1.282ms
+//	  optimize                       411µs    strategy=gcov covers_explored=5
+//	  evaluate                       729µs    arms=2 rows_out=208
+//	    arm[0]                       312µs    members=12 rows_out=845
+func (s *Span) Render(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	width := s.nameWidth(0)
+	return s.render(w, 0, width)
+}
+
+// nameWidth returns the widest indent+name of the subtree, for column
+// alignment.
+func (s *Span) nameWidth(depth int) int {
+	width := 2*depth + len(s.name)
+	for _, c := range s.Children() {
+		if cw := c.nameWidth(depth + 1); cw > width {
+			width = cw
+		}
+	}
+	return width
+}
+
+func (s *Span) render(w io.Writer, depth, width int) error {
+	indent := strings.Repeat("  ", depth)
+	line := fmt.Sprintf("%s%-*s  %-9s", indent, width-len(indent), s.name, formatDur(s.Duration()))
+	for _, a := range s.Attrs() {
+		if a.IsStr {
+			line += fmt.Sprintf(" %s=%s", a.Key, a.Str)
+		} else {
+			line += fmt.Sprintf(" %s=%d", a.Key, a.Int)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", strings.TrimRight(line, " ")); err != nil {
+		return err
+	}
+	for _, c := range s.Children() {
+		if err := c.render(w, depth+1, width); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatDur renders a duration at a precision that keeps trace lines
+// readable: sub-microsecond noise is dropped once a span reaches the
+// microsecond range.
+func formatDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d >= time.Microsecond:
+		return d.Round(100 * time.Nanosecond).String()
+	default:
+		return d.String()
+	}
+}
+
+// spanJSON is the export shape of one span.
+type spanJSON struct {
+	Name     string            `json:"name"`
+	Ns       int64             `json:"ns"`
+	Counters map[string]int64  `json:"counters,omitempty"`
+	Labels   map[string]string `json:"labels,omitempty"`
+	Children []json.RawMessage `json:"children,omitempty"`
+}
+
+// MarshalJSON exports the span tree: per span its name, duration in
+// nanoseconds, numeric attributes as "counters", string attributes as
+// "labels", and children in creation order.
+func (s *Span) MarshalJSON() ([]byte, error) {
+	if s == nil {
+		return []byte("null"), nil
+	}
+	out := spanJSON{Name: s.Name(), Ns: s.Duration().Nanoseconds()}
+	for _, a := range s.Attrs() {
+		if a.IsStr {
+			if out.Labels == nil {
+				out.Labels = make(map[string]string)
+			}
+			out.Labels[a.Key] = a.Str
+		} else {
+			if out.Counters == nil {
+				out.Counters = make(map[string]int64)
+			}
+			out.Counters[a.Key] = a.Int
+		}
+	}
+	for _, c := range s.Children() {
+		raw, err := c.MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		out.Children = append(out.Children, raw)
+	}
+	return json.Marshal(out)
+}
+
+// WriteJSON writes the registry's counters as one JSON object with
+// sorted keys (encoding/json sorts map keys), followed by a newline.
+// A nil registry writes an empty object.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	if snap == nil {
+		snap = map[string]int64{}
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

@@ -1,0 +1,223 @@
+// Package trace is the query-lifecycle tracing and metrics subsystem:
+// a tree of timed spans covering parse → reformulate → cover search →
+// evaluation, plus a registry of named atomic counters, both exportable
+// as an indented EXPLAIN ANALYZE-style report or as JSON.
+//
+// The design goal is that tracing *off* is free on the hot path. A nil
+// *Span is a disabled trace: every method is a nil-safe no-op that
+// returns immediately, so instrumented code threads spans
+// unconditionally and pays exactly one nil check (and zero allocations)
+// per instrumentation point when tracing is off. Call sites that would
+// have to format a span name or stringify an attribute guard that work
+// behind an explicit nil check so the formatting cost is also only paid
+// when tracing is on.
+//
+// A trace is created with New, which roots the span tree and attaches a
+// fresh counter Registry shared by every descendant span. Spans are safe
+// for concurrent use: parallel arm and shard workers may create children
+// of one parent and set attributes on their own spans concurrently.
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation of a span: an operator counter
+// (rows in/out, dedup hits, covers explored, ...) or a string label
+// (strategy, join algorithm).
+type Attr struct {
+	Key string
+	// Int is the value of a numeric attribute (IsStr false).
+	Int int64
+	// Str is the value of a string attribute (IsStr true).
+	Str   string
+	IsStr bool
+}
+
+// Span is one timed node of a query-lifecycle trace. The zero of the
+// type is not used directly: create roots with New and descendants with
+// Child. A nil *Span disables the whole subtree — see the package
+// comment.
+type Span struct {
+	name  string
+	start time.Time
+	reg   *Registry
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// New starts a root span with a fresh counter registry.
+func New(name string) *Span {
+	return &Span{name: name, start: time.Now(), reg: NewRegistry()}
+}
+
+// Child starts a sub-span. It returns nil (the disabled trace) when s is
+// nil, so instrumentation chains without checks. The child shares the
+// root's counter registry.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now(), reg: s.reg}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End records the span's duration. The first call wins; later calls
+// (and calls on nil) are no-ops, so deferred Ends are safe next to
+// explicit ones on early-return paths.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	s.mu.Unlock()
+}
+
+// SetInt sets (or overwrites) a numeric attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.setIntLocked(key, v, false)
+	s.mu.Unlock()
+}
+
+// AddInt accumulates into a numeric attribute, creating it at v. Safe
+// for concurrent accumulation from several workers.
+func (s *Span) AddInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.setIntLocked(key, v, true)
+	s.mu.Unlock()
+}
+
+func (s *Span) setIntLocked(key string, v int64, add bool) {
+	for i := range s.attrs {
+		if s.attrs[i].Key == key && !s.attrs[i].IsStr {
+			if add {
+				s.attrs[i].Int += v
+			} else {
+				s.attrs[i].Int = v
+			}
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Int: v})
+}
+
+// SetStr sets (or overwrites) a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key && s.attrs[i].IsStr {
+			s.attrs[i].Str = v
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Str: v, IsStr: true})
+	s.mu.Unlock()
+}
+
+// Registry returns the counter registry shared by the span tree, or nil
+// for a disabled trace (a nil Registry is itself a no-op sink).
+func (s *Span) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Counter returns the named counter of the tree's registry (nil, a
+// no-op, for a disabled trace).
+func (s *Span) Counter(name string) *Counter {
+	return s.Registry().Counter(name)
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the recorded duration: the End-to-start interval, or
+// the live elapsed time for a span not yet ended (0 on nil).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return time.Since(s.start)
+	}
+	return s.dur
+}
+
+// Attrs returns a snapshot of the span's attributes in insertion order.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attr(nil), s.attrs...)
+}
+
+// Children returns a snapshot of the sub-spans in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Find returns the first span named name in a depth-first walk of the
+// subtree rooted at s (including s itself), or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.name == name {
+		return s
+	}
+	for _, c := range s.Children() {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// IntAttr returns the value of a numeric attribute (0, false when the
+// span is nil or the attribute is absent).
+func (s *Span) IntAttr(key string) (int64, bool) {
+	for _, a := range s.Attrs() {
+		if a.Key == key && !a.IsStr {
+			return a.Int, true
+		}
+	}
+	return 0, false
+}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/sparql"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/turtle"
 )
 
@@ -94,6 +95,18 @@ type Report = core.Report
 // CostParams are the calibrated constants of the paper's cost model.
 type CostParams = cost.Params
 
+// Trace is a span of the query-lifecycle trace: a named, timed node
+// carrying counters, whose children cover the parse, optimize,
+// reformulate and evaluate stages of every query answered while the
+// trace is attached (Options.Trace). Render writes the tree as an
+// indented EXPLAIN ANALYZE-style report; MarshalJSON exports it. A nil
+// *Trace disables tracing at zero cost.
+type Trace = trace.Span
+
+// NewTrace starts a trace with a root span of the given name. Attach it
+// via Options.Trace, answer queries, call End, then Render or marshal.
+func NewTrace(name string) *Trace { return trace.New(name) }
+
 // Options tunes an Answerer.
 type Options struct {
 	// CostParams overrides the cost-model constants; zero value uses
@@ -110,6 +123,13 @@ type Options struct {
 	MaxCovers int
 	// SearchBudget bounds optimization wall-clock time (0 = none).
 	SearchBudget time.Duration
+	// Parallelism is the worker count for evaluation and cover pricing;
+	// 0 uses all CPUs, 1 runs serially. Results are identical either way.
+	Parallelism int
+	// Trace, when non-nil, records every query's lifecycle (parse,
+	// optimize, reformulate, evaluate, with per-operator counters) as
+	// children of the given root span. nil disables tracing at zero cost.
+	Trace *Trace
 }
 
 // ErrFrozen is returned when a schema triple is added after Freeze.
@@ -343,8 +363,10 @@ func (s *Store) NewAnswerer(p Profile, opts Options) *Answerer {
 		Source:       source,
 		MaxCovers:    opts.MaxCovers,
 		SearchBudget: opts.SearchBudget,
+		Parallelism:  opts.Parallelism,
+		Trace:        opts.Trace,
 	})
-	return &Answerer{store: s, inner: inner, profile: p, params: params}
+	return &Answerer{store: s, inner: inner, profile: p, params: params, trace: opts.Trace}
 }
 
 // Answerer answers SPARQL BGP queries over one store through one engine
@@ -354,6 +376,7 @@ type Answerer struct {
 	inner   *core.Answerer
 	profile Profile
 	params  CostParams
+	trace   *Trace
 }
 
 // Profile returns the engine profile.
@@ -380,7 +403,12 @@ func (r *Result) Boolean() bool { return len(r.Rows) > 0 }
 
 // Query parses and answers a SPARQL BGP query.
 func (a *Answerer) Query(text string, strategy Strategy) (*Result, error) {
+	var parseSp *Trace
+	if a.trace != nil {
+		parseSp = a.trace.Child("parse")
+	}
 	q, err := sparql.Parse(text)
+	parseSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -389,7 +417,12 @@ func (a *Answerer) Query(text string, strategy Strategy) (*Result, error) {
 
 // QueryParsed answers an already parsed query.
 func (a *Answerer) QueryParsed(q *sparql.Query, strategy Strategy) (*Result, error) {
+	var encSp *Trace
+	if a.trace != nil {
+		encSp = a.trace.Child("encode")
+	}
 	enc, err := sparql.Encode(q, a.store.dict)
+	encSp.End()
 	if err != nil {
 		return nil, err
 	}

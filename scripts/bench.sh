@@ -4,7 +4,10 @@
 # benchmark with ns/op and allocs/op, plus the runner's go version,
 # GOMAXPROCS and CPU count (the parallel benchmarks only show their
 # speedup on a multi-core runner; the metadata makes single-core numbers
-# self-explaining). `make bench-json` and CI run exactly this script.
+# self-explaining). The report also embeds the traced per-stage
+# breakdown from `benchall -stagejson` and asserts that disabled
+# tracing adds no allocations to the JUCQ hot path (tracealloc).
+# `make bench-json` and CI run exactly this script.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,7 +16,8 @@ pattern="${1:-.}"
 date="$(date -u +%Y-%m-%d)"
 out="BENCH_${date}.json"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+stages="$(mktemp)"
+trap 'rm -f "$raw" "$stages"' EXIT
 
 REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-tiny}"
 export REPRO_BENCH_SCALE
@@ -21,5 +25,33 @@ export REPRO_BENCH_SCALE
 echo "==> go test -bench=$pattern -benchmem (scale: $REPRO_BENCH_SCALE)"
 go test -run '^$' -bench "$pattern" -benchmem . | tee "$raw"
 
-go run ./cmd/benchjson -in "$raw" -out "$out"
+# tracealloc: the `/off` and `/nil-span` variants of the trace-overhead
+# benchmark must allocate identically — attaching no span may not cost
+# the hot path anything. Re-run the benchmark on its own if a custom
+# pattern excluded it from the main sweep.
+echo "==> tracealloc: disabled tracing must add zero allocs/op"
+if ! grep -q 'BenchmarkTraceOverhead/off' "$raw"; then
+    go test -run '^$' -bench '^BenchmarkTraceOverhead$' -benchmem . | tee -a "$raw"
+fi
+awk '
+    $1 ~ /^BenchmarkTraceOverhead\/off(-[0-9]+)?$/      { off = $(NF-1); seen_off = 1 }
+    $1 ~ /^BenchmarkTraceOverhead\/nil-span(-[0-9]+)?$/ { nil = $(NF-1); seen_nil = 1 }
+    END {
+        if (!seen_off || !seen_nil) {
+            print "tracealloc: FAIL — benchmark output missing off/nil-span lines"
+            exit 1
+        }
+        d = nil - off; if (d < 0) d = -d
+        tol = off * 0.01; if (tol < 2) tol = 2
+        printf "tracealloc: off=%d allocs/op, nil-span=%d allocs/op (tolerance %.0f)\n", off, nil, tol
+        if (d > tol) {
+            print "tracealloc: FAIL — disabled tracing changes the allocation profile"
+            exit 1
+        }
+    }' "$raw"
+
+echo "==> benchall -stagejson (traced per-stage breakdown)"
+go run ./cmd/benchall -scale "$REPRO_BENCH_SCALE" -stagejson "$stages"
+
+go run ./cmd/benchjson -in "$raw" -stages "$stages" -out "$out"
 echo "==> wrote $out"
