@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cover"
 	"repro/internal/engine"
+	"repro/internal/plancache"
 	"repro/internal/reformulate"
 	"repro/internal/saturate"
 	"repro/internal/storage"
@@ -346,6 +347,49 @@ func BenchmarkTraceOverhead(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCachedAnswer measures the plan cache on a cover-search-heavy
+// query: `cold` answers through a fresh cache every iteration (one miss,
+// install included), `warm` answers through a primed shared cache so every
+// iteration skips the optimize and reformulate stages. The warm variant
+// reports the cache's hit rate as a metric, which scripts/bench.sh embeds
+// into the committed BENCH_*.json files.
+func BenchmarkCachedAnswer(b *testing.B) {
+	db := lubmDB(b)
+	qi := db.QueryIndex("Q09")
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := db.Answerer(engine.Native, core.Options{PlanCache: plancache.New(0)})
+			out := db.Run(a, qi, core.GCov)
+			if out.Failed() {
+				b.Fatal(out.Err)
+			}
+			if out.Report.Cached {
+				b.Fatal("fresh cache reported a hit")
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		pc := plancache.New(0)
+		a := db.Answerer(engine.Native, core.Options{PlanCache: pc})
+		if out := db.Run(a, qi, core.GCov); out.Failed() {
+			b.Fatal(out.Err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out := db.Run(a, qi, core.GCov)
+			if out.Failed() {
+				b.Fatal(out.Err)
+			}
+			if !out.Report.Cached {
+				b.Fatal("warm run missed the cache")
+			}
+		}
+		b.ReportMetric(pc.Snapshot().HitRate(), "hit-rate")
+	})
 }
 
 // BenchmarkSaturation measures building the saturated store.

@@ -10,6 +10,7 @@
 //	benchall -figure 4           # only Figure 4
 //	benchall -ablations          # only the ablation benches
 //	benchall -parallel           # only the parallelism sweep
+//	benchall -cache              # only the plan-cache sweep (cold/warm/mutate)
 package main
 
 import (
@@ -58,6 +59,7 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate only this figure (4-10)")
 	ablations := flag.Bool("ablations", false, "run only the ablation benches")
 	parallel := flag.Bool("parallel", false, "run only the parallelism sweep")
+	cacheSweep := flag.Bool("cache", false, "run only the plan-cache sweep (cold vs warm vs mutate-then-requery)")
 	stageJSON := flag.String("stagejson", "", "run the traced stage sweep and write its JSON to this file ('-' = stdout), then exit")
 	flag.Parse()
 
@@ -72,7 +74,7 @@ func main() {
 		return
 	}
 
-	all := *table == 0 && *figure == 0 && !*ablations && !*parallel
+	all := *table == 0 && *figure == 0 && !*ablations && !*parallel && !*cacheSweep
 	section := func(title string, f func() error) {
 		fmt.Fprintf(out, "\n==== %s ====\n", title)
 		start := time.Now()
@@ -186,6 +188,12 @@ func main() {
 	if all || *parallel {
 		section(fmt.Sprintf("Parallelism sweep: GCov JUCQ on the native profile (GOMAXPROCS=%d)", runtime.GOMAXPROCS(0)), func() error {
 			return lubmDB.ParallelismSweep(out, []int{1, 2, 4, runtime.GOMAXPROCS(0)}, 3)
+		})
+	}
+
+	if all || *cacheSweep {
+		section("Plan cache: cold vs warm (cached) vs mutate-then-requery", func() error {
+			return lubmDB.CacheSweep(out, []string{"Q01", "Q05", "Q09", "Q13"}, 3)
 		})
 	}
 }

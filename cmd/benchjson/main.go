@@ -1,6 +1,7 @@
 // Benchjson converts `go test -bench` output into a small JSON report:
-// one entry per benchmark (name, ns/op, B/op, allocs/op) plus runner
-// metadata (go version, GOMAXPROCS, CPU count). scripts/bench.sh uses it
+// one entry per benchmark (name, ns/op, B/op, allocs/op, plus any custom
+// b.ReportMetric units such as hit-rate) and runner metadata (go version,
+// GOMAXPROCS, CPU count). scripts/bench.sh uses it
 // to write the committed BENCH_<date>.json files; the metadata matters
 // because the parallel benchmarks only separate from their serial
 // baselines on a multi-core runner.
@@ -23,6 +24,9 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. the plan-cache
+	// benchmark's "hit-rate") keyed by unit name.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type report struct {
@@ -132,6 +136,11 @@ func parseLine(line string) (result, bool) {
 			r.BytesPerOp = int64(v)
 		case "allocs/op":
 			r.AllocsPerOp = int64(v)
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[fields[i+1]] = v
 		}
 	}
 	return r, seen

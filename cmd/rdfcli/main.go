@@ -8,6 +8,7 @@
 //	rdfcli -data lubm.nt -strategy ucq -queryfile q.sparql -profile db2like
 //	rdfcli -data lubm.nt -explain -query '...'   # optimizer output only
 //	rdfcli -data lubm.nt -trace -query '...'     # EXPLAIN ANALYZE-style span tree
+//	rdfcli -data lubm.nt -cache 256 -repeat 5 -query '...'  # plan-cache warm-up
 package main
 
 import (
@@ -33,6 +34,8 @@ func main() {
 	traceFlag := flag.Bool("trace", false, "print the query-lifecycle span tree and counters after the answers")
 	traceJSON := flag.Bool("tracejson", false, "with -trace, emit only the span tree as JSON on stdout (suppresses the answer table)")
 	parallelism := flag.Int("parallel", 0, "evaluation worker count (0 = all CPUs, 1 = sequential)")
+	cacheCap := flag.Int("cache", 0, "plan-cache capacity in entries (0 = cache off)")
+	repeat := flag.Int("repeat", 1, "answer the query N times (with -cache, runs after the first hit the cache)")
 	flag.Parse()
 
 	if *data == "" {
@@ -84,10 +87,15 @@ func main() {
 	if *traceFlag {
 		tr = repro.NewTrace("query")
 	}
+	var pc *repro.PlanCache
+	if *cacheCap > 0 {
+		pc = repro.NewPlanCache(*cacheCap)
+	}
 	a := st.NewAnswerer(prof, repro.Options{
 		Calibrate:   *calibrate,
 		Parallelism: *parallelism,
 		Trace:       tr,
+		PlanCache:   pc,
 	})
 
 	if *explain {
@@ -110,6 +118,32 @@ func main() {
 	res, err := a.Query(text, strat)
 	if err != nil {
 		fatal(err)
+	}
+	// Repeated-query mode: re-answer the same query; with -cache, every run
+	// after the first is served from the plan cache (optimize and
+	// reformulate skipped), which the per-run lines make visible.
+	if *repeat > 1 {
+		report := func(i int, rep repro.Report) {
+			fmt.Fprintf(os.Stderr, "run %d: optimize=%v evaluate=%v cached=%v\n",
+				i+1, rep.OptimizeTime.Round(time.Microsecond),
+				rep.EvalTime.Round(time.Microsecond), rep.Cached)
+		}
+		report(0, res.Report)
+		for i := 1; i < *repeat; i++ {
+			ri, err := a.Query(text, strat)
+			if err != nil {
+				fatal(err)
+			}
+			if len(ri.Rows) != len(res.Rows) {
+				fatal(fmt.Errorf("run %d returned %d rows, run 1 returned %d", i+1, len(ri.Rows), len(res.Rows)))
+			}
+			report(i, ri.Report)
+		}
+		if pc != nil {
+			cs := pc.Snapshot()
+			fmt.Fprintf(os.Stderr, "plan cache: %d hits / %d lookups (%.0f%% hit rate), %d invalidations\n",
+				cs.Hits, cs.Lookups(), 100*cs.HitRate(), cs.Invalidations)
+		}
 	}
 	// With -tracejson, stdout carries only the span-tree JSON so it can
 	// be piped into tooling; the row count still reports on stderr.

@@ -200,6 +200,149 @@ func (q CQ) Key() string {
 	return b.String()
 }
 
+// canonMaxStates bounds the branch-and-bound frontier of CanonicalKey.
+// Keeping every tie would be exponential in pathological symmetric queries;
+// truncating the frontier can only make the chosen atom order suboptimal,
+// never unsound (see CanonicalKey), so a small cap is safe.
+const canonMaxStates = 256
+
+// canonState is one partial atom ordering during canonicalization: which
+// atoms were already emitted and the variable numbering they induced.
+type canonState struct {
+	mask   uint64
+	rename map[uint32]int
+}
+
+// CanonicalKey returns a canonical string for the query that is invariant
+// under variable renaming AND body-atom reordering, strengthening Key
+// (which renames but is order-sensitive). Two CQs with equal canonical
+// keys are isomorphic: every emitted key is the faithful rendering of the
+// query under *some* atom permutation and first-appearance renaming, so
+// equal keys always denote equal queries — the frontier cap above only
+// risks two isomorphic queries picking different permutations (a missed
+// match, e.g. a spurious cache miss), never a false match.
+//
+// The key is built greedily: the head is rendered first (pinning the head
+// variables' canonical numbers), then at each step the unused atom whose
+// rendering under the current numbering is lexicographically smallest is
+// emitted, branching on ties. Queries with more than 64 atoms fall back
+// to Key (the cover layer never sees them; see cover.MaxAtoms).
+func (q CQ) CanonicalKey() string {
+	if len(q.Atoms) > 64 {
+		return q.Key()
+	}
+	base := make(map[uint32]int)
+	var b strings.Builder
+	for _, t := range q.Head {
+		if t.Var {
+			n, ok := base[t.ID]
+			if !ok {
+				n = len(base)
+				base[t.ID] = n
+			}
+			fmt.Fprintf(&b, "?%d", n)
+		} else {
+			fmt.Fprintf(&b, "#%d", t.ID)
+		}
+		b.WriteByte(' ')
+	}
+	b.WriteByte('|')
+	states := []canonState{{mask: 0, rename: base}}
+	n := len(q.Atoms)
+	for step := 0; step < n; step++ {
+		var best string
+		var next []canonState
+		for _, st := range states {
+			for i := 0; i < n; i++ {
+				if st.mask&(1<<uint(i)) != 0 {
+					continue
+				}
+				s, fresh := renderCanonAtom(q.Atoms[i], st.rename)
+				if len(next) > 0 && s > best {
+					continue
+				}
+				if len(next) == 0 || s < best {
+					best = s
+					next = next[:0]
+				}
+				r2 := make(map[uint32]int, len(st.rename)+len(fresh))
+				for k, v := range st.rename {
+					r2[k] = v
+				}
+				for _, v := range fresh {
+					r2[v] = len(r2)
+				}
+				next = append(next, canonState{mask: st.mask | 1<<uint(i), rename: r2})
+			}
+		}
+		b.WriteString(best)
+		b.WriteByte('.')
+		states = dedupCanonStates(next)
+		if len(states) > canonMaxStates {
+			states = states[:canonMaxStates]
+		}
+	}
+	return b.String()
+}
+
+// renderCanonAtom renders the atom under the given variable numbering,
+// numbering unseen variables on from len(rename) in order of appearance.
+// It returns the rendering and the unseen variables in appearance order
+// (so the caller can extend the numbering if it keeps this candidate).
+func renderCanonAtom(a Atom, rename map[uint32]int) (string, []uint32) {
+	var b strings.Builder
+	var fresh []uint32
+	for _, t := range a.Positions() {
+		if !t.Var {
+			fmt.Fprintf(&b, "#%d ", t.ID)
+			continue
+		}
+		idx, ok := rename[t.ID]
+		if !ok {
+			idx = -1
+			for j, v := range fresh {
+				if v == t.ID {
+					idx = len(rename) + j
+					break
+				}
+			}
+			if idx < 0 {
+				idx = len(rename) + len(fresh)
+				fresh = append(fresh, t.ID)
+			}
+		}
+		fmt.Fprintf(&b, "?%d ", idx)
+	}
+	return b.String(), fresh
+}
+
+// dedupCanonStates drops states that are equivalent for every future
+// rendering decision: same emitted-atom set and same induced numbering.
+func dedupCanonStates(states []canonState) []canonState {
+	if len(states) < 2 {
+		return states
+	}
+	seen := make(map[string]struct{}, len(states))
+	out := states[:0]
+	for _, st := range states {
+		inv := make([]uint32, len(st.rename))
+		for v, i := range st.rename {
+			inv[i] = v
+		}
+		var k strings.Builder
+		fmt.Fprintf(&k, "%x|", st.mask)
+		for _, v := range inv {
+			fmt.Fprintf(&k, "%d,", v)
+		}
+		if _, dup := seen[k.String()]; dup {
+			continue
+		}
+		seen[k.String()] = struct{}{}
+		out = append(out, st)
+	}
+	return out
+}
+
 // String renders the query for debugging.
 func (q CQ) String() string {
 	var b strings.Builder

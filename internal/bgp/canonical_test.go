@@ -1,0 +1,135 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dict"
+)
+
+// permuted returns q with its atoms reordered by perm and every variable v
+// renamed to off+v (head and body), i.e. an isomorphic copy.
+func permuted(q CQ, perm []int, off uint32) CQ {
+	ren := func(t Term) Term {
+		if t.Var {
+			return V(t.ID + off)
+		}
+		return t
+	}
+	out := CQ{Head: make([]Term, len(q.Head)), Atoms: make([]Atom, len(q.Atoms))}
+	for i, t := range q.Head {
+		out.Head[i] = ren(t)
+	}
+	for i, p := range perm {
+		a := q.Atoms[p]
+		out.Atoms[i] = Atom{S: ren(a.S), P: ren(a.P), O: ren(a.O)}
+	}
+	return out
+}
+
+func TestCanonicalKeyInvariance(t *testing.T) {
+	// q(x) :- (x, 10, y), (y, 11, z), (z, 12, #5)
+	q := CQ{
+		Head: []Term{V(0)},
+		Atoms: []Atom{
+			{S: V(0), P: C(10), O: V(1)},
+			{S: V(1), P: C(11), O: V(2)},
+			{S: V(2), P: C(12), O: C(5)},
+		},
+	}
+	want := q.CanonicalKey()
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, perm := range perms {
+		for _, off := range []uint32{0, 7, 100} {
+			p := permuted(q, perm, off)
+			if got := p.CanonicalKey(); got != want {
+				t.Errorf("perm %v off %d: key %q != %q", perm, off, got, want)
+			}
+			// Key is renaming-invariant but order-sensitive; make sure the
+			// canonical key is doing strictly more than Key here.
+			if perm[0] != 0 && p.Key() == q.Key() {
+				t.Errorf("perm %v: raw Key unexpectedly order-invariant", perm)
+			}
+		}
+	}
+}
+
+func TestCanonicalKeyDistinguishesQueries(t *testing.T) {
+	a := CQ{Head: []Term{V(0)}, Atoms: []Atom{{S: V(0), P: C(10), O: V(1)}}}
+	b := CQ{Head: []Term{V(0)}, Atoms: []Atom{{S: V(0), P: C(11), O: V(1)}}}
+	if a.CanonicalKey() == b.CanonicalKey() {
+		t.Fatal("different properties got the same canonical key")
+	}
+	// Same body, different head projection.
+	c := CQ{Head: []Term{V(1)}, Atoms: a.Atoms}
+	if a.CanonicalKey() == c.CanonicalKey() {
+		t.Fatal("different heads got the same canonical key")
+	}
+	// Chain vs star: same atom count, same property multiset.
+	chain := CQ{Head: []Term{V(0)}, Atoms: []Atom{
+		{S: V(0), P: C(10), O: V(1)},
+		{S: V(1), P: C(10), O: V(2)},
+	}}
+	star := CQ{Head: []Term{V(0)}, Atoms: []Atom{
+		{S: V(0), P: C(10), O: V(1)},
+		{S: V(0), P: C(10), O: V(2)},
+	}}
+	if chain.CanonicalKey() == star.CanonicalKey() {
+		t.Fatal("chain and star shapes got the same canonical key")
+	}
+}
+
+// TestCanonicalKeySymmetricTies exercises the tie-branching: in a symmetric
+// star every body atom renders identically at step one, so a greedy
+// no-backtracking canonicalization could diverge between permutations.
+func TestCanonicalKeySymmetricTies(t *testing.T) {
+	mk := func(perm []int, off uint32) CQ {
+		q := CQ{Head: []Term{V(0)}, Atoms: []Atom{
+			{S: V(0), P: C(10), O: V(1)},
+			{S: V(0), P: C(10), O: V(2)},
+			{S: V(0), P: C(10), O: V(3)},
+			{S: V(1), P: C(11), O: V(2)},
+		}}
+		return permuted(q, perm, off)
+	}
+	want := mk([]int{0, 1, 2, 3}, 0).CanonicalKey()
+	perms := [][]int{{3, 2, 1, 0}, {1, 3, 0, 2}, {2, 0, 3, 1}, {0, 3, 1, 2}}
+	for _, perm := range perms {
+		if got := mk(perm, 20).CanonicalKey(); got != want {
+			t.Errorf("perm %v: key %q != %q", perm, got, want)
+		}
+	}
+}
+
+func TestCanonicalKeyRandomizedIsomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		nAtoms := 1 + rng.Intn(5)
+		nVars := uint32(1 + rng.Intn(4))
+		term := func() Term {
+			if rng.Intn(2) == 0 {
+				return V(uint32(rng.Intn(int(nVars))))
+			}
+			return C(dict.ID(rng.Intn(5) + 10))
+		}
+		q := CQ{Head: []Term{V(0)}}
+		for i := 0; i < nAtoms; i++ {
+			q.Atoms = append(q.Atoms, Atom{S: term(), P: term(), O: term()})
+		}
+		perm := rng.Perm(nAtoms)
+		iso := permuted(q, perm, uint32(rng.Intn(50)))
+		if q.CanonicalKey() != iso.CanonicalKey() {
+			t.Fatalf("trial %d: isomorphic queries diverged\n  q=%v\n  iso=%v", trial, q, iso)
+		}
+	}
+}
+
+func TestCanonicalKeyFallsBackPastMaxAtoms(t *testing.T) {
+	q := CQ{Head: []Term{V(0)}}
+	for i := 0; i < 65; i++ {
+		q.Atoms = append(q.Atoms, Atom{S: V(0), P: C(dict.ID(i + 1)), O: V(uint32(i + 1))})
+	}
+	if q.CanonicalKey() != q.Key() {
+		t.Fatal("queries past 64 atoms must fall back to Key")
+	}
+}

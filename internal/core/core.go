@@ -19,6 +19,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/dict"
 	"repro/internal/engine"
+	"repro/internal/plancache"
 	"repro/internal/reformulate"
 	"repro/internal/schema"
 	"repro/internal/trace"
@@ -101,6 +102,14 @@ type Options struct {
 	// children) and "evaluate" (with the engine's operator tree). nil —
 	// the default — disables tracing at zero cost.
 	Trace *trace.Span
+	// PlanCache, when non-nil, caches the answering artifacts (chosen
+	// cover, per-fragment reformulations, fragment statistics) across
+	// queries, keyed by the canonical query signature and validated
+	// against the store version and schema stamp. A cache may be shared
+	// by any number of answerers over the same store and schema; it is
+	// safe for concurrent use. Answers are identical with and without a
+	// cache — hits only skip the optimize and reformulate stages.
+	PlanCache *plancache.Cache
 }
 
 // DefaultMaxCovers bounds ECov's enumeration when Options.MaxCovers is 0.
@@ -200,6 +209,10 @@ type Report struct {
 	EvalTime time.Duration
 	// Metrics are the engine's evaluation counters.
 	Metrics engine.Metrics
+	// Cached reports that the plan came from a plan-cache hit: the
+	// optimize and reformulate stages were skipped and OptimizeTime is
+	// the (near-zero) lookup time.
+	Cached bool
 }
 
 // Answer holds the answer relation and the report.
@@ -234,22 +247,114 @@ func (a *Answerer) Answer(q bgp.CQ, strategy Strategy) (*Answer, error) {
 		}}, nil
 	}
 
-	c, rep, err := a.ChooseCover(q, strategy)
+	if a.opts.PlanCache == nil {
+		c, rep, err := a.ChooseCover(q, strategy)
+		if err != nil {
+			return nil, err
+		}
+		return a.EvaluateCover(q, c, rep)
+	}
+	return a.answerWithCache(q, strategy)
+}
+
+// answerWithCache is the Answer path for answerers with a plan cache: a
+// current entry skips straight to evaluation; otherwise the plan is
+// computed once and installed, reusing the searcher's fragment
+// reformulations so a miss costs no more than an uncached answer.
+func (a *Answerer) answerWithCache(q bgp.CQ, strategy Strategy) (*Answer, error) {
+	cache := a.opts.PlanCache
+	reg := a.opts.Trace.Registry()
+	// The validity pair is read *before* planning: a mutation racing the
+	// plan computation can only make the recorded version too old (a
+	// spurious invalidation later), never let a stale plan pass as
+	// current.
+	storeV := a.raw.Store().Version()
+	schemaS := a.sch.Stamp()
+	key := plancache.Signature(string(strategy), q)
+
+	start := time.Now()
+	if e, out := cache.Get(key, storeV, schemaS); out == plancache.Hit {
+		reg.Counter("plancache.hits").Add(1)
+		rep := Report{
+			Strategy:       Strategy(e.Strategy),
+			Cover:          e.Cover,
+			FragmentCQs:    append([]int64(nil), e.FragmentCQs...),
+			TotalCQs:       e.TotalCQs,
+			EstimatedCost:  e.EstimatedCost,
+			CoversExplored: e.CoversExplored,
+			Exhaustive:     e.Exhaustive,
+			Cached:         true,
+			OptimizeTime:   time.Since(start),
+		}
+		frags := make([]fragArtifact, len(e.Fragments))
+		for i, f := range e.Fragments {
+			frags[i] = fragArtifact{cq: f.CQ, ref: f.Ref}
+		}
+		return a.evaluateFrags(e.Head, frags, rep)
+	} else if out == plancache.Stale {
+		reg.Counter("plancache.invalidations").Add(1)
+	}
+	reg.Counter("plancache.misses").Add(1)
+
+	c, rep, s, err := a.chooseCover(q, strategy)
 	if err != nil {
 		return nil, err
 	}
-	return a.EvaluateCover(q, c, rep)
+	entry := &plancache.Entry{
+		Key:            key,
+		Strategy:       string(strategy),
+		StoreVersion:   storeV,
+		SchemaStamp:    schemaS,
+		Head:           headVars(q),
+		Cover:          c,
+		EstimatedCost:  rep.EstimatedCost,
+		CoversExplored: rep.CoversExplored,
+		Exhaustive:     rep.Exhaustive,
+		TotalCQs:       rep.TotalCQs,
+		FragmentCQs:    append([]int64(nil), rep.FragmentCQs...),
+	}
+	// The searcher already reformulated every fragment of the chosen
+	// cover while pricing it; reuse those artifacts for both the entry
+	// and this evaluation instead of reformulating from scratch.
+	frags := make([]fragArtifact, len(c))
+	for i, f := range c {
+		info := s.frag(f)
+		frags[i] = fragArtifact{cq: info.cq, ref: info.ref}
+		entry.Fragments = append(entry.Fragments, plancache.Fragment{
+			CQ:     info.cq,
+			Ref:    info.ref,
+			NumCQs: info.numCQs,
+			Stats:  info.stats,
+		})
+	}
+	if err := s.failure(); err != nil {
+		return nil, err
+	}
+	ans, err := a.evaluateFrags(entry.Head, frags, rep)
+	if err != nil {
+		return ans, err
+	}
+	cache.Put(entry)
+	return ans, nil
 }
 
 // ChooseCover runs only the optimization stage: it returns the cover the
 // strategy would evaluate, with the search effort filled into the report.
 func (a *Answerer) ChooseCover(q bgp.CQ, strategy Strategy) (cover.Cover, Report, error) {
+	c, rep, _, err := a.chooseCover(q, strategy)
+	return c, rep, err
+}
+
+// chooseCover is ChooseCover keeping the searcher, whose memoized
+// fragment artifacts (reformulations, statistics) the caching answer
+// path reuses.
+func (a *Answerer) chooseCover(q bgp.CQ, strategy Strategy) (cover.Cover, Report, *searcher, error) {
 	if err := checkQuery(q); err != nil {
-		return nil, Report{}, err
+		return nil, Report{}, nil, err
 	}
 	s, err := newSearcher(a, q)
 	if err != nil {
-		return nil, Report{}, err
+		return nil, Report{}, nil, err
 	}
 	var sp *trace.Span
 	if a.opts.Trace != nil {
@@ -272,7 +377,7 @@ func (a *Answerer) ChooseCover(q bgp.CQ, strategy Strategy) (cover.Cover, Report
 	case ECov:
 		c, rep.CoversExplored, rep.Exhaustive = s.ecov()
 	default:
-		return nil, Report{}, fmt.Errorf("core: unknown strategy %q", strategy)
+		return nil, Report{}, nil, fmt.Errorf("core: unknown strategy %q", strategy)
 	}
 	rep.Cover = c
 	rep.EstimatedCost = s.coverCost(c)
@@ -282,7 +387,7 @@ func (a *Answerer) ChooseCover(q bgp.CQ, strategy Strategy) (cover.Cover, Report
 		rep.TotalCQs += info.numCQs
 	}
 	if err := s.failure(); err != nil {
-		return nil, Report{}, err
+		return nil, Report{}, nil, err
 	}
 	rep.OptimizeTime = time.Since(start)
 	if sp != nil {
@@ -294,7 +399,7 @@ func (a *Answerer) ChooseCover(q bgp.CQ, strategy Strategy) (cover.Cover, Report
 		}
 		s.recordSpan(sp)
 	}
-	return c, rep, nil
+	return c, rep, s, nil
 }
 
 // EvaluateCover evaluates the cover-based JUCQ reformulation of q induced
@@ -305,7 +410,7 @@ func (a *Answerer) EvaluateCover(q bgp.CQ, c cover.Cover, rep Report) (*Answer, 
 		refSp = a.opts.Trace.Child("reformulate")
 		refSp.SetInt("fragments", int64(len(c)))
 	}
-	arms := make([]engine.ArmSource, len(c))
+	frags := make([]fragArtifact, len(c))
 	for i, f := range c {
 		cq := cover.Query(q, f)
 		var fragSp *trace.Span
@@ -318,7 +423,7 @@ func (a *Answerer) EvaluateCover(q bgp.CQ, c cover.Cover, rep Report) (*Answer, 
 			refSp.End()
 			return &Answer{Report: rep}, err
 		}
-		arms[i] = armSource(cq, ref)
+		frags[i] = fragArtifact{cq: cq, ref: ref}
 		if fragSp != nil {
 			fragSp.SetInt("member_cqs", ref.NumCQs())
 			fragSp.End()
@@ -328,15 +433,44 @@ func (a *Answerer) EvaluateCover(q bgp.CQ, c cover.Cover, rep Report) (*Answer, 
 		refSp.SetInt("total_cqs", rep.TotalCQs)
 		refSp.End()
 	}
+	return a.evaluateFrags(headVars(q), frags, rep)
+}
+
+// fragArtifact pairs a cover fragment's subquery with its reformulation —
+// the unit of work evaluateFrags turns into an engine arm, whatever
+// produced it (a fresh Reformulate call, the searcher's memo, or a plan
+// cache entry).
+type fragArtifact struct {
+	cq  bgp.CQ
+	ref *reformulate.Reformulation
+}
+
+// headVars returns the head variable IDs of q (checkQuery enforces that
+// heads are variables).
+func headVars(q bgp.CQ) []uint32 {
 	head := make([]uint32, len(q.Head))
 	for i, h := range q.Head {
 		head[i] = h.ID
+	}
+	return head
+}
+
+// evaluateFrags runs the evaluation stage over prepared fragment
+// artifacts, completing the report. A cached plan (rep.Cached) marks its
+// evaluate span so traces show the skipped stages.
+func (a *Answerer) evaluateFrags(head []uint32, frags []fragArtifact, rep Report) (*Answer, error) {
+	arms := make([]engine.ArmSource, len(frags))
+	for i, fa := range frags {
+		arms[i] = armSource(fa.cq, fa.ref)
 	}
 	eng := a.raw
 	var evalSp *trace.Span
 	if a.opts.Trace != nil {
 		evalSp = a.opts.Trace.Child("evaluate")
 		evalSp.SetStr("strategy", string(rep.Strategy))
+		if rep.Cached {
+			evalSp.SetInt("cached", 1)
+		}
 		eng = eng.WithSpan(evalSp)
 	}
 	start := time.Now()

@@ -1,0 +1,152 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bgp"
+)
+
+func entry(key string, storeV, schemaS uint64) *Entry {
+	return &Entry{Key: key, Strategy: "gcov", StoreVersion: storeV, SchemaStamp: schemaS}
+}
+
+func TestGetPutBasics(t *testing.T) {
+	c := New(0)
+	if e, out := c.Get("k", 1, 2); e != nil || out != Miss {
+		t.Fatalf("empty cache Get = (%v, %v), want (nil, Miss)", e, out)
+	}
+	c.Put(entry("k", 1, 2))
+	e, out := c.Get("k", 1, 2)
+	if out != Hit || e == nil || e.Key != "k" {
+		t.Fatalf("Get after Put = (%v, %v), want hit", e, out)
+	}
+	st := c.Snapshot()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("counters = %+v", st)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	// Replacing under the same key keeps one entry.
+	c.Put(entry("k", 1, 2))
+	if c.Len() != 1 {
+		t.Fatalf("Len after replace = %d, want 1", c.Len())
+	}
+}
+
+func TestVersionMismatchInvalidates(t *testing.T) {
+	c := New(0)
+	c.Put(entry("k", 5, 7))
+
+	// Store moved on: stale, and the entry is gone afterwards.
+	if e, out := c.Get("k", 6, 7); e != nil || out != Stale {
+		t.Fatalf("store-version mismatch Get = (%v, %v), want (nil, Stale)", e, out)
+	}
+	if e, out := c.Get("k", 5, 7); out != Miss || e != nil {
+		t.Fatalf("stale entry not dropped: Get = (%v, %v)", e, out)
+	}
+
+	// Schema moved on: same contract.
+	c.Put(entry("k", 5, 7))
+	if _, out := c.Get("k", 5, 8); out != Stale {
+		t.Fatalf("schema-stamp mismatch outcome = %v, want Stale", out)
+	}
+
+	st := c.Snapshot()
+	if st.Invalidations != 2 {
+		t.Fatalf("Invalidations = %d, want 2", st.Invalidations)
+	}
+	if st.Lookups() != st.Hits+st.Misses+st.Invalidations {
+		t.Fatal("Lookups accounting broken")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Capacity numShards*2 gives every shard room for 2 entries; filling
+	// one shard past that must evict its least recently used key.
+	c := New(numShards * 2)
+	sh := c.shardFor("seed")
+	var keys []string
+	for i := 0; len(keys) < 3; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if c.shardFor(k) == sh {
+			keys = append(keys, k)
+		}
+	}
+	c.Put(entry(keys[0], 1, 1))
+	c.Put(entry(keys[1], 1, 1))
+	// Touch keys[0] so keys[1] is the LRU, then overflow the shard.
+	if _, out := c.Get(keys[0], 1, 1); out != Hit {
+		t.Fatal("priming hit failed")
+	}
+	c.Put(entry(keys[2], 1, 1))
+
+	if _, out := c.Get(keys[1], 1, 1); out != Miss {
+		t.Fatalf("LRU key %q survived eviction (outcome %v)", keys[1], out)
+	}
+	for _, k := range []string{keys[0], keys[2]} {
+		if _, out := c.Get(k, 1, 1); out != Hit {
+			t.Fatalf("recently used key %q evicted", k)
+		}
+	}
+	if ev := c.Snapshot().Evictions; ev != 1 {
+		t.Fatalf("Evictions = %d, want 1", ev)
+	}
+}
+
+// The signature must unify exactly the queries whose plans transfer:
+// isomorphic modulo renaming/reordering, same strategy.
+func TestSignature(t *testing.T) {
+	q1 := bgp.CQ{Head: []bgp.Term{bgp.V(0)}, Atoms: []bgp.Atom{
+		{S: bgp.V(0), P: bgp.C(10), O: bgp.V(1)},
+		{S: bgp.V(1), P: bgp.C(11), O: bgp.V(2)},
+	}}
+	q2 := bgp.CQ{Head: []bgp.Term{bgp.V(5)}, Atoms: []bgp.Atom{
+		{S: bgp.V(8), P: bgp.C(11), O: bgp.V(9)},
+		{S: bgp.V(5), P: bgp.C(10), O: bgp.V(8)},
+	}}
+	if Signature("gcov", q1) != Signature("gcov", q2) {
+		t.Fatal("renamed+reordered query got a different signature")
+	}
+	if Signature("gcov", q1) == Signature("ucq", q1) {
+		t.Fatal("strategies share a signature")
+	}
+	q3 := bgp.CQ{Head: []bgp.Term{bgp.V(0)}, Atoms: q1.Atoms[:1]}
+	if Signature("gcov", q1) == Signature("gcov", q3) {
+		t.Fatal("different queries share a signature")
+	}
+}
+
+// Concurrent readers, writers and an invalidating version bump; run under
+// -race this is the concurrency contract.
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("key-%d", i%100)
+				v := uint64(i % 3) // rotating versions force stale paths
+				if e, out := c.Get(k, v, 0); out == Hit {
+					if e.StoreVersion != v {
+						t.Errorf("hit returned version %d, asked %d", e.StoreVersion, v)
+					}
+				} else {
+					c.Put(entry(k, v, 0))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Snapshot()
+	if st.Puts == 0 || st.Lookups() == 0 {
+		t.Fatalf("no traffic recorded: %+v", st)
+	}
+	if c.Len() > 64+numShards { // per-shard rounding slack
+		t.Fatalf("cache grew past capacity: %d", c.Len())
+	}
+}

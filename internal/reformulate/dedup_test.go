@@ -1,0 +1,70 @@
+package reformulate_test
+
+import (
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/dict"
+	"repro/internal/rdf"
+	"repro/internal/reformulate"
+	"repro/internal/schema"
+)
+
+// Two expansions that coincide only after variable renaming (and atom
+// reordering) must collapse to one UCQ member. With q(x) :- (x type C),
+// (x type C) and a property p with domain C, expanding the first atom
+// yields ((x p ?f0), (x type C)) and expanding the second yields
+// ((x type C), (x p ?f1)): the same query up to renaming ?f0/?f1 and
+// swapping the atoms, but with distinct raw bgp.CQ.Key values — the
+// pre-fix dedup kept both.
+func TestUCQDedupUpToRenaming(t *testing.T) {
+	d := dict.New()
+	vocab := schema.EncodeVocab(d)
+	cls := d.Encode(rdf.NewIRI("urn:C"))
+	p := d.Encode(rdf.NewIRI("urn:p"))
+	s := schema.New(vocab)
+	s.AddDomain(p, cls)
+	closed := s.Close()
+
+	atom := bgp.Atom{S: bgp.V(0), P: bgp.C(vocab.Type), O: bgp.C(cls)}
+	q := bgp.CQ{Head: []bgp.Term{bgp.V(0)}, Atoms: []bgp.Atom{atom, atom}}
+	r, err := reformulate.Reformulate(q, closed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rawKeys := make(map[string]struct{})
+	canonKeys := make(map[string]struct{})
+	r.Each(func(cq bgp.CQ) bool {
+		rawKeys[cq.Key()] = struct{}{}
+		canonKeys[cq.CanonicalKey()] = struct{}{}
+		return true
+	})
+	if len(canonKeys) >= len(rawKeys) {
+		t.Fatalf("precondition failed: want members that coincide only after renaming (raw %d, canonical %d)",
+			len(rawKeys), len(canonKeys))
+	}
+
+	u, err := r.UCQ(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(u.CQs); got != len(canonKeys) {
+		t.Errorf("UCQ kept %d members, want %d canonical-distinct (raw-distinct would be %d)",
+			got, len(canonKeys), len(rawKeys))
+	}
+	// Honest sizing: the backing array must not be silently pinned at the
+	// duplicate-counting NumCQs size.
+	if n := r.NumCQs(); int64(cap(u.CQs)) >= n && n > int64(2*len(u.CQs)) {
+		t.Errorf("UCQ capacity %d sized by raw member count %d", cap(u.CQs), n)
+	}
+	// Every surviving member must still be pairwise distinct canonically.
+	seen := make(map[string]struct{})
+	for _, cq := range u.CQs {
+		k := cq.CanonicalKey()
+		if _, dup := seen[k]; dup {
+			t.Fatalf("duplicate canonical member survived: %v", cq)
+		}
+		seen[k] = struct{}{}
+	}
+}

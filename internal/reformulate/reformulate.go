@@ -162,17 +162,23 @@ func (r *Reformulation) Each(f func(bgp.CQ) bool) bool {
 }
 
 // UCQ materializes the reformulation as a UCQ, deduplicating members that
-// coincide up to variable renaming. It returns ErrTooLarge if the member
-// count exceeds limit (limit <= 0 means no limit).
+// coincide up to variable renaming and atom reordering (the canonical key
+// also used by the plan cache; the raw bgp.CQ.Key is order-sensitive, so
+// two expansions that instantiate the same atoms through different slots
+// used to survive dedup). It returns ErrTooLarge if the member count
+// exceeds limit (limit <= 0 means no limit).
 func (r *Reformulation) UCQ(limit int) (bgp.UCQ, error) {
 	n := r.NumCQs()
 	if n < 0 || (limit > 0 && n > int64(limit)) {
 		return bgp.UCQ{}, fmt.Errorf("%w: %d members, limit %d", ErrTooLarge, n, limit)
 	}
-	u := bgp.UCQ{Vars: r.Vars, CQs: make([]bgp.CQ, 0, n)}
-	seen := make(map[string]struct{}, n)
+	// n counts duplicates, so it only bounds the members the union keeps;
+	// sizing the slice and map by it would pin memory for CQs that dedup
+	// away. Let append grow them to the honest size.
+	u := bgp.UCQ{Vars: r.Vars}
+	seen := make(map[string]struct{})
 	r.Each(func(cq bgp.CQ) bool {
-		k := cq.Key()
+		k := cq.CanonicalKey()
 		if _, dup := seen[k]; dup {
 			return true
 		}

@@ -131,6 +131,29 @@ type Closed struct {
 
 	classes    []dict.ID // every class mentioned by some constraint
 	properties []dict.ID // every property mentioned by some constraint
+
+	stamp uint64 // content hash of the closure; see Stamp
+}
+
+// Stamp returns a content hash of the closed schema: FNV-1a over the
+// vocabulary IDs and every closed constraint triple in deterministic
+// order. Two Closed values with equal stamps entail the same
+// reformulations, which is what lets version-stamped plan caches treat
+// the stamp as "the schema": equality of stamps is equality of the only
+// schema facts reformulation consults.
+func (c *Closed) Stamp() uint64 { return c.stamp }
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvMix(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * uint(i))) & 0xff
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // Close computes the closure of the schema.
@@ -237,6 +260,17 @@ func (s *Schema) Close() *Closed {
 	}
 	closeTyping(s.domain, c.domainOf, c.domainIndex)
 	closeTyping(s.rng, c.rangeOf, c.rangeIndex)
+
+	h := uint64(fnvOffset64)
+	for _, id := range []dict.ID{s.vocab.Type, s.vocab.SubClassOf, s.vocab.SubPropertyOf, s.vocab.Domain, s.vocab.Range} {
+		h = fnvMix(h, uint64(id))
+	}
+	for _, t := range c.ConstraintTriples() {
+		h = fnvMix(h, uint64(t[0]))
+		h = fnvMix(h, uint64(t[1]))
+		h = fnvMix(h, uint64(t[2]))
+	}
+	c.stamp = h
 	return c
 }
 

@@ -1,0 +1,61 @@
+package schema
+
+import (
+	"testing"
+
+	"repro/internal/dict"
+	"repro/internal/rdf"
+)
+
+func stampVocab(t *testing.T) (*dict.Dict, Vocab) {
+	t.Helper()
+	d := dict.New()
+	return d, EncodeVocab(d)
+}
+
+func TestStampEqualForEqualContent(t *testing.T) {
+	d, v := stampVocab(t)
+	a, b := d.Encode(rdf.NewIRI("urn:A")), d.Encode(rdf.NewIRI("urn:B"))
+	p := d.Encode(rdf.NewIRI("urn:p"))
+
+	mk := func(order []int) *Closed {
+		s := New(v)
+		// Same facts asserted in different orders must close identically.
+		ops := []func(){
+			func() { s.AddSubClass(a, b) },
+			func() { s.AddDomain(p, a) },
+			func() { s.AddRange(p, b) },
+		}
+		for _, i := range order {
+			ops[i]()
+		}
+		return s.Close()
+	}
+	s1 := mk([]int{0, 1, 2})
+	s2 := mk([]int{2, 0, 1})
+	if s1.Stamp() == 0 {
+		t.Fatal("stamp is zero")
+	}
+	if s1.Stamp() != s2.Stamp() {
+		t.Fatalf("equal schemas have different stamps: %#x vs %#x", s1.Stamp(), s2.Stamp())
+	}
+}
+
+func TestStampChangesWithContent(t *testing.T) {
+	d, v := stampVocab(t)
+	a, b, c := d.Encode(rdf.NewIRI("urn:A")), d.Encode(rdf.NewIRI("urn:B")), d.Encode(rdf.NewIRI("urn:C"))
+
+	s := New(v)
+	s.AddSubClass(a, b)
+	base := s.Close().Stamp()
+
+	s.AddSubClass(b, c)
+	if got := s.Close().Stamp(); got == base {
+		t.Fatal("adding a constraint did not change the stamp")
+	}
+
+	empty := New(v)
+	if empty.Close().Stamp() == base {
+		t.Fatal("empty schema shares a stamp with a non-empty one")
+	}
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/dict"
+	"repro/internal/schema"
+	"repro/internal/storage"
+)
+
+// Regression test for the stale-statistics bug: PatternCount memoized
+// counts with no invalidation, so after a Store.Add or Remove the cost
+// model kept pricing covers against pre-mutation counts. The memo is now
+// stamped with the store version and must track every mutation.
+func TestPatternCountInvalidatedByMutation(t *testing.T) {
+	d := dict.New()
+	vocab := schema.EncodeVocab(d)
+	b := storage.NewBuilder()
+	p := dict.ID(2_000_000)
+	for i := 0; i < 5; i++ {
+		b.Add(storage.Triple{S: dict.ID(i + 1), P: p, O: dict.ID(i + 100)})
+	}
+	store := b.Build()
+	st := Collect(store, vocab)
+	pat := storage.Pattern{P: p}
+
+	if got := st.PatternCount(pat); got != 5 {
+		t.Fatalf("initial PatternCount = %d, want 5", got)
+	}
+	// Prime the memo, then mutate. Pre-fix, the second lookup served the
+	// memoized 5.
+	extra := storage.Triple{S: 99, P: p, O: 999}
+	if !store.Add(extra) {
+		t.Fatal("Add failed")
+	}
+	if got := st.PatternCount(pat); got != 6 {
+		t.Fatalf("PatternCount after Add = %d, want 6 (stale memo served)", got)
+	}
+	if !store.Remove(extra) {
+		t.Fatal("Remove failed")
+	}
+	if got := st.PatternCount(pat); got != 5 {
+		t.Fatalf("PatternCount after Remove = %d, want 5 (stale memo served)", got)
+	}
+	// A removal of a base (pre-build) triple goes through the tombstone
+	// path; it must invalidate just the same.
+	if !store.Remove(storage.Triple{S: 1, P: p, O: 100}) {
+		t.Fatal("Remove of base triple failed")
+	}
+	if got := st.PatternCount(pat); got != 4 {
+		t.Fatalf("PatternCount after base Remove = %d, want 4", got)
+	}
+}
+
+// Mutate-then-reprice: the derived cardinality estimates (what the cost
+// model actually consumes) must reflect mutations too, since they sit on
+// top of PatternCount.
+func TestAtomCardTracksMutation(t *testing.T) {
+	d := dict.New()
+	vocab := schema.EncodeVocab(d)
+	b := storage.NewBuilder()
+	p := dict.ID(2_000_000)
+	b.Add(storage.Triple{S: 1, P: p, O: 10})
+	b.Add(storage.Triple{S: 2, P: p, O: 20})
+	store := b.Build()
+	st := Collect(store, vocab)
+
+	atom := bgp.Atom{S: bgp.V(0), P: bgp.C(p), O: bgp.V(1)}
+	if got := st.AtomCard(atom); got != 2 {
+		t.Fatalf("AtomCard = %v, want 2", got)
+	}
+	store.Add(storage.Triple{S: 3, P: p, O: 30})
+	if got := st.AtomCard(atom); got != 3 {
+		t.Fatalf("AtomCard after Add = %v, want 3 (stale memo served)", got)
+	}
+}
+
+// The repeated-variable discount must apply to all three repeat shapes,
+// not only S==O.
+func TestAtomCardRepeatedVariableShapes(t *testing.T) {
+	d := dict.New()
+	vocab := schema.EncodeVocab(d)
+	b := storage.NewBuilder()
+	p := dict.ID(2_000_000)
+	// 4 triples with property p: 2 distinct subjects, 4 distinct objects.
+	b.Add(storage.Triple{S: 1, P: p, O: 10})
+	b.Add(storage.Triple{S: 1, P: p, O: 11})
+	b.Add(storage.Triple{S: 2, P: p, O: 12})
+	b.Add(storage.Triple{S: 2, P: p, O: 13})
+	// A few triples with other properties so the property position has
+	// more than one distinct value.
+	b.Add(storage.Triple{S: 5, P: 2_000_001, O: 14})
+	b.Add(storage.Triple{S: 6, P: 2_000_002, O: 15})
+	store := b.Build()
+	st := Collect(store, vocab)
+
+	total := float64(store.Len())
+
+	// S == O, property bound: 4 matches discounted by distinct subjects (2).
+	so := bgp.Atom{S: bgp.V(7), P: bgp.C(p), O: bgp.V(7)}
+	if got, want := st.AtomCard(so), 4.0/2.0; got != want {
+		t.Errorf("S==O AtomCard = %v, want %v", got, want)
+	}
+
+	// S == P, nothing bound: total matches discounted by the distinct
+	// count the property position contributes (3 distinct properties).
+	sp := bgp.Atom{S: bgp.V(7), P: bgp.V(7), O: bgp.V(8)}
+	dSP := st.DistinctForVar(bgp.Atom{S: bgp.V(7), P: bgp.V(7), O: bgp.V(8)}, 7)
+	if dSP <= 1 {
+		t.Fatalf("precondition: distinct for the S==P variable is %v, want > 1", dSP)
+	}
+	if got, want := st.AtomCard(sp), total/dSP; got != want {
+		t.Errorf("S==P AtomCard = %v, want %v (pre-fix: undiscounted %v)", got, want, total)
+	}
+
+	// P == O, nothing bound.
+	po := bgp.Atom{S: bgp.V(8), P: bgp.V(7), O: bgp.V(7)}
+	dPO := st.DistinctForVar(po, 7)
+	if dPO <= 1 {
+		t.Fatalf("precondition: distinct for the P==O variable is %v, want > 1", dPO)
+	}
+	if got, want := st.AtomCard(po), total/dPO; got != want {
+		t.Errorf("P==O AtomCard = %v, want %v (pre-fix: undiscounted %v)", got, want, total)
+	}
+
+	// All three equal: two equalities, so two discount factors.
+	all := bgp.Atom{S: bgp.V(7), P: bgp.V(7), O: bgp.V(7)}
+	dAll := st.DistinctForVar(all, 7)
+	if got, want := st.AtomCard(all), total/(dAll*dAll); dAll > 1 && got != want {
+		t.Errorf("S==P==O AtomCard = %v, want %v", got, want)
+	}
+}

@@ -34,8 +34,9 @@ type Stats struct {
 	total int
 	props map[dict.ID]PropStat
 
-	mu   sync.Mutex
-	memo map[storage.Pattern]int
+	mu          sync.Mutex
+	memo        map[storage.Pattern]int
+	memoVersion uint64 // store.Version() the memo contents were computed at
 }
 
 // Collect scans the store once and returns its statistics. vocab supplies
@@ -70,6 +71,10 @@ func Collect(store *storage.Store, vocab schema.Vocab) *Stats {
 		ps.DistinctO = len(objSets[p])
 		st.props[p] = *ps
 	}
+	// Read the version after the pass: Triples() above may have compacted
+	// the store (bumping it), and the memo starts empty either way.
+	//lint:ignore lockguard construction: st is not shared until Collect returns
+	st.memoVersion = store.Version()
 	return st
 }
 
@@ -102,8 +107,20 @@ const maxPatternMemo = 1 << 16
 // memoized. Safe for concurrent use. The memo is bounded by
 // maxPatternMemo and reset on overflow, so arbitrarily many distinct
 // patterns cannot grow it without limit.
+//
+// The memo is stamped with the store's mutation version: any Add, Remove
+// or Compact since it was filled discards every cached count, so the cost
+// model never prices covers against pre-mutation statistics. A count is
+// cached only if the store version is unchanged on both sides of the
+// Count call — a concurrent mutation mid-count conservatively leaves the
+// memo alone.
 func (st *Stats) PatternCount(p storage.Pattern) int {
+	v := st.store.Version()
 	st.mu.Lock()
+	if st.memoVersion != v {
+		st.memo = make(map[storage.Pattern]int, 1024)
+		st.memoVersion = v
+	}
 	n, ok := st.memo[p]
 	st.mu.Unlock()
 	if ok {
@@ -111,10 +128,12 @@ func (st *Stats) PatternCount(p storage.Pattern) int {
 	}
 	n = st.store.Count(p)
 	st.mu.Lock()
-	if len(st.memo) >= maxPatternMemo {
-		st.memo = make(map[storage.Pattern]int, 1024)
+	if st.memoVersion == v && st.store.Version() == v {
+		if len(st.memo) >= maxPatternMemo {
+			st.memo = make(map[storage.Pattern]int, 1024)
+		}
+		st.memo[p] = n
 	}
-	st.memo[p] = n
 	st.mu.Unlock()
 	return n
 }
@@ -136,10 +155,24 @@ func (st *Stats) AtomCard(a bgp.Atom) float64 {
 	}
 	card := float64(st.PatternCount(pat))
 	// Repeated-variable discount: positions forced equal keep roughly a
-	// 1/distinct fraction of the unconstrained matches.
-	if a.S.Var && a.O.Var && a.S.ID == a.O.ID {
-		d := st.distinctFor(a, a.S.ID)
-		if d > 1 {
+	// 1/distinct fraction of the unconstrained matches. Every extra
+	// occurrence of one variable adds an equality, whichever pair of
+	// positions repeats (S=O, S=P, P=O — or all three at once).
+	occ := make(map[uint32]int, 3)
+	for _, t := range a.Positions() {
+		if t.Var {
+			occ[t.ID]++
+		}
+	}
+	for v, n := range occ {
+		if n < 2 {
+			continue
+		}
+		d := st.distinctFor(a, v)
+		if d <= 1 {
+			continue
+		}
+		for i := 1; i < n; i++ {
 			card /= d
 		}
 	}

@@ -13,6 +13,8 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dict"
 )
@@ -111,11 +113,21 @@ func less(order [3]int, a, b Triple) bool {
 	return false
 }
 
-// Store is an immutable-after-build triple table plus a small mutable
-// delta for incremental additions (used by the dynamic-data scenarios;
-// bulk loads should go through the Builder). Reads are safe to run
-// concurrently as long as no Add runs at the same time.
+// Store is a triple table built in bulk plus a small mutable delta for
+// incremental additions and removals (used by the dynamic-data scenarios;
+// bulk loads should go through the Builder). All methods are safe for
+// concurrent use: reads share an RWMutex read lock, mutations take the
+// write lock. Scan callbacks run under the read lock and must not call
+// mutating store methods.
+//
+// Every state change bumps a monotonic version counter (see Version);
+// consumers such as the statistics memo and the plan cache stamp derived
+// artifacts with the version they were computed against and discard them
+// when it moves.
 type Store struct {
+	version atomic.Uint64 // bumped on every state change
+
+	mu      sync.RWMutex
 	orders  []Order
 	indexes [numOrders][]Triple // nil for unused orders
 	delta   []Triple            // unsorted recent additions
@@ -123,6 +135,12 @@ type Store struct {
 	deleted map[Triple]struct{} // tombstones for Remove
 	n       int
 }
+
+// Version returns the store's mutation counter: it increases on every
+// Add, Remove, Compact or Freeze that changes state, and never decreases.
+// Two equal Version values bracket a window with identical store contents,
+// which is what makes version-stamped caches sound.
+func (s *Store) Version() uint64 { return s.version.Load() }
 
 // Builder accumulates triples for bulk loading.
 type Builder struct {
@@ -152,15 +170,18 @@ func (b *Builder) Build() *Store {
 	b.triples = nil
 	sortByOrder(base, OrderSPO.perm())
 	base = dedupSorted(base)
+	//lint:ignore lockguard construction: s is not shared until Build returns
 	s.n = len(base)
 	for _, o := range b.orders {
 		if o == OrderSPO {
+			//lint:ignore lockguard construction: s is not shared until Build returns
 			s.indexes[o] = base
 			continue
 		}
 		cp := make([]Triple, len(base))
 		copy(cp, base)
 		sortByOrder(cp, o.perm())
+		//lint:ignore lockguard construction: s is not shared until Build returns
 		s.indexes[o] = cp
 	}
 	if !hasOrder(b.orders, OrderSPO) {
@@ -168,6 +189,7 @@ func (b *Builder) Build() *Store {
 		// requested order and store it there.
 		first := b.orders[0]
 		sortByOrder(base, first.perm())
+		//lint:ignore lockguard construction: s is not shared until Build returns
 		s.indexes[first] = base
 	}
 	return s
@@ -201,7 +223,11 @@ func dedupSorted(ts []Triple) []Triple {
 }
 
 // Len returns the number of distinct triples in the store.
-func (s *Store) Len() int { return s.n + len(s.delta) - len(s.deleted) }
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n + len(s.delta) - len(s.deleted)
+}
 
 // Orders returns the index orders the store maintains.
 func (s *Store) Orders() []Order { return s.orders }
@@ -210,21 +236,22 @@ func (s *Store) Orders() []Order { return s.orders }
 // Added triples live in an unsorted delta that every scan also consults;
 // call Compact to fold the delta into the sorted indexes.
 func (s *Store) Add(t Triple) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := s.deleted[t]; ok {
 		delete(s.deleted, t) // resurrect the tombstoned sorted entry
+		s.version.Add(1)
 		return true
 	}
-	if s.Contains(t) {
+	if s.containsLocked(t) {
 		return false
 	}
 	if s.present == nil {
 		s.present = make(map[Triple]struct{})
 	}
-	if _, ok := s.present[t]; ok {
-		return false
-	}
 	s.present[t] = struct{}{}
 	s.delta = append(s.delta, t)
+	s.version.Add(1)
 	return true
 }
 
@@ -232,7 +259,9 @@ func (s *Store) Add(t Triple) bool {
 // present. Removals from the sorted indexes are tombstoned until the next
 // Compact; removals from the recent delta are immediate.
 func (s *Store) Remove(t Triple) bool {
-	if !s.Contains(t) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.containsLocked(t) {
 		return false
 	}
 	if _, ok := s.present[t]; ok {
@@ -243,18 +272,33 @@ func (s *Store) Remove(t Triple) bool {
 				break
 			}
 		}
+		s.version.Add(1)
 		return true
 	}
 	if s.deleted == nil {
 		s.deleted = make(map[Triple]struct{})
 	}
 	s.deleted[t] = struct{}{}
+	s.version.Add(1)
 	return true
 }
 
 // Compact merges the delta into the sorted indexes and drops tombstoned
 // triples.
 func (s *Store) Compact() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compactLocked()
+}
+
+// Freeze folds any pending delta into the sorted indexes, marking the end
+// of a load phase. It is Compact under the lifecycle name the higher
+// layers use, and like every mutation it advances the version counter
+// when it changes state.
+func (s *Store) Freeze() { s.Compact() }
+
+// compactLocked does the work of Compact; the caller holds the write lock.
+func (s *Store) compactLocked() {
 	if len(s.delta) == 0 && len(s.deleted) == 0 {
 		return
 	}
@@ -278,10 +322,22 @@ func (s *Store) Compact() {
 	s.delta = nil
 	s.present = nil
 	s.deleted = nil
+	// The visible triple set is unchanged, but the physical layout the
+	// zero-copy readers (Triples) may be holding is not; a bump keeps
+	// version-stamped consumers maximally conservative.
+	s.version.Add(1)
 }
 
 // Contains reports whether the triple is in the store.
 func (s *Store) Contains(t Triple) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.containsLocked(t)
+}
+
+// containsLocked reports membership; the caller holds the lock (read or
+// write).
+func (s *Store) containsLocked(t Triple) bool {
 	if _, dead := s.deleted[t]; dead {
 		return false
 	}
@@ -352,7 +408,11 @@ func searchRange(idx []Triple, perm [3]int, p Pattern) (int, int) {
 
 // Scan calls f for every triple matching the pattern, stopping early if f
 // returns false. The sorted range is zero-copy; the delta is filtered.
+// f runs under the store's read lock and must not call mutating store
+// methods (Add, Remove, Compact, Freeze, Triples).
 func (s *Store) Scan(p Pattern, f func(Triple) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	idx, perm := s.indexFor(p)
 	lo, hi := searchRange(idx, perm, p)
 	for _, t := range idx[lo:hi] {
@@ -381,6 +441,8 @@ func (s *Store) Scan(p Pattern, f func(Triple) bool) {
 // whose bound positions are a sort prefix of some index this is two binary
 // searches, which is what makes statistics collection cheap.
 func (s *Store) Count(p Pattern) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	idx, perm := s.indexFor(p)
 	lo, hi := searchRange(idx, perm, p)
 	n := 0
@@ -424,9 +486,13 @@ func coversBound(perm [3]int, p Pattern) bool {
 	return true
 }
 
-// Triples returns all triples in SPO order (delta compacted first).
+// Triples returns all triples in SPO order (delta compacted first). The
+// returned slice is a snapshot: later mutations build fresh index slices
+// and never write through it.
 func (s *Store) Triples() []Triple {
-	s.Compact()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compactLocked()
 	if idx := s.indexes[OrderSPO]; idx != nil {
 		return idx
 	}

@@ -1,0 +1,175 @@
+package storage
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/dict"
+)
+
+// Every successful mutation must advance the version; no-op mutations must
+// leave it alone; and the counter must never move backwards.
+func TestVersionMonotonic(t *testing.T) {
+	st := buildStore([]Triple{{S: 1, P: 2, O: 3}})
+	last := st.Version()
+
+	bump := func(name string, changed bool, f func() bool) {
+		t.Helper()
+		got := f()
+		v := st.Version()
+		if got != changed {
+			t.Fatalf("%s reported %v, want %v", name, got, changed)
+		}
+		if changed && v <= last {
+			t.Fatalf("%s: version %d did not advance past %d", name, v, last)
+		}
+		if !changed && v != last {
+			t.Fatalf("%s: no-op moved version %d -> %d", name, last, v)
+		}
+		last = v
+	}
+
+	bump("Add(new)", true, func() bool { return st.Add(Triple{S: 4, P: 5, O: 6}) })
+	bump("Add(dup delta)", false, func() bool { return st.Add(Triple{S: 4, P: 5, O: 6}) })
+	bump("Add(dup base)", false, func() bool { return st.Add(Triple{S: 1, P: 2, O: 3}) })
+	bump("Remove(delta)", true, func() bool { return st.Remove(Triple{S: 4, P: 5, O: 6}) })
+	bump("Remove(absent)", false, func() bool { return st.Remove(Triple{S: 4, P: 5, O: 6}) })
+	bump("Remove(base)", true, func() bool { return st.Remove(Triple{S: 1, P: 2, O: 3}) })
+	bump("Add(resurrect)", true, func() bool { return st.Add(Triple{S: 1, P: 2, O: 3}) })
+
+	// Compact with pending state must advance; an idle Compact must not.
+	st.Add(Triple{S: 7, P: 8, O: 9})
+	last = st.Version()
+	st.Compact()
+	if v := st.Version(); v <= last {
+		t.Fatalf("Compact with pending delta did not advance version (%d -> %d)", last, v)
+	}
+	last = st.Version()
+	st.Compact()
+	if v := st.Version(); v != last {
+		t.Fatalf("idle Compact moved version %d -> %d", last, v)
+	}
+	st.Add(Triple{S: 10, P: 11, O: 12})
+	last = st.Version()
+	st.Freeze()
+	if v := st.Version(); v <= last {
+		t.Fatalf("Freeze with pending delta did not advance version (%d -> %d)", last, v)
+	}
+}
+
+// Add after Freeze: the incremental path must keep working once the load
+// phase ended, and scans must see the late additions.
+func TestAddAfterFreeze(t *testing.T) {
+	st := buildStore([]Triple{{S: 1, P: 2, O: 3}})
+	st.Add(Triple{S: 4, P: 2, O: 5})
+	st.Freeze()
+	v := st.Version()
+	if !st.Add(Triple{S: 6, P: 2, O: 7}) {
+		t.Fatal("Add after Freeze rejected a new triple")
+	}
+	if st.Version() <= v {
+		t.Fatal("Add after Freeze did not advance the version")
+	}
+	if got := st.Count(Pattern{P: 2}); got != 3 {
+		t.Fatalf("Count after post-freeze Add = %d, want 3", got)
+	}
+	seen := 0
+	st.Scan(Pattern{P: 2}, func(Triple) bool { seen++; return true })
+	if seen != 3 {
+		t.Fatalf("Scan after post-freeze Add saw %d triples, want 3", seen)
+	}
+}
+
+// Remove must handle both physical homes of a triple: a delta entry is
+// dropped immediately, a base (sorted-index) entry is tombstoned until the
+// next compaction — and both must be invisible to reads either way.
+func TestRemoveDeltaVersusBase(t *testing.T) {
+	base := Triple{S: 1, P: 2, O: 3}
+	st := buildStore([]Triple{base})
+	delta := Triple{S: 4, P: 2, O: 5}
+	st.Add(delta)
+
+	if !st.Remove(delta) {
+		t.Fatal("Remove(delta triple) failed")
+	}
+	if st.Contains(delta) || st.Count(Pattern{P: 2}) != 1 {
+		t.Fatal("removed delta triple still visible")
+	}
+
+	if !st.Remove(base) {
+		t.Fatal("Remove(base triple) failed")
+	}
+	if st.Contains(base) || st.Count(Pattern{P: 2}) != 0 {
+		t.Fatal("removed base triple still visible")
+	}
+	st.Scan(Pattern{}, func(tr Triple) bool {
+		t.Fatalf("Scan yielded removed triple %v", tr)
+		return false
+	})
+	st.Compact()
+	if st.Len() != 0 || st.Contains(base) {
+		t.Fatal("compaction resurrected a removed base triple")
+	}
+}
+
+// Scans, counts and version reads must be able to race a mutator; run
+// under -race this is the store's concurrency contract. Values are
+// checked only for sanity (counts are moving targets mid-mutation), plus
+// the invariant that the version counter never decreases.
+func TestScanRacingMutator(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	st := buildStore(randomTriples(rng, 300, 20))
+
+	stop := make(chan struct{})
+	mutatorDone := make(chan struct{})
+	var wg sync.WaitGroup
+	go func() { // mutator
+		defer close(mutatorDone)
+		mrng := rand.New(rand.NewSource(1))
+		pool := randomTriples(mrng, 100, 20)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr := pool[mrng.Intn(len(pool))]
+			switch i % 3 {
+			case 0:
+				st.Add(tr)
+			case 1:
+				st.Remove(tr)
+			default:
+				st.Compact()
+			}
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) { // readers
+			defer wg.Done()
+			rrng := rand.New(rand.NewSource(seed))
+			lastV := uint64(0)
+			for i := 0; i < 400; i++ {
+				p := Pattern{P: dict.ID(rrng.Intn(8) + 1)}
+				n := 0
+				st.Scan(p, func(Triple) bool { n++; return true })
+				if c := st.Count(p); c < 0 {
+					t.Errorf("negative Count %d", c)
+				}
+				if v := st.Version(); v < lastV {
+					t.Errorf("version went backwards: %d after %d", v, lastV)
+				} else {
+					lastV = v
+				}
+				st.Contains(Triple{S: 1, P: 1, O: 1})
+				_ = st.Len()
+			}
+		}(int64(r))
+	}
+	wg.Wait()
+	close(stop)
+	<-mutatorDone
+}

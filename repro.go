@@ -39,6 +39,7 @@ import (
 	"repro/internal/dict"
 	"repro/internal/engine"
 	"repro/internal/ntriples"
+	"repro/internal/plancache"
 	"repro/internal/rdf"
 	"repro/internal/saturate"
 	"repro/internal/schema"
@@ -130,7 +131,30 @@ type Options struct {
 	// optimize, reformulate, evaluate, with per-operator counters) as
 	// children of the given root span. nil disables tracing at zero cost.
 	Trace *Trace
+	// PlanCache, when non-nil, caches answering artifacts across queries:
+	// a repeated query (up to variable renaming and atom reordering) skips
+	// the optimize and reformulate stages. Answers are identical with and
+	// without the cache; store mutations invalidate affected entries.
+	PlanCache *PlanCache
 }
+
+// PlanCache is a bounded, concurrent cache of answering artifacts (chosen
+// cover, per-fragment reformulations, fragment statistics) keyed by a
+// canonical query signature that is invariant under variable renaming and
+// atom reordering. Share one cache across the Answerers of a store to
+// skip the optimize and reformulate stages for repeated queries; entries
+// are stamped with the store's mutation version and the schema's content
+// stamp, so a Store.Add or Remove invalidates affected plans and the next
+// answer always reflects the current data.
+type PlanCache = plancache.Cache
+
+// PlanCacheStats is a snapshot of a PlanCache's hit/miss/invalidation
+// counters; see PlanCache.Snapshot.
+type PlanCacheStats = plancache.Stats
+
+// NewPlanCache returns a plan cache holding up to capacity entries
+// (a default capacity if capacity <= 0). Attach it via Options.PlanCache.
+func NewPlanCache(capacity int) *PlanCache { return plancache.New(capacity) }
 
 // ErrFrozen is returned when a schema triple is added after Freeze.
 var ErrFrozen = errors.New("repro: cannot change the schema after Freeze (rebuild the store)")
@@ -365,6 +389,7 @@ func (s *Store) NewAnswerer(p Profile, opts Options) *Answerer {
 		SearchBudget: opts.SearchBudget,
 		Parallelism:  opts.Parallelism,
 		Trace:        opts.Trace,
+		PlanCache:    opts.PlanCache,
 	})
 	return &Answerer{store: s, inner: inner, profile: p, params: params, trace: opts.Trace}
 }

@@ -5,9 +5,10 @@
 # GOMAXPROCS and CPU count (the parallel benchmarks only show their
 # speedup on a multi-core runner; the metadata makes single-core numbers
 # self-explaining). The report also embeds the traced per-stage
-# breakdown from `benchall -stagejson` and asserts that disabled
-# tracing adds no allocations to the JUCQ hot path (tracealloc).
-# `make bench-json` and CI run exactly this script.
+# breakdown from `benchall -stagejson`, asserts that disabled
+# tracing adds no allocations to the JUCQ hot path (tracealloc), and
+# always includes the plan-cache cold/warm pair with its hit rate
+# (cachedanswer). `make bench-json` and CI run exactly this script.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -49,6 +50,14 @@ awk '
             exit 1
         }
     }' "$raw"
+
+# cachedanswer: the plan-cache cold/warm pair (and its hit-rate metric)
+# must be in every committed report. Re-run it on its own if a custom
+# pattern excluded it from the main sweep.
+if ! grep -q 'BenchmarkCachedAnswer/warm' "$raw"; then
+    echo "==> cachedanswer: recording plan-cache cold/warm latency"
+    go test -run '^$' -bench '^BenchmarkCachedAnswer$' -benchmem . | tee -a "$raw"
+fi
 
 echo "==> benchall -stagejson (traced per-stage breakdown)"
 go run ./cmd/benchall -scale "$REPRO_BENCH_SCALE" -stagejson "$stages"
