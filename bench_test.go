@@ -23,6 +23,7 @@ import (
 	"repro/internal/reformulate"
 	"repro/internal/saturate"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 func benchScale() benchkit.Scale {
@@ -403,6 +404,93 @@ func BenchmarkSaturation(b *testing.B) {
 			b.Fatal("saturation lost triples")
 		}
 	}
+}
+
+// BenchmarkSharedScanUCQ measures UCQ evaluation with the shared-scan
+// layer (snapshot-pinned scans, pattern-scan memo, merged member scans)
+// on versus off. The shared variant reports the layer's scan-cache hit
+// rate, taken from one traced run outside the timed loop, as a metric —
+// scripts/bench.sh embeds it into the committed BENCH_*.json files.
+func BenchmarkSharedScanUCQ(b *testing.B) {
+	db := lubmDB(b)
+	for _, name := range []string{"Q01", "Q09"} {
+		qi := db.QueryIndex(name)
+
+		sp := trace.New("bench")
+		traced := db.Answerer(engine.Native, core.Options{Parallelism: 1, Trace: sp})
+		if out := db.Run(traced, qi, core.UCQ); out.Failed() {
+			b.Fatal(out.Err)
+		}
+		sp.End()
+		snap := sp.Registry().Snapshot()
+		hits, misses := snap["scancache.hits"], snap["scancache.misses"]
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = float64(hits) / float64(hits+misses)
+		}
+
+		variants := []struct {
+			name string
+			opts core.Options
+		}{
+			{"shared", core.Options{Parallelism: 1}},
+			{"baseline", core.Options{Parallelism: 1, NoSharedScan: true}},
+		}
+		for _, v := range variants {
+			a := db.Answerer(engine.Native, v.opts)
+			shared := v.name == "shared"
+			b.Run(name+"/"+v.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out := db.Run(a, qi, core.UCQ)
+					if out.Failed() {
+						b.Fatal(out.Err)
+					}
+				}
+				if shared {
+					b.ReportMetric(rate, "scan-hit-rate")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSnapshotScan isolates the storage layer: the locked
+// Store.Scan versus the lock-free Snapshot.Scan versus the zero-copy
+// Snapshot.Range on a bound-predicate pattern of the frozen LUBM store.
+func BenchmarkSnapshotScan(b *testing.B) {
+	db := lubmDB(b)
+	st := db.Raw
+	p := storage.Pattern{P: st.Triples()[0].P}
+	sn := st.Snapshot()
+	count := 0
+	sink := func(storage.Triple) bool { count++; return true }
+
+	b.Run("store-scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			count = 0
+			st.Scan(p, sink)
+		}
+	})
+	b.Run("snapshot-scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			count = 0
+			sn.Scan(p, sink)
+		}
+	})
+	b.Run("snapshot-range", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ts, ok := sn.Range(p)
+			if !ok {
+				b.Fatal("Range not exact on a frozen store")
+			}
+			count = len(ts)
+		}
+	})
+	_ = count
 }
 
 // BenchmarkArmJoins measures the three arm-join algorithms on the SCQ

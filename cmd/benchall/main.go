@@ -11,6 +11,7 @@
 //	benchall -ablations          # only the ablation benches
 //	benchall -parallel           # only the parallelism sweep
 //	benchall -cache              # only the plan-cache sweep (cold/warm/mutate)
+//	benchall -sharedscan         # only the shared-scan on/off sweep
 package main
 
 import (
@@ -60,6 +61,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run only the ablation benches")
 	parallel := flag.Bool("parallel", false, "run only the parallelism sweep")
 	cacheSweep := flag.Bool("cache", false, "run only the plan-cache sweep (cold vs warm vs mutate-then-requery)")
+	sharedScan := flag.Bool("sharedscan", false, "run only the shared-scan on/off sweep")
 	stageJSON := flag.String("stagejson", "", "run the traced stage sweep and write its JSON to this file ('-' = stdout), then exit")
 	flag.Parse()
 
@@ -74,7 +76,7 @@ func main() {
 		return
 	}
 
-	all := *table == 0 && *figure == 0 && !*ablations && !*parallel && !*cacheSweep
+	all := *table == 0 && *figure == 0 && !*ablations && !*parallel && !*cacheSweep && !*sharedScan
 	section := func(title string, f func() error) {
 		fmt.Fprintf(out, "\n==== %s ====\n", title)
 		start := time.Now()
@@ -194,6 +196,12 @@ func main() {
 	if all || *cacheSweep {
 		section("Plan cache: cold vs warm (cached) vs mutate-then-requery", func() error {
 			return lubmDB.CacheSweep(out, []string{"Q01", "Q05", "Q09", "Q13"}, 3)
+		})
+	}
+
+	if all || *sharedScan {
+		section("Shared scans: snapshot + scan memo + merged members, on vs off (UCQ)", func() error {
+			return lubmDB.SharedScanSweep(out, []string{"Q01", "Q05", "Q09", "Q13"}, core.UCQ, 3)
 		})
 	}
 }

@@ -34,6 +34,7 @@ func main() {
 	traceFlag := flag.Bool("trace", false, "print the query-lifecycle span tree and counters after the answers")
 	traceJSON := flag.Bool("tracejson", false, "with -trace, emit only the span tree as JSON on stdout (suppresses the answer table)")
 	parallelism := flag.Int("parallel", 0, "evaluation worker count (0 = all CPUs, 1 = sequential)")
+	noSharedScan := flag.Bool("nosharedscan", false, "disable the shared-scan layer (pattern-scan memo + merged member scans + cross-member planning memos)")
 	cacheCap := flag.Int("cache", 0, "plan-cache capacity in entries (0 = cache off)")
 	repeat := flag.Int("repeat", 1, "answer the query N times (with -cache, runs after the first hit the cache)")
 	flag.Parse()
@@ -92,10 +93,11 @@ func main() {
 		pc = repro.NewPlanCache(*cacheCap)
 	}
 	a := st.NewAnswerer(prof, repro.Options{
-		Calibrate:   *calibrate,
-		Parallelism: *parallelism,
-		Trace:       tr,
-		PlanCache:   pc,
+		Calibrate:    *calibrate,
+		Parallelism:  *parallelism,
+		NoSharedScan: *noSharedScan,
+		Trace:        tr,
+		PlanCache:    pc,
 	})
 
 	if *explain {

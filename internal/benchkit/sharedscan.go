@@ -1,0 +1,124 @@
+package benchkit
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// SharedScanSweep measures the shared-scan layer (snapshot-pinned scans
+// with the pattern-scan memo and merged member scans) on this database:
+// for each named query it answers with the layer on and off, sequential
+// and parallel, asserting that rows AND engine metrics are strictly
+// identical in every configuration — the layer shares scan-locating
+// work, never the per-tuple accounting — and reports the evaluation
+// times alongside the scan-cache and merge counters of a traced run.
+// Empty queryNames sweeps the whole workload.
+func (db *Database) SharedScanSweep(w io.Writer, queryNames []string, strat core.Strategy, warm int) error {
+	if warm < 1 {
+		warm = 3
+	}
+	if strat == "" {
+		strat = core.UCQ
+	}
+	if len(queryNames) == 0 {
+		for _, s := range db.Specs {
+			queryNames = append(queryNames, s.Name)
+		}
+	}
+	shared := db.Answerer(engine.Native, core.Options{Parallelism: 1})
+	baseline := db.Answerer(engine.Native, core.Options{Parallelism: 1, NoSharedScan: true})
+	sharedPar := db.Answerer(engine.Native, core.Options{})
+
+	fmt.Fprintf(w, "%s: shared-scan sweep (strategy %s, %d warm runs)\n\n", db.Name, strat, warm)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Query\tRows\tShared\tBaseline\tSpeedup\tCache hit-rate\tMerged members\n")
+	for _, name := range queryNames {
+		qi := db.QueryIndex(name)
+		if qi < 0 {
+			return fmt.Errorf("benchkit: unknown query %q", name)
+		}
+
+		on := db.RunAveraged(shared, qi, strat, warm)
+		off := db.RunAveraged(baseline, qi, strat, warm)
+		if on.Failed() != off.Failed() {
+			return fmt.Errorf("benchkit: %s: shared err=%v, baseline err=%v", name, on.Err, off.Err)
+		}
+		if on.Failed() {
+			fmt.Fprintf(tw, "%s\t-\t%v\t%v\t-\t-\t-\n", name, on.Err, off.Err)
+			continue
+		}
+		if on.Rows != off.Rows {
+			return fmt.Errorf("benchkit: %s: shared returned %d rows, baseline %d", name, on.Rows, off.Rows)
+		}
+		if on.Report.Metrics != off.Report.Metrics {
+			return fmt.Errorf("benchkit: %s: metrics diverge: shared %+v, baseline %+v",
+				name, on.Report.Metrics, off.Report.Metrics)
+		}
+		par := db.Run(sharedPar, qi, strat)
+		if par.Failed() {
+			return fmt.Errorf("benchkit: %s parallel: %w", name, par.Err)
+		}
+		if par.Rows != on.Rows || par.Report.Metrics != on.Report.Metrics {
+			return fmt.Errorf("benchkit: %s: parallel shared run diverges (rows %d vs %d)",
+				name, par.Rows, on.Rows)
+		}
+
+		// Byte-identical relations: the reports above compare counts and
+		// metrics; this compares the actual rows in order.
+		q := db.Encoded[qi]
+		ansOn, err := shared.Answer(q, strat)
+		if err != nil {
+			return fmt.Errorf("benchkit: %s shared re-run: %w", name, err)
+		}
+		ansOff, err := baseline.Answer(q, strat)
+		if err != nil {
+			return fmt.Errorf("benchkit: %s baseline re-run: %w", name, err)
+		}
+		if !reflect.DeepEqual(ansOn.Rel.Rows, ansOff.Rel.Rows) {
+			return fmt.Errorf("benchkit: %s: shared and baseline rows differ", name)
+		}
+
+		hits, misses, merged, err := db.sharedScanCounters(qi, strat)
+		if err != nil {
+			return err
+		}
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = float64(hits) / float64(hits+misses)
+		}
+		speedup := float64(off.Evaluate) / float64(maxDuration(on.Evaluate, time.Nanosecond))
+		fmt.Fprintf(tw, "%s\t%d\t%v\t%v\t%.2fx\t%.0f%%\t%d\n",
+			name, on.Rows,
+			on.Evaluate.Round(time.Microsecond), off.Evaluate.Round(time.Microsecond),
+			speedup, 100*rate, merged)
+	}
+	return tw.Flush()
+}
+
+// sharedScanCounters answers the query once under a trace and returns
+// the evaluation's scancache.hits, scancache.misses and merged_members
+// registry counters.
+func (db *Database) sharedScanCounters(qi int, strat core.Strategy) (hits, misses, merged int64, err error) {
+	sp := trace.New("sharedscan")
+	a := db.Answerer(engine.Native, core.Options{Parallelism: 1, Trace: sp})
+	if _, err = a.Answer(db.Encoded[qi], strat); err != nil {
+		return 0, 0, 0, fmt.Errorf("benchkit: traced run: %w", err)
+	}
+	sp.End()
+	snap := sp.Registry().Snapshot()
+	return snap["scancache.hits"], snap["scancache.misses"], snap["merged_members"], nil
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -280,6 +280,47 @@ func TestCacheConcurrentReadersAndMutator(t *testing.T) {
 	}
 }
 
+// Entries are validated against a store version stamp; pinned snapshots
+// expose the same counter, so a Get keyed on Snapshot().Version() must
+// classify entries exactly as one keyed on Store.Version() — Hit while
+// the store is unchanged, Stale as soon as it mutates.
+func TestCacheValidationAgreesWithSnapshotVersion(t *testing.T) {
+	b := storage.NewBuilder()
+	b.Add(storage.Triple{S: 1, P: 2, O: 3})
+	raw := b.Build()
+	pc := plancache.New(0)
+	const stamp = 7
+	put := func() {
+		pc.Put(&plancache.Entry{Key: "k", StoreVersion: raw.Version(), SchemaStamp: stamp})
+	}
+
+	put()
+	if sv, snv := raw.Version(), raw.Snapshot().Version(); sv != snv {
+		t.Fatalf("snapshot version %d, store version %d", snv, sv)
+	}
+	if _, out := pc.Get("k", raw.Version(), stamp); out != plancache.Hit {
+		t.Fatalf("store-version Get = %v, want Hit", out)
+	}
+	if _, out := pc.Get("k", raw.Snapshot().Version(), stamp); out != plancache.Hit {
+		t.Fatalf("snapshot-version Get = %v, want Hit", out)
+	}
+
+	// Mutation moves both versions together; a stale Get drops the entry,
+	// so reinstall between the two probes.
+	raw.Add(storage.Triple{S: 4, P: 5, O: 6})
+	if _, out := pc.Get("k", raw.Snapshot().Version(), stamp); out != plancache.Stale {
+		t.Fatalf("post-Add snapshot-version Get = %v, want Stale", out)
+	}
+	put()
+	if _, out := pc.Get("k", raw.Version(), stamp); out != plancache.Hit {
+		t.Fatalf("reinstalled store-version Get = %v, want Hit", out)
+	}
+	raw.Remove(storage.Triple{S: 4, P: 5, O: 6})
+	if _, out := pc.Get("k", raw.Version(), stamp); out != plancache.Stale {
+		t.Fatalf("post-Remove store-version Get = %v, want Stale", out)
+	}
+}
+
 // Results for every strategy must be unchanged by the cache, both on the
 // install pass and the hit pass.
 func TestCachePreservesAllStrategies(t *testing.T) {

@@ -96,6 +96,12 @@ type Options struct {
 	// cover-search pricing pools. 0 means runtime.GOMAXPROCS(0); 1 runs
 	// everything serially. Results are identical regardless of the value.
 	Parallelism int
+	// NoSharedScan disables the engines' shared-scan layer (the
+	// per-evaluation pattern-scan memo, merged member scans and
+	// cross-member planning memos), reproducing scan-per-member
+	// evaluation — an ablation knob for measuring what the layer
+	// contributes. Answers and metrics are identical either way.
+	NoSharedScan bool
 	// Trace, when non-nil, is the span query answering records its stage
 	// tree under: ChooseCover adds an "optimize" child carrying search
 	// effort, EvaluateCover adds "reformulate" (with per-fragment
@@ -152,10 +158,10 @@ func NewAnswerer(sch *schema.Closed, raw, sat *engine.Engine, opts Options) *Ans
 	}
 	a := &Answerer{sch: sch, raw: raw, sat: sat, opts: opts}
 	if raw != nil {
-		a.raw = raw.WithParallelism(opts.Parallelism)
+		a.raw = raw.WithParallelism(opts.Parallelism).WithSharedScan(!opts.NoSharedScan)
 	}
 	if sat != nil {
-		a.sat = sat.WithParallelism(opts.Parallelism)
+		a.sat = sat.WithParallelism(opts.Parallelism).WithSharedScan(!opts.NoSharedScan)
 	}
 	return a
 }

@@ -169,6 +169,10 @@ type Engine struct {
 	// tracing: the evaluation hot path then pays one nil check per
 	// instrumentation point and allocates nothing for tracing.
 	span *trace.Span
+	// noShared disables the shared-scan layer (pattern-scan memo and
+	// merged member scans); see WithSharedScan. Snapshot pinning stays
+	// on either way.
+	noShared bool
 }
 
 // New returns an engine over the store with the given statistics and
@@ -203,6 +207,27 @@ func (e *Engine) WithSpan(sp *trace.Span) *Engine {
 	return &e2
 }
 
+// WithSharedScan returns a copy of the engine with the shared-scan
+// layer enabled (the default) or disabled. The layer comprises the
+// per-evaluation pattern-scan memo, the merged evaluation of member CQs
+// differing in one constant, and the cross-member planning memos (join
+// orders and cardinality probes shared across an arm); disabling it
+// reproduces the pre-refactor scan-per-member evaluation — the baseline
+// the ablation benchmarks compare against. Results and Metrics are
+// identical either way — the layer shares scan-locating and planning
+// work, never the per-tuple accounting. Snapshot pinning is not
+// affected: every evaluation reads through an immutable snapshot
+// regardless, which is what makes nested bind-join scans safe under
+// concurrent store mutation.
+func (e *Engine) WithSharedScan(on bool) *Engine {
+	e2 := *e
+	e2.noShared = !on
+	return &e2
+}
+
+// SharedScan reports whether the shared-scan layer is enabled.
+func (e *Engine) SharedScan() bool { return !e.noShared }
+
 // Parallelism returns the resolved worker count of one evaluation.
 func (e *Engine) Parallelism() int {
 	if e.par > 0 {
@@ -231,6 +256,16 @@ type evalCtx struct {
 	// span is the evaluation's trace span (nil = tracing off). Operator
 	// code creates children of it; per-row work never touches it.
 	span *trace.Span
+	// snap is the immutable store view every scan and stats probe of
+	// this evaluation reads through, pinned once at the top of EvalArms.
+	// No lock is held while reading it, so bind-joins nest freely and
+	// concurrent store mutations cannot deadlock or skew the evaluation
+	// mid-flight.
+	snap *storage.Snapshot
+	// scans is the shared pattern-scan memo (nil when shared is false).
+	scans *scanCache
+	// shared enables the scan memo and merged member scans.
+	shared bool
 
 	tuplesScanned    atomic.Int64
 	rowsMaterialized atomic.Int64
@@ -238,6 +273,13 @@ type evalCtx struct {
 	rowsDeduped      atomic.Int64
 	unionArms        atomic.Int64
 	work             atomic.Int64
+
+	// Shared-scan observability (trace-only; deliberately not part of
+	// Metrics, so the shared and baseline paths stay Metrics-identical).
+	scanHits      atomic.Int64 // scans served from the pattern memo
+	scanMisses    atomic.Int64 // scans that had to locate their range
+	mergedMembers atomic.Int64 // members evaluated under a merged scan
+	snapRanges    atomic.Int64 // scans resolved to zero-copy snapshot ranges
 }
 
 // snapshot returns the metrics accumulated so far. Only call after the
@@ -268,6 +310,13 @@ func (c *evalCtx) finishSpan(sp *trace.Span, err error) {
 	sp.SetInt("dedup_hits", m.RowsDeduped)
 	sp.SetInt("union_arms", m.UnionArms)
 	sp.SetInt("work", m.Work)
+	sp.SetInt("scan_cache_hits", c.scanHits.Load())
+	sp.SetInt("scan_cache_misses", c.scanMisses.Load())
+	sp.SetInt("merged_members", c.mergedMembers.Load())
+	sp.SetInt("snapshot_ranges", c.snapRanges.Load())
+	if c.snap != nil {
+		sp.SetInt("snapshot_version", int64(c.snap.Version()))
+	}
 	if c.prof.WorkBudget > 0 {
 		sp.SetInt("work_budget", c.prof.WorkBudget)
 	}
@@ -282,6 +331,10 @@ func (c *evalCtx) finishSpan(sp *trace.Span, err error) {
 	reg.Counter("engine.dedup_hits").Add(m.RowsDeduped)
 	reg.Counter("engine.union_arms").Add(m.UnionArms)
 	reg.Counter("engine.work").Add(m.Work)
+	reg.Counter("scancache.hits").Add(c.scanHits.Load())
+	reg.Counter("scancache.misses").Add(c.scanMisses.Load())
+	reg.Counter("merged_members").Add(c.mergedMembers.Load())
+	reg.Counter("snapshot_ranges").Add(c.snapRanges.Load())
 	if err != nil {
 		reg.Counter("engine.errors").Add(1)
 	}

@@ -3,9 +3,11 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/bgp"
 	"repro/internal/dict"
+	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/trace"
 )
@@ -79,7 +81,23 @@ func (e *Engine) EvalJUCQ(j bgp.JUCQ) (*Relation, Metrics, error) {
 // engine carries a trace span (WithSpan), the evaluation records its
 // operator tree and metrics under it.
 func (e *Engine) EvalArms(head []uint32, arms []ArmSource) (*Relation, Metrics, error) {
-	ctx := &evalCtx{prof: e.prof, par: e.Parallelism(), span: e.span}
+	// Pin one immutable store snapshot for the whole evaluation: every
+	// bind-join scan and planning-time stats probe below reads through
+	// it, lock-free. This is what makes the recursive bind-join safe —
+	// the old path nested store read locks inside scan callbacks, which
+	// deadlocks as soon as a writer queues between the acquisitions —
+	// and it gives all workers one consistent view under mutation.
+	ctx := &evalCtx{
+		prof:   e.prof,
+		par:    e.Parallelism(),
+		span:   e.span,
+		snap:   e.store.Snapshot(),
+		shared: !e.noShared,
+	}
+	if ctx.shared {
+		ctx.scans = newScanCache()
+		defer ctx.scans.release()
+	}
 	rel, err := e.evalArms(ctx, head, arms)
 	ctx.finishSpan(e.span, err)
 	return rel, ctx.snapshot(), err
@@ -241,10 +259,18 @@ func sharesVars(a, b []uint32) bool {
 	return false
 }
 
-// evalArm evaluates one UCQ arm. With one worker, every member CQ is
-// bind-joined against the store and its head rows flow into a shared
-// duplicate-elimination set; with more, the members are sharded over a
-// worker pool (see evalArmSharded) with a deterministic merge.
+// mergeWindow is how many member CQs the sequential arm loop gathers
+// before planning them together: merged-scan groups form within one
+// window. The window only scopes scan *planning* — members are still
+// evaluated strictly in stream order with their own join orders — so
+// its size affects sharing opportunity, never results or metrics.
+const mergeWindow = 256
+
+// evalArm evaluates one UCQ arm. With one worker, member CQs are
+// gathered into windows, planned together (shared and merged scans) and
+// bind-joined in stream order into a shared duplicate-elimination set;
+// with more workers, the members are sharded over a worker pool (see
+// evalArmSharded) with a deterministic merge.
 func (e *Engine) evalArm(ctx *evalCtx, sp *trace.Span, arm ArmSource) (*Relation, error) {
 	if sp != nil {
 		sp.SetInt("members", arm.NumCQs)
@@ -255,35 +281,362 @@ func (e *Engine) evalArm(ctx *evalCtx, sp *trace.Span, arm ArmSource) (*Relation
 	}
 	out := &Relation{Vars: arm.Vars}
 	dedup := newDedupSet(ctx)
-	var arena rowArena
+	sc := newArmScratch()
+	defer sc.release()
 	var failure error
-	arm.Each(func(cq bgp.CQ) bool {
-		ctx.unionArms.Add(1)
-		if err := e.evalMember(ctx, cq, dedup, out, &arena); err != nil {
+	window := make([]bgp.CQ, 0, mergeWindow)
+	flush := func() bool {
+		if len(window) == 0 {
+			return true
+		}
+		_, err := e.evalMemberRun(ctx, sc, window, dedup, out)
+		window = window[:0]
+		if err != nil {
 			failure = err
 			return false
 		}
 		return true
+	}
+	arm.Each(func(cq bgp.CQ) bool {
+		window = append(window, cq)
+		if len(window) == mergeWindow {
+			return flush()
+		}
+		return true
 	})
+	if failure == nil {
+		flush()
+	}
 	if failure != nil {
 		return nil, failure
 	}
 	if sp != nil {
 		sp.SetInt("rows_out", int64(out.Len()))
 		sp.SetInt("dedup_hits", dedup.hits)
-		sp.SetInt("arena_chunks", int64(arena.chunks))
+		sp.SetInt("arena_chunks", int64(sc.arena.chunks))
 	}
 	return out, nil
 }
 
-// evalMember evaluates one member CQ by an index bind-join in a greedily
-// chosen atom order, emitting projected head rows. Fresh rows are copied
-// out of the shared row buffer through the arena.
-func (e *Engine) evalMember(ctx *evalCtx, cq bgp.CQ, dedup *dedupSet, out *Relation, arena *rowArena) error {
-	order := e.joinOrder(cq)
-	bind := make(map[uint32]dict.ID)
-	row := make([]dict.ID, len(cq.Head))
-	newlyStack := make([][]uint32, len(order))
+// memberPlan is one member CQ prepared for evaluation: its join order,
+// its depth-0 scan pattern, and — when a merged scan located it — the
+// pre-resolved sorted subrange its depth-0 scan replays.
+type memberPlan struct {
+	cq    bgp.CQ
+	order []int
+	pat0  storage.Pattern
+	pre   []storage.Triple
+	preOK bool
+}
+
+// distKey keys the per-arm DistinctForVar memo.
+type distKey struct {
+	a bgp.Atom
+	v uint32
+}
+
+// armScratch is the per-worker evaluation state of one arm: the row
+// arena, the planning memos (join orders per member key, per-atom
+// cardinalities and per-variable distinct counts shared across the
+// arm's near-identical members), the merge-planning buffers, and the
+// reusable bind-join buffers. One scratch is owned by one goroutine —
+// the sequential arm loop or a single shard worker — so none of it
+// needs locking.
+type armScratch struct {
+	arena  rowArena
+	orders map[string][]int
+	cards  map[bgp.Atom]float64
+	dist   map[distKey]float64
+	plans  []memberPlan
+	bind   map[uint32]dict.ID
+	row    []dict.ID
+	newly  [][]uint32
+
+	// planMergedScans scratch, reused window after window.
+	mergeBy map[mergeKey]int
+	groups  []mergeGroup
+	bySize  []int
+	claimed []bool
+	members []int
+	consts  []dict.ID
+	ranges  [][]storage.Triple
+
+	// orderKey scratch: the byte key under construction and the
+	// first-appearance variable numbering of the member being keyed.
+	keyBuf []byte
+	rename []uint32
+
+	// In-place sorters for planMergedScans: values here rather than
+	// sort.SliceStable closures so sorting a window allocates nothing.
+	gsort groupSorter
+	msort memberSorter
+
+	// probes adapts the scratch's shared cardinality memos to
+	// greedyOrder, re-pointed at the current snapshot per call.
+	probes statProbes
+
+	// greedy is greedyOrder's working state, reused member after member
+	// on the shared path (the baseline and planning paths pay per call).
+	greedy greedyState
+
+	// shapeSeen is a tag table over member shape hashes: an order is
+	// only installed in the orders cache on its shape's second
+	// occurrence. Reformulation dedups members, so most shapes appear
+	// once per arm — installing those would pay a string and map insert
+	// per member for entries that can never be hit again. A collision
+	// only installs an entry early or late, never a wrong order.
+	shapeSeen [shapeSeenSlots]uint32
+}
+
+// shapeSeenSlots sizes the order-cache admission tag table (4 KB).
+const shapeSeenSlots = 1 << 10
+
+// armScratchPool recycles arm scratches across evaluations: the map
+// buckets and the capacities of every bookkeeping buffer survive, so a
+// steady-state planning window allocates nothing.
+var armScratchPool = sync.Pool{New: func() any {
+	return &armScratch{
+		orders:  make(map[string][]int),
+		cards:   make(map[bgp.Atom]float64),
+		dist:    make(map[distKey]float64),
+		bind:    make(map[uint32]dict.ID),
+		mergeBy: make(map[mergeKey]int),
+	}
+}}
+
+func newArmScratch() *armScratch { return armScratchPool.Get().(*armScratch) }
+
+// release returns the scratch to the pool, dropping everything that
+// must not carry across evaluations: the row arena (its chunks are
+// referenced by the relation just produced), the planning memos (stale
+// against the next evaluation's snapshot) and every retained member or
+// snapshot slice. Only the owning goroutine may call it, after the
+// produced rows were copied or handed off.
+func (sc *armScratch) release() {
+	sc.arena = rowArena{}
+	clear(sc.orders)
+	clear(sc.cards)
+	clear(sc.dist)
+	clear(sc.bind)
+	clear(sc.plans[:cap(sc.plans)])
+	sc.plans = sc.plans[:0]
+	clear(sc.ranges[:cap(sc.ranges)])
+	sc.shapeSeen = [shapeSeenSlots]uint32{}
+	sc.gsort, sc.msort, sc.probes = groupSorter{}, memberSorter{}, statProbes{}
+	clear(sc.greedy.bound)
+	armScratchPool.Put(sc)
+}
+
+// evalMemberRun plans and evaluates a window of member CQs in order,
+// returning how many members were started (for shard accounting) and
+// the first failure. Planning may merge the depth-0 scans of members
+// differing in one constant; evaluation order, per-member join orders
+// and all per-tuple accounting are exactly those of member-at-a-time
+// evaluation.
+func (e *Engine) evalMemberRun(ctx *evalCtx, sc *armScratch, cqs []bgp.CQ, dedup *dedupSet, out *Relation) (int, error) {
+	plans := sc.plans[:0]
+	for _, cq := range cqs {
+		p := memberPlan{cq: cq, order: e.memberOrder(ctx, sc, cq)}
+		if len(p.order) > 0 {
+			p.pat0 = atomPattern(cq.Atoms[p.order[0]])
+		}
+		plans = append(plans, p)
+	}
+	sc.plans = plans
+	if ctx.shared && len(plans) > 1 {
+		e.planMergedScans(ctx, sc, plans)
+	}
+	for i := range plans {
+		ctx.unionArms.Add(1)
+		if err := e.evalMember(ctx, sc, &plans[i], dedup, out); err != nil {
+			return i + 1, err
+		}
+	}
+	return len(plans), nil
+}
+
+// mergeKey identifies one family of depth-0 patterns that differ only
+// in the constant at position vpos.
+type mergeKey struct {
+	masked storage.Pattern
+	vpos   int
+}
+
+// mergeGroup is one candidate family of a merge-planning window; the
+// idxs slices are retained in the arm scratch and reused.
+type mergeGroup struct {
+	key  mergeKey
+	idxs []int
+}
+
+// groupSorter stably orders a window's candidate groups largest-first.
+type groupSorter struct {
+	bySize []int
+	groups []mergeGroup
+}
+
+func (s *groupSorter) Len() int { return len(s.bySize) }
+func (s *groupSorter) Less(a, b int) bool {
+	return len(s.groups[s.bySize[a]].idxs) > len(s.groups[s.bySize[b]].idxs)
+}
+func (s *groupSorter) Swap(a, b int) { s.bySize[a], s.bySize[b] = s.bySize[b], s.bySize[a] }
+
+// memberSorter stably orders one group's members by the constant at the
+// group's varying position, as MultiRange requires.
+type memberSorter struct {
+	members []int
+	plans   []memberPlan
+	vpos    int
+}
+
+func (s *memberSorter) Len() int { return len(s.members) }
+func (s *memberSorter) Less(a, b int) bool {
+	return patPos(s.plans[s.members[a]].pat0, s.vpos) < patPos(s.plans[s.members[b]].pat0, s.vpos)
+}
+func (s *memberSorter) Swap(a, b int) { s.members[a], s.members[b] = s.members[b], s.members[a] }
+
+// planMergedScans groups the window's members by "depth-0 pattern equal
+// up to one constant position" and asks the snapshot to locate every
+// group's subranges in a single pass over the covering index range
+// (MultiRange) — the shared-scan answer to reformulations whose members
+// differ in one class or property constant. Each member keeps its own
+// subrange, join order and evaluation slot, so only the range-locating
+// work is shared. Groups are formed greedily, largest first, with
+// first-encounter order breaking ties, which keeps the merged_members
+// counter deterministic. All bookkeeping lives in the arm scratch, so a
+// steady-state window allocates nothing.
+func (e *Engine) planMergedScans(ctx *evalCtx, sc *armScratch, plans []memberPlan) {
+	clear(sc.mergeBy)
+	groups := sc.groups[:0]
+	for i := range plans {
+		if len(plans[i].order) == 0 {
+			continue
+		}
+		pat := plans[i].pat0
+		for pos := 0; pos < 3; pos++ {
+			if patPos(pat, pos) == dict.None {
+				continue
+			}
+			k := mergeKey{masked: maskPos(pat, pos), vpos: pos}
+			gi, ok := sc.mergeBy[k]
+			if !ok {
+				gi = len(groups)
+				sc.mergeBy[k] = gi
+				if gi < cap(groups) {
+					groups = groups[:gi+1]
+					groups[gi] = mergeGroup{key: k, idxs: groups[gi].idxs[:0]}
+				} else {
+					groups = append(groups, mergeGroup{key: k})
+				}
+			}
+			groups[gi].idxs = append(groups[gi].idxs, i)
+		}
+	}
+	sc.groups = groups
+	bySize := sc.bySize[:0]
+	for i := range groups {
+		bySize = append(bySize, i)
+	}
+	sc.bySize = bySize
+	sc.gsort = groupSorter{bySize: bySize, groups: groups}
+	sort.Stable(&sc.gsort)
+	claimed := sc.claimed[:0]
+	for range plans {
+		claimed = append(claimed, false)
+	}
+	sc.claimed = claimed
+	for _, gi := range bySize {
+		g := groups[gi]
+		members := sc.members[:0]
+		for _, i := range g.idxs {
+			if !claimed[i] {
+				members = append(members, i)
+			}
+		}
+		sc.members = members
+		if len(members) < 2 {
+			continue
+		}
+		sc.msort = memberSorter{members: members, plans: plans, vpos: g.key.vpos}
+		sort.Stable(&sc.msort)
+		consts := sc.consts[:0]
+		for _, i := range members {
+			consts = append(consts, patPos(plans[i].pat0, g.key.vpos))
+		}
+		sc.consts = consts
+		ranges, ok := ctx.snap.MultiRange(g.key.masked, g.key.vpos, consts, sc.ranges)
+		if !ok {
+			continue
+		}
+		sc.ranges = ranges
+		for k, i := range members {
+			plans[i].pre, plans[i].preOK = ranges[k], true
+			claimed[i] = true
+		}
+		ctx.mergedMembers.Add(int64(len(members)))
+		ctx.snapRanges.Add(int64(len(members)))
+	}
+}
+
+// atomPattern returns the scan pattern of an atom with no bindings —
+// its constant positions (the depth-0 pattern of a bind-join).
+func atomPattern(a bgp.Atom) storage.Pattern {
+	var pat storage.Pattern
+	if !a.S.Var {
+		pat.S = a.S.Const()
+	}
+	if !a.P.Var {
+		pat.P = a.P.Const()
+	}
+	if !a.O.Var {
+		pat.O = a.O.Const()
+	}
+	return pat
+}
+
+// patPos returns position pos (0=S, 1=P, 2=O) of the pattern.
+func patPos(p storage.Pattern, pos int) dict.ID {
+	switch pos {
+	case 0:
+		return p.S
+	case 1:
+		return p.P
+	default:
+		return p.O
+	}
+}
+
+// maskPos returns p with position pos unbound.
+func maskPos(p storage.Pattern, pos int) storage.Pattern {
+	switch pos {
+	case 0:
+		p.S = dict.None
+	case 1:
+		p.P = dict.None
+	default:
+		p.O = dict.None
+	}
+	return p
+}
+
+// evalMember evaluates one planned member CQ by an index bind-join in
+// its chosen atom order, emitting projected head rows. Fresh rows are
+// copied out of the shared row buffer through the scratch arena. The
+// depth-0 scan replays the plan's pre-located merged range when one
+// exists; every other scan goes through the evaluation's scan memo.
+// Either way the triples consumed — and hence every metric — are those
+// of a plain snapshot scan.
+func (e *Engine) evalMember(ctx *evalCtx, sc *armScratch, p *memberPlan, dedup *dedupSet, out *Relation) error {
+	cq, order := p.cq, p.order
+	bind := sc.bind // empty here; fully unwound before every return below
+	if cap(sc.row) < len(cq.Head) {
+		sc.row = make([]dict.ID, len(cq.Head))
+	}
+	row := sc.row[:len(cq.Head)]
+	for len(sc.newly) < len(order) {
+		sc.newly = append(sc.newly, nil)
+	}
+	newlyStack := sc.newly
 	var rec func(depth int) error
 	rec = func(depth int) error {
 		if depth == len(order) {
@@ -299,7 +652,7 @@ func (e *Engine) evalMember(ctx *evalCtx, cq bgp.CQ, dedup *dedupSet, out *Relat
 				return err
 			}
 			if fresh {
-				out.Rows = append(out.Rows, arena.copy(row))
+				out.Rows = append(out.Rows, sc.arena.copy(row))
 			}
 			return nil
 		}
@@ -314,7 +667,7 @@ func (e *Engine) evalMember(ctx *evalCtx, cq bgp.CQ, dedup *dedupSet, out *Relat
 		pat.S, pat.P, pat.O = term(a.S), term(a.P), term(a.O)
 
 		var failure error
-		e.store.Scan(pat, func(tr storage.Triple) bool {
+		scan := func(tr storage.Triple) bool {
 			ctx.tuplesScanned.Add(1)
 			if err := ctx.charge(1); err != nil {
 				failure = err
@@ -348,72 +701,265 @@ func (e *Engine) evalMember(ctx *evalCtx, cq bgp.CQ, dedup *dedupSet, out *Relat
 				delete(bind, v)
 			}
 			return failure == nil
-		})
+		}
+		if depth == 0 && p.preOK {
+			ctx.snap.ScanRange(p.pre, pat, scan)
+		} else {
+			ctx.scanPattern(pat, scan)
+		}
 		return failure
 	}
 	return rec(0)
 }
 
-// joinOrder picks a static atom order greedily: start from the atom with
-// the smallest estimated cardinality, then repeatedly take the connected
-// atom whose bound-variable-discounted estimate is smallest, falling back
-// to disconnected atoms only when no connected one remains.
-func (e *Engine) joinOrder(cq bgp.CQ) []int {
-	n := len(cq.Atoms)
+// memberOrder returns the evaluation join order for one member CQ,
+// cached in the arm scratch under the member's structural key (members
+// identical up to variable renaming share an entry, installed on the
+// shape's second occurrence) and computed with the scratch's shared
+// cardinality memos over the pinned snapshot.
+//
+// With the shared-scan layer off, the cross-member memos are off too:
+// every member is ordered independently with per-call probe memos only,
+// reproducing the pre-refactor scan-per-member planning cost. The
+// chosen order is the same either way (the probes are identical;
+// TestMemberOrderAgreesWithJoinOrder guards it), so results and metrics
+// do not depend on the flag.
+func (e *Engine) memberOrder(ctx *evalCtx, sc *armScratch, cq bgp.CQ) []int {
 	if e.prof.DisableJoinOrdering {
-		order := make([]int, n)
-		for i := range order {
-			order[i] = i
-		}
-		return order
+		return identityOrder(len(cq.Atoms))
 	}
-	order := make([]int, 0, n)
-	usedAtoms := make([]bool, n)
-	bound := make(map[uint32]bool)
-	var buf []uint32 // scratch, reused across atoms and rounds
+	if !ctx.shared {
+		// Pre-refactor planning per member: the probe memos are cleared
+		// before each member so no statistics carry over (every member
+		// re-pays its own probes) and greedyOrder builds fresh working
+		// state for the call rather than reusing the scratch's. The
+		// chosen order is identical to the shared path's — only the
+		// planning work is repeated.
+		clear(sc.cards)
+		clear(sc.dist)
+		sc.probes = statProbes{st: e.st, src: ctx.snap, cards: sc.cards, dist: sc.dist}
+		return greedyOrder(cq, &sc.probes, nil)
+	}
+	key := sc.orderKey(cq)
+	if o, ok := sc.orders[string(key)]; ok {
+		return o
+	}
+	sc.probes = statProbes{st: e.st, src: ctx.snap, cards: sc.cards, dist: sc.dist}
+	o := greedyOrder(cq, &sc.probes, &sc.greedy)
+	if sc.seenShape(key) {
+		sc.orders[string(key)] = o
+	}
+	return o
+}
 
-	est := func(i int) float64 {
-		a := cq.Atoms[i]
-		card := e.st.AtomCard(a)
-		buf = a.Vars(buf[:0])
-		for j, v := range buf {
-			if !bound[v] || dupBefore(buf, j) {
-				continue
-			}
-			if d := e.st.DistinctForVar(a, v); d > 1 {
-				card /= d
+// seenShape records the shape key and reports whether it was recorded
+// before — the order cache's second-occurrence admission check.
+func (sc *armScratch) seenShape(key []byte) bool {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	slot := h & (shapeSeenSlots - 1)
+	tag := uint32(h>>32) | 1
+	if sc.shapeSeen[slot] == tag {
+		return true
+	}
+	sc.shapeSeen[slot] = tag
+	return false
+}
+
+// statProbes supplies greedyOrder's statistics, memoized — a concrete
+// struct rather than a closure pair so that ordering a member allocates
+// no closure objects. src selects the count source: the pinned snapshot
+// on the evaluation path, nil for the live store on the planning path.
+type statProbes struct {
+	st    *stats.Stats
+	src   stats.CountSource
+	cards map[bgp.Atom]float64
+	dist  map[distKey]float64
+}
+
+func (p *statProbes) card(a bgp.Atom) float64 {
+	c, ok := p.cards[a]
+	if !ok {
+		if p.src != nil {
+			c = p.st.AtomCardOn(p.src, a)
+		} else {
+			c = p.st.AtomCard(a)
+		}
+		p.cards[a] = c
+	}
+	return c
+}
+
+func (p *statProbes) distinct(a bgp.Atom, v uint32) float64 {
+	k := distKey{a: a, v: v}
+	d, ok := p.dist[k]
+	if !ok {
+		if p.src != nil {
+			d = p.st.DistinctForVarOn(p.src, a, v)
+		} else {
+			d = p.st.DistinctForVar(a, v)
+		}
+		p.dist[k] = d
+	}
+	return d
+}
+
+// orderKey renders cq's renaming-invariant structural key — the same
+// equivalence classes as bgp.CQ.Key — into the scratch key buffer and
+// returns it. Byte-level rather than string-level so the order-cache
+// probe in memberOrder allocates nothing (a map lookup keyed by
+// string(bytes) does not copy); only installing a new entry pays for the
+// string. The buffer is invalidated by the next call. The encoding is
+// positional: a head-length prefix, then five bytes per term (a var/const
+// tag and a little-endian ID, with variables renumbered in order of first
+// appearance), so equal keys always denote members equal up to renaming.
+func (sc *armScratch) orderKey(cq bgp.CQ) []byte {
+	buf := append(sc.keyBuf[:0], byte(len(cq.Head)))
+	rn := sc.rename[:0]
+	for _, t := range cq.Head {
+		buf, rn = appendTermKey(buf, rn, t)
+	}
+	for _, a := range cq.Atoms {
+		buf, rn = appendTermKey(buf, rn, a.S)
+		buf, rn = appendTermKey(buf, rn, a.P)
+		buf, rn = appendTermKey(buf, rn, a.O)
+	}
+	sc.keyBuf, sc.rename = buf, rn
+	return buf
+}
+
+// appendTermKey appends one term of an orderKey: a plain function rather
+// than a closure over the buffers so nothing escapes to the heap.
+func appendTermKey(buf []byte, rn []uint32, t bgp.Term) ([]byte, []uint32) {
+	tag, id := byte('#'), t.ID
+	if t.Var {
+		n := -1
+		for i, v := range rn {
+			if v == t.ID {
+				n = i
+				break
 			}
 		}
-		return card
-	}
-	connected := func(i int) bool {
-		buf = cq.Atoms[i].Vars(buf[:0])
-		for _, v := range buf {
-			if bound[v] {
-				return true
-			}
+		if n < 0 {
+			n = len(rn)
+			rn = append(rn, t.ID)
 		}
-		return false
+		tag, id = '?', uint32(n)
 	}
+	return append(buf, tag, byte(id), byte(id>>8), byte(id>>16), byte(id>>24)), rn
+}
+
+// joinOrder picks the static atom order of one CQ against the live
+// store — the planning-path entry point (estimation, explanation). The
+// evaluation path goes through memberOrder, which adds the per-arm
+// memoization and reads statistics through the pinned snapshot.
+func (e *Engine) joinOrder(cq bgp.CQ) []int {
+	if e.prof.DisableJoinOrdering {
+		return identityOrder(len(cq.Atoms))
+	}
+	// Memoize the stats probes for the greedy rounds below: without
+	// this, every round re-prices every remaining atom, turning n atoms
+	// into O(n²) AtomCard calls through the stats mutex.
+	pr := statProbes{
+		st:    e.st,
+		cards: make(map[bgp.Atom]float64, len(cq.Atoms)),
+		dist:  make(map[distKey]float64, len(cq.Atoms)),
+	}
+	return greedyOrder(cq, &pr, nil)
+}
+
+func identityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// greedyState is greedyOrder's per-call working state: which atoms were
+// already placed, which variables they bound, and a variable scratch.
+// Reusable across calls (greedyOrder resets it), so the shared path
+// hands in the one kept in its arm scratch; a nil state makes
+// greedyOrder allocate a fresh one for the call.
+type greedyState struct {
+	used  []bool
+	bound map[uint32]bool
+	buf   []uint32
+}
+
+func (g *greedyState) reset(n int) {
+	g.used = g.used[:0]
+	for i := 0; i < n; i++ {
+		g.used = append(g.used, false)
+	}
+	if g.bound == nil {
+		g.bound = make(map[uint32]bool)
+	} else {
+		clear(g.bound)
+	}
+}
+
+func (g *greedyState) est(cq bgp.CQ, pr *statProbes, i int) float64 {
+	a := cq.Atoms[i]
+	c := pr.card(a)
+	g.buf = a.Vars(g.buf[:0])
+	for j, v := range g.buf {
+		if !g.bound[v] || dupBefore(g.buf, j) {
+			continue
+		}
+		if d := pr.distinct(a, v); d > 1 {
+			c /= d
+		}
+	}
+	return c
+}
+
+func (g *greedyState) connected(cq bgp.CQ, i int) bool {
+	g.buf = cq.Atoms[i].Vars(g.buf[:0])
+	for _, v := range g.buf {
+		if g.bound[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// greedyOrder picks a static atom order greedily: start from the atom
+// with the smallest estimated cardinality, then repeatedly take the
+// connected atom whose bound-variable-discounted estimate is smallest,
+// falling back to disconnected atoms only when no connected one
+// remains. pr supplies the statistics; its probes are pure for the
+// duration of the call, so memoization never changes the chosen order,
+// and neither does reusing gs — it is fully reset per call.
+func greedyOrder(cq bgp.CQ, pr *statProbes, gs *greedyState) []int {
+	n := len(cq.Atoms)
+	order := make([]int, 0, n)
+	var local greedyState // stack-allocated when the caller passes nil
+	if gs == nil {
+		gs = &local
+	}
+	gs.reset(n)
 
 	for len(order) < n {
 		best, bestEst := -1, 0.0
 		bestConn := false
 		for i := 0; i < n; i++ {
-			if usedAtoms[i] {
+			if gs.used[i] {
 				continue
 			}
-			conn := len(order) == 0 || connected(i)
-			c := est(i)
+			conn := len(order) == 0 || gs.connected(cq, i)
+			c := gs.est(cq, pr, i)
 			if best == -1 || (conn && !bestConn) || (conn == bestConn && c < bestEst) {
 				best, bestEst, bestConn = i, c, conn
 			}
 		}
 		order = append(order, best)
-		usedAtoms[best] = true
-		buf = cq.Atoms[best].Vars(buf[:0])
-		for _, v := range buf {
-			bound[v] = true
+		gs.used[best] = true
+		gs.buf = cq.Atoms[best].Vars(gs.buf[:0])
+		for _, v := range gs.buf {
+			gs.bound[v] = true
 		}
 	}
 	return order

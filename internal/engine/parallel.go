@@ -121,32 +121,32 @@ func (e *Engine) evalArmSharded(ctx *evalCtx, sp *trace.Span, arm ArmSource) (*R
 		go func(in chan batch, res *shardResult, shardSp *trace.Span) {
 			defer wg.Done()
 			dedup := newDedupSet(ctx)
-			var arena rowArena
+			sc := newArmScratch()
+			defer sc.release()
 			var members, rows int64
 			for b := range in {
 				if res.err != nil {
 					continue // drain after a failure
 				}
 				out := &Relation{Vars: arm.Vars}
-				for _, cq := range b.cqs {
-					ctx.unionArms.Add(1)
-					members++
-					if err := e.evalMember(ctx, cq, dedup, out, &arena); err != nil {
-						res.err, res.errBatch = err, b.idx
-						failed.Store(true)
-						break
-					}
+				// Each batch is planned as one window: merged scans form
+				// within it, and the scan memo is shared with every other
+				// shard through the evaluation context.
+				n, err := e.evalMemberRun(ctx, sc, b.cqs, dedup, out)
+				members += int64(n)
+				if err != nil {
+					res.err, res.errBatch = err, b.idx
+					failed.Store(true)
+					continue
 				}
-				if res.err == nil {
-					rows += int64(len(out.Rows))
-					res.batches = append(res.batches, out.Rows)
-				}
+				rows += int64(len(out.Rows))
+				res.batches = append(res.batches, out.Rows)
 			}
 			if shardSp != nil {
 				shardSp.SetInt("members", members)
 				shardSp.SetInt("rows_out", rows)
 				shardSp.SetInt("dedup_hits", dedup.hits)
-				shardSp.SetInt("arena_chunks", int64(arena.chunks))
+				shardSp.SetInt("arena_chunks", int64(sc.arena.chunks))
 				shardSp.End()
 			}
 		}(chans[s], res, shardSp)

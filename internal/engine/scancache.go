@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+)
+
+// scanCache is the per-evaluation pattern-scan memo: triple pattern →
+// the exact triple sequence Scan yields for it on the pinned snapshot.
+// Reformulation members are near-identical, so the bind-join re-issues
+// the same patterns member after member (and, at inner depths, binding
+// after binding); the memo turns every repeat into a slice walk with no
+// index lookup. Entries are shared read-only across members, arms and
+// shard workers of one evaluation and die with it, so mutation safety
+// is inherited from the snapshot's immutability.
+type scanCache struct {
+	// entries counts cached patterns across all shards; inserts stop at
+	// maxScanCacheEntries (repeats of cached patterns still hit).
+	entries atomic.Int64
+	// seen is a fixed tag table marking patterns scanned once: most
+	// distinct patterns of an evaluation are never scanned again (the
+	// repeats concentrate on a few), so entries are only installed on a
+	// pattern's second scan. A collision merely overwrites a mark or
+	// pre-marks a pattern — caching happens one scan early or late,
+	// never incorrectly.
+	seen   [scanSeenSlots]atomic.Uint32
+	shards [scanCacheShards]scanShard
+}
+
+type scanShard struct {
+	mu sync.RWMutex
+	m  map[storage.Pattern][]storage.Triple
+}
+
+const (
+	// scanCacheShards spreads concurrent shard workers over independent
+	// locks; must be a power of two.
+	scanCacheShards = 8
+	// scanSeenSlots sizes the seen-once tag table; must be a power of
+	// two. 8K slots cost 32KB per evaluation.
+	scanSeenSlots = 1 << 13
+	// maxScanCacheEntries bounds the number of cached patterns per
+	// evaluation — beyond it, scans stream without materializing.
+	maxScanCacheEntries = 1 << 15
+	// maxScanCacheRows bounds a single materialized entry; larger scan
+	// results are streamed and not cached (zero-copy exact ranges are
+	// exempt: they cost only a slice header regardless of length).
+	maxScanCacheRows = 4096
+)
+
+// scanCachePool recycles evaluation scan memos: the shard maps keep
+// their buckets across evaluations, so steady-state cache installs
+// allocate (almost) nothing.
+var scanCachePool = sync.Pool{New: func() any { return new(scanCache) }}
+
+func newScanCache() *scanCache { return scanCachePool.Get().(*scanCache) }
+
+// release clears the cache — dropping every snapshot-pinned slice it
+// retains — and returns it to the pool. The caller must have joined
+// every worker of the owning evaluation first; EvalArms does.
+func (c *scanCache) release() {
+	c.entries.Store(0)
+	clear(c.seen[:])
+	for i := range c.shards {
+		clear(c.shards[i].m)
+	}
+	scanCachePool.Put(c)
+}
+
+func patternHash(p storage.Pattern) uint64 {
+	return uint64(p.S)*0x9E3779B1 ^ uint64(p.P)*0x85EBCA77 ^ uint64(p.O)*0xC2B2AE3D
+}
+
+func (c *scanCache) shard(p storage.Pattern) *scanShard {
+	return &c.shards[patternHash(p)&(scanCacheShards-1)]
+}
+
+// seenBefore reports whether the pattern was (probably) scanned before
+// in this evaluation, marking it seen otherwise. Safe for concurrent
+// shard workers: a racing pair both read unseen, both stream uncached,
+// and the pattern is cached on a later scan.
+func (c *scanCache) seenBefore(p storage.Pattern) bool {
+	h := patternHash(p)
+	slot := &c.seen[(h>>3)&(scanSeenSlots-1)]
+	tag := uint32(h>>32) | 1
+	if slot.Load() == tag {
+		return true
+	}
+	slot.Store(tag)
+	return false
+}
+
+// get returns the cached triple sequence for the pattern. ok
+// distinguishes a cached empty result (nil slice) from a miss.
+func (c *scanCache) get(p storage.Pattern) ([]storage.Triple, bool) {
+	sh := c.shard(p)
+	sh.mu.RLock()
+	ts, ok := sh.m[p]
+	sh.mu.RUnlock()
+	return ts, ok
+}
+
+// full reports whether the entry budget is exhausted — callers skip
+// materializing results they would not be able to cache.
+func (c *scanCache) full() bool { return c.entries.Load() >= maxScanCacheEntries }
+
+// put caches the triple sequence for the pattern. The first writer
+// wins; a concurrent duplicate (two workers scanning the same pattern)
+// computed the identical sequence anyway and is dropped.
+func (c *scanCache) put(p storage.Pattern, ts []storage.Triple) {
+	if c.entries.Add(1) > maxScanCacheEntries {
+		c.entries.Add(-1)
+		return
+	}
+	sh := c.shard(p)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[storage.Pattern][]storage.Triple, 64)
+	}
+	if _, dup := sh.m[p]; dup {
+		sh.mu.Unlock()
+		c.entries.Add(-1)
+		return
+	}
+	sh.m[p] = ts
+	sh.mu.Unlock()
+}
+
+// scanPattern is the engine's scan entry point during evaluation: every
+// bind-join scan goes through it. It reads from the evaluation's pinned
+// snapshot — never the live store, so no lock is held and scans nest
+// freely — and, with the shared-scan layer on, consults the pattern
+// memo first. The triple sequence delivered to f is byte-identical to
+// snap.Scan(p, f) in every case; only the locating work is shared.
+func (c *evalCtx) scanPattern(p storage.Pattern, f func(storage.Triple) bool) {
+	if !c.shared {
+		c.snap.Scan(p, f)
+		return
+	}
+	if ts, ok := c.scans.get(p); ok {
+		c.scanHits.Add(1)
+		for _, t := range ts {
+			if !f(t) {
+				return
+			}
+		}
+		return
+	}
+	c.scanMisses.Add(1)
+	repeat := c.scans.seenBefore(p)
+	if ts, ok := c.snap.Range(p); ok {
+		// Exact zero-copy range: the subslice header is free to walk, and
+		// worth a cache entry once the pattern has shown up twice.
+		c.snapRanges.Add(1)
+		if repeat {
+			c.scans.put(p, ts)
+		}
+		for _, t := range ts {
+			if !f(t) {
+				return
+			}
+		}
+		return
+	}
+	if !repeat || c.scans.full() {
+		c.snap.Scan(p, f)
+		return
+	}
+	// Materialize-and-replay, abandoning the buffer if the result
+	// outgrows the per-entry cap: buffered triples are flushed to f and
+	// the rest of the scan streams straight through.
+	var buf []storage.Triple
+	overflow := false
+	stopped := false
+	c.snap.Scan(p, func(t storage.Triple) bool {
+		if overflow {
+			if !f(t) {
+				stopped = true
+				return false
+			}
+			return true
+		}
+		buf = append(buf, t)
+		if len(buf) > maxScanCacheRows {
+			overflow = true
+			for _, bt := range buf {
+				if !f(bt) {
+					stopped = true
+					return false
+				}
+			}
+			buf = nil
+		}
+		return true
+	})
+	if overflow || stopped {
+		return
+	}
+	c.scans.put(p, buf)
+	for _, t := range buf {
+		if !f(t) {
+			return
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/dict"
+	"repro/internal/schema"
+	"repro/internal/stats"
+	"repro/internal/storage"
+)
+
+func TestScanCacheBasics(t *testing.T) {
+	c := newScanCache()
+	p := storage.Pattern{S: 1}
+	if _, ok := c.get(p); ok {
+		t.Fatalf("empty cache reported a hit")
+	}
+
+	// A cached empty result (nil slice) is distinguishable from a miss.
+	c.put(p, nil)
+	if ts, ok := c.get(p); !ok || ts != nil {
+		t.Fatalf("cached-empty get = (%v, %v), want (nil, true)", ts, ok)
+	}
+
+	q := storage.Pattern{S: 2, P: 3}
+	want := []storage.Triple{{S: 2, P: 3, O: 4}, {S: 2, P: 3, O: 5}}
+	c.put(q, want)
+	if ts, ok := c.get(q); !ok || !reflect.DeepEqual(ts, want) {
+		t.Fatalf("get = (%v, %v), want (%v, true)", ts, ok, want)
+	}
+
+	// First writer wins; a duplicate put neither replaces the entry nor
+	// leaks an entry count.
+	before := c.entries.Load()
+	c.put(q, []storage.Triple{{S: 9, P: 9, O: 9}})
+	if c.entries.Load() != before {
+		t.Fatalf("duplicate put changed the entry count: %d -> %d", before, c.entries.Load())
+	}
+	if ts, _ := c.get(q); !reflect.DeepEqual(ts, want) {
+		t.Fatalf("duplicate put replaced the entry")
+	}
+}
+
+func TestScanCacheEntryCap(t *testing.T) {
+	c := newScanCache()
+	c.entries.Store(maxScanCacheEntries)
+	if !c.full() {
+		t.Fatalf("cache at capacity not reported full")
+	}
+	p := storage.Pattern{S: 7}
+	c.put(p, []storage.Triple{{S: 7, P: 1, O: 1}})
+	if _, ok := c.get(p); ok {
+		t.Fatalf("put succeeded beyond the entry cap")
+	}
+	if c.entries.Load() != maxScanCacheEntries {
+		t.Fatalf("rejected put leaked an entry count: %d", c.entries.Load())
+	}
+}
+
+// scanPattern must deliver the exact Scan sequence on every path: cold
+// (materialize-and-replay or exact range), warm (memo walk), and with
+// early termination by the consumer.
+func TestScanPatternMatchesSnapshotScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	b := storage.NewBuilder()
+	for i := 0; i < 300; i++ {
+		b.Add(storage.Triple{
+			S: dict.ID(rng.Intn(40) + 1),
+			P: dict.ID(rng.Intn(8) + 1),
+			O: dict.ID(rng.Intn(40) + 1),
+		})
+	}
+	st := b.Build()
+	// Mutate so some patterns lose the zero-copy exact-range path and
+	// exercise materialize-and-replay.
+	st.Add(storage.Triple{S: 1, P: 1, O: 1})
+	st.Remove(storage.Triple{S: 2, P: 2, O: 2})
+
+	ctx := &evalCtx{snap: st.Snapshot(), shared: true, scans: newScanCache()}
+	patterns := []storage.Pattern{
+		{}, {S: 1}, {P: 3}, {O: 5}, {S: 1, P: 1}, {P: 2, O: 2}, {S: 3, O: 7},
+	}
+	collect := func(scan func(storage.Pattern, func(storage.Triple) bool), p storage.Pattern) []storage.Triple {
+		var out []storage.Triple
+		scan(p, func(tr storage.Triple) bool { out = append(out, tr); return true })
+		return out
+	}
+	for round := 0; round < 2; round++ { // round 0 cold, round 1 from the memo
+		for _, p := range patterns {
+			want := collect(ctx.snap.Scan, p)
+			got := collect(ctx.scanPattern, p)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d pattern %+v: scanPattern %v, snapshot scan %v", round, p, got, want)
+			}
+			// Early termination after the first triple.
+			n := 0
+			ctx.scanPattern(p, func(storage.Triple) bool { n++; return false })
+			if len(want) > 0 && n != 1 {
+				t.Fatalf("pattern %+v: early-terminated scan delivered %d triples", p, n)
+			}
+		}
+	}
+	if ctx.scanHits.Load() == 0 || ctx.scanMisses.Load() == 0 {
+		t.Fatalf("hit/miss counters did not move: hits=%d misses=%d",
+			ctx.scanHits.Load(), ctx.scanMisses.Load())
+	}
+}
+
+// memberOrder is joinOrder plus caching (per-arm order cache keyed by
+// the member's renaming-invariant shape, cardinality memos shared across
+// members, probes through the snapshot). The chosen orders must agree —
+// the shared-vs-baseline equality tests cannot catch a divergence here,
+// because both configurations evaluate through memberOrder.
+func TestMemberOrderAgreesWithJoinOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	b := storage.NewBuilder()
+	for i := 0; i < 500; i++ {
+		b.Add(storage.Triple{
+			S: dict.ID(rng.Intn(60) + 1),
+			P: dict.ID(rng.Intn(10) + 1),
+			O: dict.ID(rng.Intn(60) + 1),
+		})
+	}
+	raw := b.Build()
+	e := New(raw, stats.Collect(raw, schema.Vocab{}), Native)
+	shared := &evalCtx{snap: raw.Snapshot(), shared: true}
+	base := &evalCtx{snap: raw.Snapshot()}
+	sc := newArmScratch()
+	baseSc := newArmScratch()
+
+	term := func() bgp.Term {
+		if rng.Intn(2) == 0 {
+			return bgp.V(uint32(rng.Intn(4) + 1))
+		}
+		return bgp.C(dict.ID(rng.Intn(60) + 1))
+	}
+	for qi := 0; qi < 200; qi++ {
+		n := rng.Intn(4) + 1
+		cq := bgp.CQ{Head: []bgp.Term{bgp.V(1)}}
+		for i := 0; i < n; i++ {
+			cq.Atoms = append(cq.Atoms, bgp.Atom{
+				S: term(),
+				P: bgp.C(dict.ID(rng.Intn(10) + 1)),
+				O: term(),
+			})
+		}
+		want := e.joinOrder(cq)
+		got := e.memberOrder(shared, sc, cq)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d (%v): memberOrder %v, joinOrder %v", qi, cq.Atoms, got, want)
+		}
+		// The cached second call must return the same order.
+		if again := e.memberOrder(shared, sc, cq); !reflect.DeepEqual(again, want) {
+			t.Fatalf("query %d: cached memberOrder %v, want %v", qi, again, want)
+		}
+		// The uncached baseline branch must agree too.
+		if b := e.memberOrder(base, baseSc, cq); !reflect.DeepEqual(b, want) {
+			t.Fatalf("query %d: baseline memberOrder %v, want %v", qi, b, want)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package engine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/dict"
+	"repro/internal/engine"
+	"repro/internal/reformulate"
+	"repro/internal/schema"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/testkit"
+	"repro/internal/trace"
+)
+
+// The shared-scan layer (pattern-scan memo + merged member scans over a
+// pinned snapshot) must be invisible in the results: byte-identical
+// relations and identical metrics to the baseline scan-per-member path,
+// on every profile, sequentially and in parallel, for UCQs and
+// multi-arm JUCQs alike.
+func TestSharedScanMatchesBaseline(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		e := testkit.Random(seed, 50)
+		raw := e.RawStore()
+		st := stats.Collect(raw, e.Vocab)
+		rng := rand.New(rand.NewSource(seed + 177))
+		q := testkit.RandomQuery(e, rng)
+		if len(q.Atoms) < 2 || !connectedQuery(q) {
+			continue
+		}
+		ref, err := reformulate.Reformulate(q, e.Closed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := ref.UCQ(100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		head, arms := scqArms(t, e, q)
+		for _, prof := range append(engine.Profiles(), engine.Native) {
+			for _, par := range []int{1, 8} {
+				shared := engine.New(raw, st, prof).WithParallelism(par)
+				base := engine.New(raw, st, prof).WithParallelism(par).WithSharedScan(false)
+
+				wantRel, wantM, err := base.EvalUCQ(u)
+				if err != nil {
+					t.Fatalf("seed %d %s par=%d: baseline UCQ: %v", seed, prof.Name, par, err)
+				}
+				gotRel, gotM, err := shared.EvalUCQ(u)
+				if err != nil {
+					t.Fatalf("seed %d %s par=%d: shared UCQ: %v", seed, prof.Name, par, err)
+				}
+				if !relEqual(gotRel, wantRel) {
+					t.Errorf("seed %d %s par=%d: shared UCQ relation differs from baseline", seed, prof.Name, par)
+				}
+				if gotM != wantM {
+					t.Errorf("seed %d %s par=%d: shared UCQ metrics = %+v, baseline = %+v", seed, prof.Name, par, gotM, wantM)
+				}
+
+				wantRel, wantM, err = base.EvalArms(head, arms)
+				if err != nil {
+					t.Fatalf("seed %d %s par=%d: baseline JUCQ: %v", seed, prof.Name, par, err)
+				}
+				gotRel, gotM, err = shared.EvalArms(head, arms)
+				if err != nil {
+					t.Fatalf("seed %d %s par=%d: shared JUCQ: %v", seed, prof.Name, par, err)
+				}
+				if !relEqual(gotRel, wantRel) {
+					t.Errorf("seed %d %s par=%d: shared JUCQ relation differs from baseline", seed, prof.Name, par)
+				}
+				if gotM != wantM {
+					t.Errorf("seed %d %s par=%d: shared JUCQ metrics = %+v, baseline = %+v", seed, prof.Name, par, gotM, wantM)
+				}
+			}
+		}
+	}
+}
+
+// A handcrafted UCQ whose members differ only in the class constant must
+// light up the new trace counters deterministically: every member joins
+// one merged-scan group, and the shared depth-1 scans hit the memo.
+func TestSharedScanCountersObservable(t *testing.T) {
+	const (
+		typeID   = dict.ID(1)
+		worksFor = dict.ID(2)
+	)
+	classes := []dict.ID{10, 11, 12, 13}
+	b := storage.NewBuilder()
+	for i := 0; i < 10; i++ {
+		s := dict.ID(100 + i)
+		for _, c := range classes {
+			b.Add(storage.Triple{S: s, P: typeID, O: c})
+		}
+		b.Add(storage.Triple{S: s, P: worksFor, O: dict.ID(500 + i)})
+	}
+	raw := b.Build()
+	st := stats.Collect(raw, schema.Vocab{})
+
+	u := bgp.UCQ{Vars: []uint32{1, 2}}
+	for _, c := range classes {
+		u.CQs = append(u.CQs, bgp.CQ{
+			Head: []bgp.Term{bgp.V(1), bgp.V(2)},
+			Atoms: []bgp.Atom{
+				{S: bgp.V(1), P: bgp.C(typeID), O: bgp.C(c)},
+				{S: bgp.V(1), P: bgp.C(worksFor), O: bgp.V(2)},
+			},
+		})
+	}
+
+	sp := trace.New("sharedscan")
+	eng := engine.New(raw, st, engine.Native).WithParallelism(1).WithSpan(sp)
+	rel, _, err := eng.EvalUCQ(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.End()
+	// 10 subjects x 1 dept, identical across the 4 members after dedup.
+	if len(rel.Rows) != 10 {
+		t.Fatalf("got %d rows, want 10", len(rel.Rows))
+	}
+
+	snap := sp.Registry().Snapshot()
+	if got := snap["merged_members"]; got != int64(len(classes)) {
+		t.Errorf("merged_members = %d, want %d", got, len(classes))
+	}
+	// Entries install on a pattern's second scan: member 1 marks the 10
+	// depth-1 (subject, worksFor) patterns seen, member 2 caches them,
+	// members 3-4 replay them: 20 hits, 20 misses.
+	if got := snap["scancache.misses"]; got != 20 {
+		t.Errorf("scancache.misses = %d, want 20", got)
+	}
+	if got := snap["scancache.hits"]; got != 20 {
+		t.Errorf("scancache.hits = %d, want 20", got)
+	}
+	if got := snap["snapshot_ranges"]; got <= 0 {
+		t.Errorf("snapshot_ranges = %d, want > 0", got)
+	}
+}

@@ -103,19 +103,39 @@ func (st *Stats) EachProperty(f func(dict.ID, PropStat) bool) {
 // bookkeeping of an eviction policy here.
 const maxPatternMemo = 1 << 16
 
-// PatternCount returns the exact number of triples matching the pattern,
-// memoized. Safe for concurrent use. The memo is bounded by
-// maxPatternMemo and reset on overflow, so arbitrarily many distinct
-// patterns cannot grow it without limit.
-//
-// The memo is stamped with the store's mutation version: any Add, Remove
-// or Compact since it was filled discards every cached count, so the cost
-// model never prices covers against pre-mutation statistics. A count is
-// cached only if the store version is unchanged on both sides of the
-// Count call — a concurrent mutation mid-count conservatively leaves the
-// memo alone.
+// CountSource is the read surface the statistics need from the storage
+// layer: exact pattern counts stamped with a mutation version. Both the
+// live *storage.Store and a pinned *storage.Snapshot satisfy it, so the
+// engine can price plans against the same immutable view it evaluates —
+// a probe through a snapshot takes no lock and cannot deadlock inside a
+// scan callback.
+type CountSource interface {
+	Count(storage.Pattern) int
+	Version() uint64
+}
+
+// PatternCount returns the exact number of triples matching the pattern
+// in the live store, memoized. See PatternCountOn.
 func (st *Stats) PatternCount(p storage.Pattern) int {
-	v := st.store.Version()
+	return st.PatternCountOn(st.store, p)
+}
+
+// PatternCountOn returns the exact number of triples matching the
+// pattern in src (the live store or a pinned snapshot), memoized. Safe
+// for concurrent use. The memo is bounded by maxPatternMemo and reset
+// on overflow, so arbitrarily many distinct patterns cannot grow it
+// without limit.
+//
+// The memo is stamped with the source's mutation version: a count is
+// served from the memo only when the memo stamp equals src.Version(),
+// and a version change discards every cached count, so the cost model
+// never prices covers against statistics from a different store state.
+// A count is cached only if src.Version() is unchanged on both sides of
+// the Count call — always true for a snapshot, and for the live store
+// it means a concurrent mutation mid-count conservatively leaves the
+// memo alone.
+func (st *Stats) PatternCountOn(src CountSource, p storage.Pattern) int {
+	v := src.Version()
 	st.mu.Lock()
 	if st.memoVersion != v {
 		st.memo = make(map[storage.Pattern]int, 1024)
@@ -126,9 +146,9 @@ func (st *Stats) PatternCount(p storage.Pattern) int {
 	if ok {
 		return n
 	}
-	n = st.store.Count(p)
+	n = src.Count(p)
 	st.mu.Lock()
-	if st.memoVersion == v && st.store.Version() == v {
+	if st.memoVersion == v && src.Version() == v {
 		if len(st.memo) >= maxPatternMemo {
 			st.memo = make(map[storage.Pattern]int, 1024)
 		}
@@ -138,11 +158,17 @@ func (st *Stats) PatternCount(p storage.Pattern) int {
 	return n
 }
 
-// AtomCard returns the (estimated) number of triples matching the atom.
-// Constant positions are looked up exactly; an atom with the same variable
-// in two positions gets the matching-pair count discounted by the
-// corresponding distinct count.
+// AtomCard returns the (estimated) number of triples matching the atom
+// in the live store. See AtomCardOn.
 func (st *Stats) AtomCard(a bgp.Atom) float64 {
+	return st.AtomCardOn(st.store, a)
+}
+
+// AtomCardOn returns the (estimated) number of triples matching the atom
+// in src (the live store or a pinned snapshot). Constant positions are
+// looked up exactly; an atom with the same variable in two positions gets
+// the matching-pair count discounted by the corresponding distinct count.
+func (st *Stats) AtomCardOn(src CountSource, a bgp.Atom) float64 {
 	pat := storage.Pattern{}
 	if !a.S.Var {
 		pat.S = a.S.Const()
@@ -153,7 +179,7 @@ func (st *Stats) AtomCard(a bgp.Atom) float64 {
 	if !a.O.Var {
 		pat.O = a.O.Const()
 	}
-	card := float64(st.PatternCount(pat))
+	card := float64(st.PatternCountOn(src, pat))
 	// Repeated-variable discount: positions forced equal keep roughly a
 	// 1/distinct fraction of the unconstrained matches. Every extra
 	// occurrence of one variable adds an equality, whichever pair of
@@ -168,7 +194,7 @@ func (st *Stats) AtomCard(a bgp.Atom) float64 {
 		if n < 2 {
 			continue
 		}
-		d := st.distinctFor(a, v)
+		d := st.distinctForOn(src, a, v)
 		if d <= 1 {
 			continue
 		}
@@ -182,13 +208,24 @@ func (st *Stats) AtomCard(a bgp.Atom) float64 {
 // DistinctForVar estimates the number of distinct values variable v takes
 // in matches of atom a; planners use it to discount bound variables.
 func (st *Stats) DistinctForVar(a bgp.Atom, v uint32) float64 {
-	return st.distinctFor(a, v)
+	return st.distinctForOn(st.store, a, v)
+}
+
+// DistinctForVarOn is DistinctForVar reading pattern counts through src.
+func (st *Stats) DistinctForVarOn(src CountSource, a bgp.Atom, v uint32) float64 {
+	return st.distinctForOn(src, a, v)
 }
 
 // distinctFor estimates the number of distinct values variable v takes in
 // matches of atom a.
 func (st *Stats) distinctFor(a bgp.Atom, v uint32) float64 {
-	card := st.atomCardIgnoringRepeats(a)
+	return st.distinctForOn(st.store, a, v)
+}
+
+// distinctForOn estimates the number of distinct values variable v takes
+// in matches of atom a, with exact counts read through src.
+func (st *Stats) distinctForOn(src CountSource, a bgp.Atom, v uint32) float64 {
+	card := st.atomCardIgnoringRepeatsOn(src, a)
 	// Property-position variable: few distinct properties overall.
 	if a.P.Var && a.P.ID == v {
 		if n := len(st.props); n > 0 {
@@ -218,7 +255,7 @@ func (st *Stats) distinctFor(a bgp.Atom, v uint32) float64 {
 	return maxf(card, 1)
 }
 
-func (st *Stats) atomCardIgnoringRepeats(a bgp.Atom) float64 {
+func (st *Stats) atomCardIgnoringRepeatsOn(src CountSource, a bgp.Atom) float64 {
 	pat := storage.Pattern{}
 	if !a.S.Var {
 		pat.S = a.S.Const()
@@ -229,7 +266,7 @@ func (st *Stats) atomCardIgnoringRepeats(a bgp.Atom) float64 {
 	if !a.O.Var {
 		pat.O = a.O.Const()
 	}
-	return float64(st.PatternCount(pat))
+	return float64(st.PatternCountOn(src, pat))
 }
 
 func clampDistinct(d, card float64) float64 {

@@ -1,0 +1,283 @@
+// Snapshot is the lock-free read path of the store: an immutable,
+// version-stamped view captured once per query, over which arbitrarily
+// deep scan nesting is safe (no lock is held while reading) and range
+// lookups can hand out sorted subslices directly instead of driving a
+// per-triple callback under a mutex.
+//
+// The paper's setting evaluates reformulations with hundreds to
+// thousands of near-identical member CQs, each of which re-scans the
+// same triple table; a relational backend amortizes that with shared
+// scans and MVCC snapshots. Snapshot is this reproduction's equivalent:
+// the engine pins one Snapshot at the top of an evaluation and every
+// bind-join, statistics probe and shard worker reads through it.
+package storage
+
+import (
+	"sort"
+
+	"repro/internal/dict"
+)
+
+// Snapshot is an immutable view of a Store at one mutation version.
+// The sorted indexes are shared zero-copy with the store (mutations
+// always install fresh index slices, never write through old ones);
+// the small delta and tombstone sets are copied at capture time because
+// Add and Remove update them in place. All methods are safe for
+// concurrent use by any number of goroutines without synchronization,
+// and — unlike Store.Scan callbacks — may be nested freely and may run
+// concurrently with store mutations.
+type Snapshot struct {
+	version uint64
+	orders  []Order
+	indexes [numOrders][]Triple
+	delta   []Triple            // additions not yet compacted, in insertion order
+	deleted map[Triple]struct{} // tombstoned sorted entries
+	n       int
+}
+
+// Snapshot captures an immutable view of the store's current contents.
+// The capture cost is one read-lock acquisition plus a copy of the
+// (typically empty) delta and tombstone sets; on a frozen store it is a
+// handful of pointer copies.
+func (s *Store) Snapshot() *Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sn := &Snapshot{
+		version: s.version.Load(),
+		orders:  s.orders,
+		indexes: s.indexes,
+		n:       s.n + len(s.delta) - len(s.deleted),
+	}
+	if len(s.delta) > 0 {
+		sn.delta = append([]Triple(nil), s.delta...)
+	}
+	if len(s.deleted) > 0 {
+		sn.deleted = make(map[Triple]struct{}, len(s.deleted))
+		for t := range s.deleted {
+			sn.deleted[t] = struct{}{}
+		}
+	}
+	return sn
+}
+
+// Version returns the store mutation version the snapshot was captured
+// at. Two snapshots with equal versions have identical contents, which
+// is what lets version-stamped artifacts (statistics memos, plan-cache
+// entries) validated against a snapshot agree with validation against
+// the live store.
+func (sn *Snapshot) Version() uint64 { return sn.version }
+
+// Len returns the number of distinct triples visible in the snapshot.
+func (sn *Snapshot) Len() int { return sn.n }
+
+// Orders returns the index orders the snapshot carries.
+func (sn *Snapshot) Orders() []Order { return sn.orders }
+
+// indexFor picks an index whose sort prefix covers the bound positions
+// of the pattern (see Store.indexFor).
+func (sn *Snapshot) indexFor(p Pattern) ([]Triple, [3]int) {
+	return pickIndex(sn.orders, &sn.indexes, p)
+}
+
+// Contains reports whether the triple is visible in the snapshot.
+func (sn *Snapshot) Contains(t Triple) bool {
+	if _, dead := sn.deleted[t]; dead {
+		return false
+	}
+	for _, d := range sn.delta {
+		if d == t {
+			return true
+		}
+	}
+	p := Pattern{S: t.S, P: t.P, O: t.O}
+	idx, perm := sn.indexFor(p)
+	lo, hi := searchRange(idx, perm, p)
+	return hi > lo
+}
+
+// Scan calls f for every triple matching the pattern, stopping early if
+// f returns false, in exactly the order Store.Scan would produce: the
+// sorted range first, then matching delta triples in insertion order.
+// No lock is held; f may nest further snapshot reads and may run
+// concurrently with store mutations.
+func (sn *Snapshot) Scan(p Pattern, f func(Triple) bool) {
+	idx, perm := sn.indexFor(p)
+	lo, hi := searchRange(idx, perm, p)
+	sn.ScanRange(idx[lo:hi], p, f)
+}
+
+// ScanRange replays a sorted subrange previously located by Range or
+// MultiRange through the snapshot's residual filter, tombstones and
+// delta — producing exactly the triple sequence Scan(p) would, given
+// that sub is the sorted range Scan would have binary-searched.
+func (sn *Snapshot) ScanRange(sub []Triple, p Pattern, f func(Triple) bool) {
+	for _, t := range sub {
+		if !p.Matches(t) { // residual filter; no-op for covering indexes
+			continue
+		}
+		if len(sn.deleted) > 0 {
+			if _, dead := sn.deleted[t]; dead {
+				continue
+			}
+		}
+		if !f(t) {
+			return
+		}
+	}
+	for _, t := range sn.delta {
+		if p.Matches(t) {
+			if !f(t) {
+				return
+			}
+		}
+	}
+}
+
+// Range returns the triples matching p as a zero-copy sorted subslice,
+// when the subslice alone is provably the exact answer: the pattern's
+// bound positions are a sort prefix of the chosen index (no residual
+// filter), no tombstones exist, and no delta triple matches. ok=false
+// means the caller must fall back to Scan; on a frozen store with the
+// default index set, every pattern shape takes the ok path.
+func (sn *Snapshot) Range(p Pattern) (ts []Triple, ok bool) {
+	idx, perm := sn.indexFor(p)
+	if !coversBound(perm, p) {
+		return nil, false
+	}
+	if len(sn.deleted) > 0 {
+		return nil, false
+	}
+	for _, t := range sn.delta {
+		if p.Matches(t) {
+			return nil, false
+		}
+	}
+	lo, hi := searchRange(idx, perm, p)
+	return idx[lo:hi:hi], true
+}
+
+// Count returns the number of triples matching the pattern, exactly as
+// Store.Count would, without taking any lock.
+func (sn *Snapshot) Count(p Pattern) int {
+	idx, perm := sn.indexFor(p)
+	lo, hi := searchRange(idx, perm, p)
+	n := 0
+	if coversBound(perm, p) {
+		n = hi - lo
+	} else {
+		for _, t := range idx[lo:hi] {
+			if p.Matches(t) {
+				n++
+			}
+		}
+	}
+	for t := range sn.deleted {
+		if p.Matches(t) {
+			n--
+		}
+	}
+	for _, t := range sn.delta {
+		if p.Matches(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// MultiRange locates the sorted subranges of a family of patterns that
+// differ only in one constant — the shape a merged-member UCQ scan has:
+// g is the generalized pattern (the varying position left unbound), vpos
+// is the varying position (0=S, 1=P, 2=O) and consts are the constants,
+// in ascending order (equal repeats allowed). One pass narrows the
+// covering range of g left to right, so the whole family costs two
+// binary searches on the full index plus two per constant on the
+// remaining (ever-shrinking) range, instead of a full index lookup per
+// member.
+//
+// ok=false means the index layout does not support a shared pass for
+// this shape (the varying position is not the next sort position after
+// g's bound prefix, a residual filter would be needed, the chosen index
+// differs from the one per-pattern scans would use, or consts are not
+// sorted); callers then fall back to per-pattern scans. ranges[i] is the
+// sorted range for g with vpos bound to consts[i] — exactly the
+// subslice Range would return for that pattern, so it must be replayed
+// through ScanRange to apply tombstones and delta.
+//
+// dst, when non-nil, is reused as the backing for the returned ranges
+// slice (the per-range subslice headers are copied out by value, so a
+// caller looping over families may pass the previous result).
+func (sn *Snapshot) MultiRange(g Pattern, vpos int, consts []dict.ID, dst [][]Triple) (ranges [][]Triple, ok bool) {
+	if vpos < 0 || vpos > 2 || len(consts) == 0 {
+		return nil, false
+	}
+	idx, perm := sn.indexFor(g)
+	if !coversBound(perm, g) {
+		return nil, false
+	}
+	prefix := boundCount(g)
+	if prefix >= 3 || perm[prefix] != vpos {
+		return nil, false
+	}
+	// The member patterns must scan the same index in the same order,
+	// or the shared subranges would enumerate triples in a different
+	// sequence than per-member scans. A fully bound member pattern is
+	// exempt: its range holds at most one triple.
+	if prefix+1 < 3 {
+		m := withPos(g, vpos, consts[0])
+		if _, mperm := sn.indexFor(m); mperm != perm {
+			return nil, false
+		}
+	}
+	lo, hi := searchRange(idx, perm, g)
+	if cap(dst) >= len(consts) {
+		ranges = dst[:len(consts)]
+	} else {
+		ranges = make([][]Triple, len(consts))
+	}
+	cursor := lo
+	for i, c := range consts {
+		if i > 0 {
+			if c < consts[i-1] {
+				return nil, false
+			}
+			if c == consts[i-1] {
+				ranges[i] = ranges[i-1]
+				continue
+			}
+		}
+		sub := idx[cursor:hi]
+		l := sort.Search(len(sub), func(j int) bool { return key(sub[j])[vpos] >= c })
+		h := sort.Search(len(sub), func(j int) bool { return key(sub[j])[vpos] > c })
+		ranges[i] = sub[l:h:h]
+		cursor += h
+	}
+	return ranges, true
+}
+
+// boundCount returns the number of bound positions of the pattern.
+func boundCount(p Pattern) int {
+	n := 0
+	if p.S != dict.None {
+		n++
+	}
+	if p.P != dict.None {
+		n++
+	}
+	if p.O != dict.None {
+		n++
+	}
+	return n
+}
+
+// withPos returns p with position pos (0=S, 1=P, 2=O) set to id.
+func withPos(p Pattern, pos int, id dict.ID) Pattern {
+	switch pos {
+	case 0:
+		p.S = id
+	case 1:
+		p.P = id
+	default:
+		p.O = id
+	}
+	return p
+}

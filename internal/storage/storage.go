@@ -352,6 +352,16 @@ func (s *Store) containsLocked(t Triple) bool {
 // indexFor picks an index whose sort prefix covers the bound positions of
 // the pattern, so the matching triples form one contiguous range.
 func (s *Store) indexFor(p Pattern) ([]Triple, [3]int) {
+	//lint:ignore lockguard read-only borrow: every indexFor caller holds mu; pickIndex only reads through the pointer
+	return pickIndex(s.orders, &s.indexes, p)
+}
+
+// pickIndex implements indexFor for both Store and Snapshot: it returns
+// the first index whose sort prefix covers the bound positions of the
+// pattern, falling back to the first index (with a residual filter at
+// scan time) when no order covers them — possible with a custom order
+// set.
+func pickIndex(orders []Order, indexes *[numOrders][]Triple, p Pattern) ([]Triple, [3]int) {
 	bound := [3]bool{p.S != dict.None, p.P != dict.None, p.O != dict.None}
 	nBound := 0
 	for _, b := range bound {
@@ -359,7 +369,7 @@ func (s *Store) indexFor(p Pattern) ([]Triple, [3]int) {
 			nBound++
 		}
 	}
-	for _, o := range s.orders {
+	for _, o := range orders {
 		perm := o.perm()
 		ok := true
 		for i := 0; i < nBound; i++ {
@@ -369,12 +379,10 @@ func (s *Store) indexFor(p Pattern) ([]Triple, [3]int) {
 			}
 		}
 		if ok {
-			return s.indexes[o], perm
+			return indexes[o], perm
 		}
 	}
-	// No prefix-covering index (possible with a custom order set); fall
-	// back to the first index with a residual filter at scan time.
-	return s.indexes[s.orders[0]], s.orders[0].perm()
+	return indexes[orders[0]], orders[0].perm()
 }
 
 // searchRange returns the [lo, hi) range of triples matching the bound
@@ -408,8 +416,14 @@ func searchRange(idx []Triple, perm [3]int, p Pattern) (int, int) {
 
 // Scan calls f for every triple matching the pattern, stopping early if f
 // returns false. The sorted range is zero-copy; the delta is filtered.
-// f runs under the store's read lock and must not call mutating store
-// methods (Add, Remove, Compact, Freeze, Triples).
+//
+// Legacy locking contract: f runs under the store's read lock, must not
+// call mutating store methods (Add, Remove, Compact, Freeze, Triples),
+// and must not re-enter Scan/Count/Contains on the same store — nesting
+// read locks deadlocks as soon as a writer queues between the two
+// acquisitions. New read paths (the query engine since the snapshot
+// refactor) should capture a Snapshot and scan through it instead:
+// snapshot scans hold no lock, nest freely, and see a stable view.
 func (s *Store) Scan(p Pattern, f func(Triple) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

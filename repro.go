@@ -127,6 +127,11 @@ type Options struct {
 	// Parallelism is the worker count for evaluation and cover pricing;
 	// 0 uses all CPUs, 1 runs serially. Results are identical either way.
 	Parallelism int
+	// NoSharedScan disables the engine's shared-scan layer (pattern-scan
+	// memo, merged member scans, cross-member planning memos) — an
+	// ablation knob; answers and metrics are identical either way, only
+	// evaluation time changes.
+	NoSharedScan bool
 	// Trace, when non-nil, records every query's lifecycle (parse,
 	// optimize, reformulate, evaluate, with per-operator counters) as
 	// children of the given root span. nil disables tracing at zero cost.
@@ -388,6 +393,7 @@ func (s *Store) NewAnswerer(p Profile, opts Options) *Answerer {
 		MaxCovers:    opts.MaxCovers,
 		SearchBudget: opts.SearchBudget,
 		Parallelism:  opts.Parallelism,
+		NoSharedScan: opts.NoSharedScan,
 		Trace:        opts.Trace,
 		PlanCache:    opts.PlanCache,
 	})

@@ -8,7 +8,9 @@
 # breakdown from `benchall -stagejson`, asserts that disabled
 # tracing adds no allocations to the JUCQ hot path (tracealloc), and
 # always includes the plan-cache cold/warm pair with its hit rate
-# (cachedanswer). `make bench-json` and CI run exactly this script.
+# (cachedanswer) and the shared-scan on/off pair with its scan-cache hit
+# rate (sharedscan), after running the strict shared-vs-baseline
+# equality sweep. `make bench-json` and CI run exactly this script.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -58,6 +60,18 @@ if ! grep -q 'BenchmarkCachedAnswer/warm' "$raw"; then
     echo "==> cachedanswer: recording plan-cache cold/warm latency"
     go test -run '^$' -bench '^BenchmarkCachedAnswer$' -benchmem . | tee -a "$raw"
 fi
+
+# sharedscan: the shared-vs-baseline UCQ pair (with the scan-cache
+# hit-rate metric) and the store/snapshot/range scan triple must be in
+# every committed report. Re-run them on their own if a custom pattern
+# excluded them from the main sweep.
+if ! grep -q 'BenchmarkSharedScanUCQ' "$raw"; then
+    echo "==> sharedscan: recording shared-scan on/off latency"
+    go test -run '^$' -bench '^(BenchmarkSharedScanUCQ|BenchmarkSnapshotScan)$' -benchmem . | tee -a "$raw"
+fi
+
+echo "==> benchall -sharedscan (strict shared-vs-baseline equality sweep)"
+go run ./cmd/benchall -scale "$REPRO_BENCH_SCALE" -sharedscan
 
 echo "==> benchall -stagejson (traced per-stage breakdown)"
 go run ./cmd/benchall -scale "$REPRO_BENCH_SCALE" -stagejson "$stages"
