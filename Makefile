@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint bench bench-json check
+.PHONY: build test race vet lint lint-fix-fixtures bench bench-json check
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,12 @@ vet:
 	$(GO) vet ./...
 
 lint:
-	$(GO) run ./cmd/lint ./...
+	$(GO) run ./cmd/lint -jsonfile lint-findings.json ./...
+
+# lint-fix-fixtures regenerates the analyzer golden files after an
+# intentional change to fixture code or diagnostic messages.
+lint-fix-fixtures:
+	$(GO) test ./internal/lint -run 'TestAnalyzerFixtures|TestIgnoreDirectives|TestStaleDirectives$$' -update
 
 bench:
 	$(GO) test -bench=. -benchmem

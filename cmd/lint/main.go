@@ -6,7 +6,15 @@
 // Usage:
 //
 //	go run ./cmd/lint ./...
-//	go run ./cmd/lint -analyzers panicfree,droppederr ./internal/...
+//	go run ./cmd/lint -run deferunlock,tracezero ./internal/...
+//	go run ./cmd/lint -json ./... | jq .file
+//	go run ./cmd/lint -jsonfile lint.json ./...
+//
+// Packages load and analyze in parallel on a bounded worker pool
+// (-workers, default GOMAXPROCS). Full-suite runs also report stale
+// //lint:ignore directives — suppressions whose analyzer no longer
+// fires at that line; subset runs (-run/-analyzers) cannot judge
+// staleness and skip the check.
 package main
 
 import (
@@ -21,7 +29,11 @@ import (
 
 func main() {
 	analyzers := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	runFilter := flag.String("run", "", "alias of -analyzers")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "print one JSON object per finding instead of vet format")
+	jsonFile := flag.String("jsonfile", "", "also write the findings as JSONL to this file (CI artifact)")
+	workers := flag.Int("workers", 0, "package load/analysis parallelism (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -32,9 +44,11 @@ func main() {
 	}
 
 	selected := lint.All()
-	if *analyzers != "" {
+	subset := false
+	if names := pickFilter(*analyzers, *runFilter); names != "" {
+		subset = true
 		var unknown []string
-		selected, unknown = lint.ByName(strings.Split(*analyzers, ","))
+		selected, unknown = lint.ByName(strings.Split(names, ","))
 		if len(unknown) > 0 {
 			fmt.Fprintf(os.Stderr, "lint: unknown analyzers: %s\n", strings.Join(unknown, ", "))
 			os.Exit(2)
@@ -51,6 +65,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lint: %v\n", err)
 		os.Exit(2)
 	}
+	loader.Workers = *workers
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -62,13 +77,48 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags := lint.Run(pkgs, selected)
-	for _, line := range lint.Format(diags, root) {
+	// Stale-directive reporting needs the full suite: under a subset, a
+	// silent directive may simply name an analyzer that did not run.
+	diags := lint.RunWith(pkgs, selected, lint.Options{
+		Workers:     *workers,
+		ReportStale: !subset,
+	})
+
+	lines := lint.Format(diags, root)
+	if *jsonOut {
+		lines = lint.FormatJSON(diags, root)
+	}
+	for _, line := range lines {
 		fmt.Println(line)
+	}
+	if *jsonFile != "" {
+		text := strings.Join(lint.FormatJSON(diags, root), "\n")
+		if len(diags) > 0 {
+			text += "\n"
+		}
+		if err := os.WriteFile(*jsonFile, []byte(text), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "lint: writing %s: %v\n", *jsonFile, err)
+			os.Exit(2)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "lint: %d finding(s)\n", len(diags))
 		os.Exit(1)
+	}
+}
+
+// pickFilter merges the -analyzers and -run spellings; both set rejects
+// ambiguity unless they agree.
+func pickFilter(a, r string) string {
+	switch {
+	case a == "":
+		return r
+	case r == "" || r == a:
+		return a
+	default:
+		fmt.Fprintln(os.Stderr, "lint: -analyzers and -run disagree; pass one")
+		os.Exit(2)
+		return ""
 	}
 }
 

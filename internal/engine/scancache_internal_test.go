@@ -44,6 +44,50 @@ func TestScanCacheBasics(t *testing.T) {
 	}
 }
 
+// release must fully reset the recycled cache: the entry budget, every
+// seen-once tag mark, and the shard maps. A stale seen mark only shifts
+// when a pattern gets cached, but a stale map entry would replay
+// triples from another evaluation's snapshot — and the tag-table reset
+// must go through the slots' atomic Store API, not a wholesale clear()
+// (the atomicmix analyzer enforces the latter; this test the former).
+func TestScanCacheReleaseResets(t *testing.T) {
+	c := newScanCache()
+	p := storage.Pattern{S: 5, P: 6}
+	if c.seenBefore(p) {
+		t.Fatalf("fresh cache reports pattern already seen")
+	}
+	if !c.seenBefore(p) {
+		t.Fatalf("second scan of the pattern not reported seen")
+	}
+	c.put(p, []storage.Triple{{S: 5, P: 6, O: 7}})
+	if c.entries.Load() == 0 {
+		t.Fatalf("put did not account an entry")
+	}
+
+	c.release()
+	if got := c.entries.Load(); got != 0 {
+		t.Fatalf("released cache keeps entry count %d", got)
+	}
+	for i := range c.seen {
+		if c.seen[i].Load() != 0 {
+			t.Fatalf("released cache keeps seen mark in slot %d", i)
+		}
+	}
+	if _, ok := c.get(p); ok {
+		t.Fatalf("released cache still serves a cached entry")
+	}
+	if c.seenBefore(p) {
+		t.Fatalf("released cache still reports the pattern seen")
+	}
+	// The probe above re-marked its slot on the now-pooled cache (release
+	// already returned it); scrub the table directly rather than calling
+	// release again, which would put the same cache into the pool twice
+	// and hand one copy to a test while another test still mutates it.
+	for i := range c.seen {
+		c.seen[i].Store(0)
+	}
+}
+
 func TestScanCacheEntryCap(t *testing.T) {
 	c := newScanCache()
 	c.entries.Store(maxScanCacheEntries)

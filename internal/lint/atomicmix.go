@@ -1,0 +1,209 @@
+package lint
+
+// atomicmix enforces the all-or-nothing rule of sync/atomic: once a
+// word is accessed atomically anywhere, every access must be atomic.
+// Mixed access is a data race even when it "works" — the race detector
+// only catches the interleavings a test happens to schedule, while this
+// analyzer catches the pattern statically. Three shapes are banned:
+//
+//  1. A variable or field passed by address to a sync/atomic function
+//     (atomic.AddInt64(&x, 1)) that is also read or written directly
+//     elsewhere in the package.
+//  2. clear() over a slice or array whose elements are sync/atomic
+//     types — a wholesale non-atomic store racing any concurrent
+//     Load/Store on the elements (vet's copylocks misses this one).
+//  3. Wholesale assignment to an lvalue whose type is (or is an array
+//     of) a sync/atomic type — overwriting atomics non-atomically.
+//
+// Plain single-goroutine code that never touches sync/atomic is
+// untouched; the rule activates per variable, on first atomic use.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "report non-atomic reads/writes of variables that are accessed through " +
+		"sync/atomic elsewhere (mixed access is a data race)",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	info := pass.TypesInfo()
+
+	// Pass 1: collect every variable object whose address escapes into
+	// a sync/atomic call, and remember those use sites as sanctioned.
+	atomicVars := make(map[*types.Var]ast.Expr) // object -> one atomic use (for the message)
+	sanctioned := make(map[ast.Expr]bool)       // operand exprs inside atomic calls
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFunc(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if v := varOf(info, un.X); v != nil {
+					if _, seen := atomicVars[v]; !seen {
+						atomicVars[v] = un.X
+					}
+					sanctioned[ast.Unparen(un.X)] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				// Construction initializes fields before any reader can
+				// hold the address; keyed initialization is sanctioned.
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						sanctioned[ast.Unparen(kv.Key)] = true
+					}
+				}
+			case *ast.Ident:
+				if sanctioned[n] || info.Defs[n] != nil {
+					return false // declaration or sanctioned use, not an access
+				}
+				v := varOf(info, n)
+				if v == nil || v.IsField() {
+					// A bare ident never denotes a field access; field
+					// reads arrive as SelectorExpr below.
+					return true
+				}
+				if _, tracked := atomicVars[v]; !tracked {
+					return true
+				}
+				pass.Reportf(n.Pos(), "%s is accessed with sync/atomic elsewhere; this non-atomic access races with it",
+					n.Name)
+				return false
+			case *ast.SelectorExpr:
+				if sanctioned[n] {
+					return false
+				}
+				v := varOf(info, n)
+				if v == nil {
+					return true
+				}
+				if _, tracked := atomicVars[v]; !tracked {
+					return true
+				}
+				// &x to re-feed another atomic call was sanctioned in
+				// pass 1; any other appearance is a mixed access.
+				name := pathText(n)
+				if name == "" {
+					name = v.Name()
+				}
+				pass.Reportf(n.Pos(), "%s is accessed with sync/atomic elsewhere; this non-atomic access races with it",
+					name)
+				return false
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "clear" && info.Uses[id] != nil {
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) == 1 {
+						if t, ok := info.Types[n.Args[0]]; ok && elemContainsAtomic(t.Type) {
+							pass.Reportf(n.Pos(), "clear() stores zeros non-atomically into sync/atomic values; use an element-wise Store loop")
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				if n.Tok != token.ASSIGN {
+					return true // := defines fresh storage no reader can hold yet
+				}
+				for _, lhs := range n.Lhs {
+					if t, ok := info.Types[lhs]; ok && containsAtomic(t.Type) {
+						pass.Reportf(lhs.Pos(), "wholesale assignment overwrites a sync/atomic value non-atomically; use Store")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// varOf resolves an ident or selector to the variable (or field) object
+// it denotes, or nil. Field objects are shared across instances, which
+// makes the mixed-access rule per-field: atomically touching t1.n and
+// plainly touching t2.n of the same struct type is still a finding,
+// because the discipline is a property of the field, not the instance.
+func varOf(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+		if v, ok := info.Defs[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				return v
+			}
+			return nil
+		}
+		// Package-qualified var (pkg.V).
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// isAtomicFunc reports whether the call is to a function in sync/atomic
+// (the free functions; the typed atomics are method-based and enforce
+// themselves).
+func isAtomicFunc(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// isAtomicType reports whether t is one of sync/atomic's typed values.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// containsAtomic reports whether t is an atomic type or an array
+// (nested arbitrarily) of one.
+func containsAtomic(t types.Type) bool {
+	if isAtomicType(t) {
+		return true
+	}
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		return containsAtomic(arr.Elem())
+	}
+	return false
+}
+
+// elemContainsAtomic reports whether a clear()-able value (slice or
+// map) has elements holding atomics.
+func elemContainsAtomic(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return containsAtomic(u.Elem())
+	case *types.Map:
+		return containsAtomic(u.Elem())
+	}
+	return false
+}

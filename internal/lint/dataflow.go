@@ -1,0 +1,220 @@
+package lint
+
+// This file is the dataflow layer on top of the CFG: a forward
+// worklist solver over small interned fact sets. An analyzer defines a
+// problem by giving a transfer function (applied node by node inside a
+// block) and, optionally, an edge filter that refines facts along
+// branch edges (the piece nil-check guards need). Facts are opaque to
+// the solver — analyzers intern whatever values identify their facts
+// (a lock site, a guarded expression path) and get back dense IDs that
+// the solver tracks in per-block bitsets.
+//
+// Two join modes cover the analyzers here:
+//
+//   - JoinUnion ("may"): a fact holds at a point if it holds on ANY
+//     path there. deferunlock uses it — a lock that MAY still be held
+//     at exit is a finding.
+//   - JoinIntersect ("must"): a fact holds only if it holds on EVERY
+//     path. tracezero and versionstamp use it — a guard or a version
+//     read only counts if no path dodges it. Unreached blocks start at
+//     TOP (all facts) so intersection over-approximates until real
+//     inputs arrive; the worklist converges because transfer and join
+//     are monotone and the fact space is finite.
+
+import "go/ast"
+
+// JoinMode selects how facts merge where paths meet.
+type JoinMode uint8
+
+const (
+	JoinUnion     JoinMode = iota // fact holds on some path
+	JoinIntersect                 // fact holds on every path
+)
+
+// FactSet is a bitset over interned fact IDs.
+type FactSet struct {
+	bits []uint64
+	// top marks the lattice TOP element of a must-analysis: the state
+	// of a block no path has reached yet, which intersects as identity.
+	top bool
+}
+
+// Has reports whether fact id is in the set.
+func (fs *FactSet) Has(id int) bool {
+	if fs.top {
+		return true
+	}
+	w := id >> 6
+	return w < len(fs.bits) && fs.bits[w]&(1<<(uint(id)&63)) != 0
+}
+
+// Add inserts fact id.
+func (fs *FactSet) Add(id int) {
+	if fs.top {
+		return
+	}
+	w := id >> 6
+	for len(fs.bits) <= w {
+		fs.bits = append(fs.bits, 0)
+	}
+	fs.bits[w] |= 1 << (uint(id) & 63)
+}
+
+// Remove deletes fact id. Removing from TOP is not meaningful for the
+// analyzers here (they never kill before the state is reached), so TOP
+// absorbs it.
+func (fs *FactSet) Remove(id int) {
+	if fs.top {
+		return
+	}
+	w := id >> 6
+	if w < len(fs.bits) {
+		fs.bits[w] &^= 1 << (uint(id) & 63)
+	}
+}
+
+// Empty reports whether the set holds no facts (TOP is never empty).
+func (fs *FactSet) Empty() bool {
+	if fs.top {
+		return false
+	}
+	for _, w := range fs.bits {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// clone returns an independent copy.
+func (fs *FactSet) clone() *FactSet {
+	c := &FactSet{top: fs.top}
+	if len(fs.bits) > 0 {
+		c.bits = append([]uint64(nil), fs.bits...)
+	}
+	return c
+}
+
+// join merges other into fs under the given mode, reporting change.
+func (fs *FactSet) join(other *FactSet, mode JoinMode) bool {
+	if mode == JoinUnion {
+		changed := false
+		for len(fs.bits) < len(other.bits) {
+			fs.bits = append(fs.bits, 0)
+		}
+		for i, w := range other.bits {
+			if nw := fs.bits[i] | w; nw != fs.bits[i] {
+				fs.bits[i] = nw
+				changed = true
+			}
+		}
+		return changed
+	}
+	// Intersection: TOP is identity.
+	if other.top {
+		return false
+	}
+	if fs.top {
+		fs.top = false
+		fs.bits = append(fs.bits[:0], other.bits...)
+		return true
+	}
+	changed := false
+	for i := range fs.bits {
+		var w uint64
+		if i < len(other.bits) {
+			w = other.bits[i]
+		}
+		if nw := fs.bits[i] & w; nw != fs.bits[i] {
+			fs.bits[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Problem defines a forward dataflow problem over one CFG.
+type Problem struct {
+	Join JoinMode
+	// Transfer applies one node's effect to the running fact set.
+	Transfer func(n ast.Node, fs *FactSet)
+	// EdgeFilter, when non-nil, refines the fact set propagated along a
+	// branch edge (after the source block's transfer). It may add or
+	// remove facts based on the edge condition.
+	EdgeFilter func(e Edge, fs *FactSet)
+}
+
+// Flow holds the solved per-block states of one problem on one CFG.
+type Flow struct {
+	cfg  *CFG
+	prob *Problem
+	// in[i] is the fact set at entry of block i, after convergence.
+	in []*FactSet
+}
+
+// solve runs the worklist to a fixed point.
+func solve(g *CFG, prob *Problem) *Flow {
+	f := &Flow{cfg: g, prob: prob, in: make([]*FactSet, len(g.Blocks))}
+	for i := range f.in {
+		f.in[i] = &FactSet{top: prob.Join == JoinIntersect}
+	}
+	// Entry starts empty in both modes: no fact holds before the
+	// function begins.
+	f.in[g.Entry.Index] = &FactSet{}
+
+	// Iterate in block-creation order, which the builder emits roughly
+	// topologically; the worklist handles back edges.
+	work := make([]*Block, 0, len(g.Blocks))
+	inWork := make([]bool, len(g.Blocks))
+	push := func(b *Block) {
+		if !inWork[b.Index] {
+			inWork[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	push(g.Entry)
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		inWork[b.Index] = false
+		out := f.in[b.Index].clone()
+		for _, n := range b.Nodes {
+			prob.Transfer(n, out)
+		}
+		for _, e := range b.Succs {
+			cur := out
+			if prob.EdgeFilter != nil {
+				cur = out.clone()
+				prob.EdgeFilter(e, cur)
+			}
+			if f.in[e.To.Index].join(cur, prob.Join) {
+				push(e.To)
+			}
+		}
+	}
+	return f
+}
+
+// At returns the converged fact set at the entry of the block.
+func (f *Flow) At(b *Block) *FactSet { return f.in[b.Index] }
+
+// Walk replays the transfer function over every live block, calling
+// visit with each node and the fact state holding immediately BEFORE
+// that node executes. Reporting passes use it to ask "was the guard
+// fact present when this call ran".
+func (f *Flow) Walk(visit func(n ast.Node, before *FactSet)) {
+	for _, b := range f.cfg.Blocks {
+		if !b.Live {
+			continue
+		}
+		fs := f.in[b.Index].clone()
+		for _, n := range b.Nodes {
+			visit(n, fs)
+			f.prob.Transfer(n, fs)
+		}
+	}
+}
+
+// ExitFacts returns the converged fact set at the synthetic exit block
+// — what a may-analysis reports as "still possible at return/panic".
+func (f *Flow) ExitFacts() *FactSet { return f.in[f.cfg.Exit.Index] }

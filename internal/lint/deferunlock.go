@@ -1,0 +1,181 @@
+package lint
+
+// deferunlock is the first CFG-backed analyzer: every sync.Mutex /
+// sync.RWMutex Lock or RLock must be released on every path out of the
+// function — either by a defer registered on that path or by an inline
+// Unlock/RUnlock on each way to return (explicit, implicit, or panic).
+// The lockguard analyzer (PR 1) checks that guarded state is only
+// written under a lock; this one checks the dual: an acquired lock
+// cannot leak past the function. A leaked read-lock is as fatal as a
+// leaked write-lock here — the store's Compact and Freeze take the
+// write side and would stall forever.
+//
+// The analysis is a may-analysis (JoinUnion): a fact "lock L acquired
+// at P is still held" is generated at the Lock call and killed by an
+// Unlock on the same mutex path or by registering a deferred unlock
+// (including a deferred closure whose body unlocks it). Any fact that
+// reaches the synthetic exit block means some path leaks the lock, and
+// the Lock site is reported once.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+var DeferUnlock = &Analyzer{
+	Name: "deferunlock",
+	Doc: "report Lock/RLock calls not released on every path to return or panic, " +
+		"by defer or by inline unlocks",
+	Run: runDeferUnlock,
+}
+
+// lockFact is one interned "lock acquired here" fact.
+type lockFact struct {
+	key  string // mutex pathKey + mode suffix
+	text string // mutex source text for the message
+	read bool
+	pos  token.Pos
+}
+
+func runDeferUnlock(pass *Pass) {
+	for _, fb := range funcBodies(pass.Pkg) {
+		checkFuncLocks(pass, fb.body)
+	}
+}
+
+func checkFuncLocks(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo()
+
+	// Interned facts of this function; byMutex maps a mutex path+mode
+	// to every lock site on it so an unlock kills all of them.
+	var facts []lockFact
+	byMutex := make(map[string][]int)
+
+	intern := func(call *ast.CallExpr, recv ast.Expr, read bool) int {
+		key := pathKey(info, recv)
+		if key == "" {
+			return -1
+		}
+		if read {
+			key += "#r"
+		} else {
+			key += "#w"
+		}
+		id := len(facts)
+		facts = append(facts, lockFact{key: key, text: pathText(recv), read: read, pos: call.Pos()})
+		byMutex[key] = append(byMutex[key], id)
+		return id
+	}
+
+	// lockOp classifies a call as a lock or unlock on a mutex path.
+	lockOp := func(n ast.Node) (call *ast.CallExpr, recv ast.Expr, name string, ok bool) {
+		c, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return nil, nil, "", false
+		}
+		r, m, isMethod := methodCall(c)
+		if !isMethod {
+			return nil, nil, "", false
+		}
+		switch m {
+		case "Lock", "RLock", "Unlock", "RUnlock":
+		default:
+			return nil, nil, "", false
+		}
+		tv, okType := info.Types[r]
+		if !okType || !isMutexType(tv.Type) {
+			return nil, nil, "", false
+		}
+		return c, r, m, true
+	}
+
+	killAll := func(fs *FactSet, key string) {
+		for _, id := range byMutex[key] {
+			fs.Remove(id)
+		}
+	}
+
+	// applyUnlocks kills facts for every unlock call in the subtree
+	// (used for deferred closures, whose body runs at exit).
+	applyUnlocks := func(n ast.Node, fs *FactSet) {
+		inspectShallow(n, func(m ast.Node) bool {
+			if _, recv, name, ok := lockOp(m); ok {
+				switch name {
+				case "Unlock":
+					killAll(fs, pathKey(info, recv)+"#w")
+				case "RUnlock":
+					killAll(fs, pathKey(info, recv)+"#r")
+				}
+			}
+			return true
+		})
+	}
+
+	// Pre-intern every lock site in source order so fact IDs are stable
+	// across the two transfer passes (solve, then Walk for reporting —
+	// reporting is not needed here, but pre-interning keeps Transfer
+	// pure: interning inside Transfer would alias IDs across re-runs of
+	// the same block by the worklist).
+	interned := make(map[*ast.CallExpr]int)
+	inspectShallow(body, func(n ast.Node) bool {
+		if call, recv, name, ok := lockOp(n); ok && (name == "Lock" || name == "RLock") {
+			interned[call] = intern(call, recv, name == "RLock")
+		}
+		return true
+	})
+	if len(facts) == 0 {
+		return
+	}
+
+	transfer := func(n ast.Node, fs *FactSet) {
+		// A defer runs at function exit on every outcome; registering
+		// one on a path discharges the obligation for that path.
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if _, recv, name, ok := lockOp(d.Call); ok {
+				switch name {
+				case "Unlock":
+					killAll(fs, pathKey(info, recv)+"#w")
+				case "RUnlock":
+					killAll(fs, pathKey(info, recv)+"#r")
+				}
+				return
+			}
+			if fl, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				applyUnlocks(fl.Body, fs)
+			}
+			return
+		}
+		inspectShallow(n, func(m ast.Node) bool {
+			call, recv, name, ok := lockOp(m)
+			if !ok {
+				return true
+			}
+			switch name {
+			case "Lock", "RLock":
+				if id, known := interned[call]; known && id >= 0 {
+					fs.Add(id)
+				}
+			case "Unlock":
+				killAll(fs, pathKey(info, recv)+"#w")
+			case "RUnlock":
+				killAll(fs, pathKey(info, recv)+"#r")
+			}
+			return true
+		})
+	}
+
+	g := pass.CFG(body)
+	flow := solve(g, &Problem{Join: JoinUnion, Transfer: transfer})
+	exit := flow.ExitFacts()
+	for id, f := range facts {
+		if !exit.Has(id) {
+			continue
+		}
+		op, un := "Lock", "Unlock"
+		if f.read {
+			op, un = "RLock", "RUnlock"
+		}
+		pass.Reportf(f.pos, "%s.%s() is not released on every path out of the function; add defer %s.%s() or unlock on each path",
+			f.text, op, f.text, un)
+	}
+}

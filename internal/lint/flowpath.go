@@ -1,0 +1,148 @@
+package lint
+
+// Shared helpers for the flow-sensitive analyzers: rendering ident /
+// selector chains ("ctx.span", "s.mu") into stable keys that dataflow
+// facts can be interned under, and walking statement subtrees without
+// crossing into nested function literals (a closure body has its own
+// CFG and is analyzed as its own function).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pathKey renders an ident/selector chain as a stable fact key. The
+// root identifier is keyed by its types.Object identity, so two
+// same-named variables in different scopes never alias a fact, and the
+// trailing field names are appended literally ("0xc0000a1b2c.span").
+// Expressions that are not plain chains (index, call, dereference
+// results) return "": the analyzers treat them conservatively.
+func pathKey(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return ""
+		}
+		return fmt.Sprintf("%p", obj)
+	case *ast.SelectorExpr:
+		base := pathKey(info, e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// pathText renders an ident/selector chain as source text for
+// diagnostics ("ctx.span"); non-chain expressions render as "".
+func pathText(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := pathText(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// pathInvalidates reports whether writing to the path with key w
+// invalidates a fact about the path with key f: the same path, a
+// prefix of it (writing ctx clobbers ctx.span), or an extension
+// (writing ctx.span clobbers a fact about ctx only if the fact is
+// about ctx.span itself — extensions do not invalidate shorter paths).
+func pathInvalidates(w, f string) bool {
+	return w == f || strings.HasPrefix(f, w+".")
+}
+
+// inspectShallow walks the subtree of n in source order, calling visit
+// for every node but never descending into the body of a function
+// literal (the literal node itself is visited). visit returns false to
+// prune the walk below a node.
+func inspectShallow(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if !visit(n) {
+			return false
+		}
+		if fl, ok := n.(*ast.FuncLit); ok {
+			visit(fl.Type)
+			return false
+		}
+		return true
+	})
+}
+
+// funcBodies returns every function body of the package — declarations
+// and function literals — each paired with the position its diagnostic
+// context starts at. Function literal bodies are separate entries and
+// are NOT reachable through their enclosing entry's walk, mirroring the
+// CFG builder's treatment of closures as opaque values.
+type funcBody struct {
+	// decl is the enclosing declaration (for receiver/parameter
+	// context); nil for a function literal at package level (impossible
+	// in practice) and set to the lexically enclosing declaration for
+	// nested literals.
+	decl *ast.FuncDecl
+	// lit is the function literal, nil for a declaration's own body.
+	lit  *ast.FuncLit
+	body *ast.BlockStmt
+}
+
+func funcBodies(pkg *Package) []funcBody {
+	var out []funcBody
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, funcBody{decl: fd, body: fd.Body})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					out = append(out, funcBody{decl: fd, lit: fl, body: fl.Body})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// namedIn reports whether t (after stripping one pointer) is a named
+// type with the given name declared in a package whose base name
+// matches pkgName.
+func namedIn(t types.Type, pkgName, typeName string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// methodCall decomposes a call of the form <recv>.<name>(...) and
+// returns the receiver expression and method name; ok is false for
+// plain function calls.
+func methodCall(call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}

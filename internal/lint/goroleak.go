@@ -1,0 +1,199 @@
+package lint
+
+// goroleak targets the goroutine-leak class PR 3 fixed by hand in the
+// ECov pool: goroutines launched inside a loop multiply, so each one
+// must be joinable (WaitGroup Add/Done pairing) or abortable (a select
+// that can be released by a channel, or a range over a channel that the
+// producer closes). A loop-launched goroutine with neither can
+// accumulate without bound and outlive the query that spawned it.
+//
+// Two rules:
+//
+//  1. A `go` statement lexically inside a for/range loop must launch a
+//     closure that (a) calls Done on some WaitGroup, (b) contains a
+//     select statement (abort-channel pattern), or (c) ranges over a
+//     channel (drains until close). Launching a named function in a
+//     loop is reported too: the analyzer cannot see its body, so the
+//     call site must either wrap it in a compliant closure or carry a
+//     justified //lint:ignore.
+//
+//  2. Any closure launched with `go` that calls wg.Done() must be
+//     preceded by a wg.Add(...) on the same WaitGroup on EVERY path
+//     from function entry to the `go` statement (a must-dataflow
+//     check). Done without a guaranteed Add panics the WaitGroup or —
+//     worse — lets Wait return early.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "report loop-launched goroutines without WaitGroup pairing or an abort " +
+		"channel, and WaitGroup.Done goroutines not preceded by Add on every path",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	for _, fb := range funcBodies(pass.Pkg) {
+		checkFuncGoroutines(pass, fb.body)
+	}
+}
+
+func checkFuncGoroutines(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo()
+
+	// Collect the go statements of this body (not of nested closures)
+	// with their loop-nesting context.
+	type goSite struct {
+		stmt   *ast.GoStmt
+		inLoop bool
+	}
+	var sites []goSite
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false // separate function, separate analysis
+			case *ast.ForStmt:
+				walk(m.Body, true)
+				return false
+			case *ast.RangeStmt:
+				walk(m.Body, true)
+				return false
+			case *ast.GoStmt:
+				sites = append(sites, goSite{stmt: m, inLoop: inLoop})
+				// Do not descend: a nested `go` inside the closure
+				// belongs to the closure's own analysis.
+				return false
+			}
+			return true
+		})
+	}
+	walk(body, false)
+	if len(sites) == 0 {
+		return
+	}
+
+	// Must-dataflow: fact i = "Add was called on WaitGroup path
+	// addKeys[i] on every path to here".
+	var addKeys []string
+	addID := make(map[string]int)
+	internAdd := func(key string) int {
+		if id, ok := addID[key]; ok {
+			return id
+		}
+		id := len(addKeys)
+		addID[key] = id
+		addKeys = append(addKeys, key)
+		return id
+	}
+	wgCall := func(n ast.Node, method string) (string, bool) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return "", false
+		}
+		recv, name, ok := methodCall(call)
+		if !ok || name != method {
+			return "", false
+		}
+		tv, ok := info.Types[recv]
+		if !ok || !namedIn(tv.Type, "sync", "WaitGroup") {
+			return "", false
+		}
+		return pathKey(info, recv), true
+	}
+	// Pre-intern the Add sites so Transfer never mutates the tables.
+	inspectShallow(body, func(n ast.Node) bool {
+		if key, ok := wgCall(n, "Add"); ok && key != "" {
+			internAdd(key)
+		}
+		return true
+	})
+
+	transfer := func(n ast.Node, fs *FactSet) {
+		inspectShallow(n, func(m ast.Node) bool {
+			if key, ok := wgCall(m, "Add"); ok && key != "" {
+				if id, known := addID[key]; known {
+					fs.Add(id)
+				}
+			}
+			return true
+		})
+	}
+	g := pass.CFG(body)
+	flow := solve(g, &Problem{Join: JoinIntersect, Transfer: transfer})
+
+	// addBefore[goStmt] = set of WaitGroup keys guaranteed Added before
+	// the statement runs, from the converged must-facts.
+	addBefore := make(map[*ast.GoStmt]map[string]bool)
+	flow.Walk(func(n ast.Node, before *FactSet) {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return
+		}
+		keys := make(map[string]bool)
+		for id, key := range addKeys {
+			if before.Has(id) {
+				keys[key] = true
+			}
+		}
+		addBefore[gs] = keys
+	})
+
+	for _, site := range sites {
+		fl, isClosure := ast.Unparen(site.stmt.Call.Fun).(*ast.FuncLit)
+		if !isClosure {
+			if site.inLoop {
+				pass.Reportf(site.stmt.Pos(), "goroutine launched in a loop calls a named function; the analyzer cannot prove it is joinable — wrap it in a closure with WaitGroup pairing or an abort channel")
+			}
+			continue
+		}
+		doneKeys, hasSelect, rangesChan := closureJoinability(info, fl)
+		if len(doneKeys) > 0 {
+			// Rule 2: every Done needs an Add guaranteed before launch.
+			guaranteed := addBefore[site.stmt]
+			for key, text := range doneKeys {
+				if key == "" || !guaranteed[key] {
+					pass.Reportf(site.stmt.Pos(), "goroutine calls %s.Done() but no %s.Add() is guaranteed on every path before the go statement",
+						text, text)
+				}
+			}
+			continue
+		}
+		if site.inLoop && !hasSelect && !rangesChan {
+			pass.Reportf(site.stmt.Pos(), "goroutine launched in a loop has no WaitGroup.Done, abort-channel select, or channel range; it can leak")
+		}
+	}
+}
+
+// closureJoinability inspects a go'd closure body for the three
+// joinability signals: WaitGroup.Done calls (keyed by WaitGroup path,
+// mapped to source text), a select statement, or a range over a
+// channel. Nested closures launched inside are their own problem and
+// are not descended into.
+func closureJoinability(info *types.Info, fl *ast.FuncLit) (doneKeys map[string]string, hasSelect, rangesChan bool) {
+	doneKeys = make(map[string]string)
+	inspectShallow(fl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if recv, name, ok := methodCall(n); ok && name == "Done" {
+				if tv, ok := info.Types[recv]; ok && namedIn(tv.Type, "sync", "WaitGroup") {
+					doneKeys[pathKey(info, recv)] = pathText(recv)
+				}
+			}
+		case *ast.SelectStmt:
+			hasSelect = true
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					rangesChan = true
+				}
+			}
+		}
+		return true
+	})
+	return doneKeys, hasSelect, rangesChan
+}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/token"
 	"strings"
 )
@@ -58,23 +59,53 @@ func (d directive) suppresses(diag Diagnostic) bool {
 	return d.pos.Line == diag.Pos.Line || d.pos.Line == diag.Pos.Line-1
 }
 
-// filterSuppressed drops diagnostics covered by a well-formed directive.
-func filterSuppressed(diags []Diagnostic, dirs []directive) []Diagnostic {
+// filterSuppressed drops diagnostics covered by a well-formed
+// directive, marking every directive that suppressed at least one
+// finding in used (indexed like dirs) so the driver can report the
+// stale ones.
+func filterSuppressed(diags []Diagnostic, dirs []directive, used []bool) []Diagnostic {
 	if len(dirs) == 0 {
 		return diags
 	}
 	var out []Diagnostic
 	for _, diag := range diags {
 		suppressed := false
-		for _, d := range dirs {
+		for i, d := range dirs {
 			if d.suppresses(diag) {
 				suppressed = true
-				break
+				used[i] = true
+				// Keep scanning: overlapping directives each count as
+				// used, so neither is falsely reported stale.
 			}
 		}
 		if !suppressed {
 			out = append(out, diag)
 		}
+	}
+	return out
+}
+
+// staleDirectives reports well-formed directives that suppressed
+// nothing: once the code they excused is fixed or gone, a lingering
+// ignore is a trap for the next edit. Only directives naming an
+// analyzer in the run set are judged (a directive for an analyzer that
+// did not run is silent, not stale); "*" directives are judged against
+// whatever did run, so callers should enable stale reporting only for
+// full-suite runs.
+func staleDirectives(dirs []directive, used []bool, runset map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for i, d := range dirs {
+		if d.bad || used[i] {
+			continue
+		}
+		if d.analyzer != "*" && !runset[d.analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      d.pos,
+			Analyzer: "ignore",
+			Message:  fmt.Sprintf("stale directive: no %s finding is suppressed here; remove it", d.analyzer),
+		})
 	}
 	return out
 }

@@ -20,13 +20,16 @@
 package lint
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding of one analyzer.
@@ -74,20 +77,101 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Funcs returns every function and method declaration of the package
+// that has a body, in file and source order.
+func (p *Pass) Funcs() []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// CFG returns the control-flow graph of a function (or function
+// literal) body, memoized on the package so every flow-sensitive
+// analyzer of a run shares one graph per function.
+func (p *Pass) CFG(body *ast.BlockStmt) *CFG {
+	pkg := p.Pkg
+	pkg.cfgMu.Lock()
+	defer pkg.cfgMu.Unlock()
+	if g, ok := pkg.cfgs[body]; ok {
+		return g
+	}
+	g := buildCFG(body)
+	if pkg.cfgs == nil {
+		pkg.cfgs = make(map[*ast.BlockStmt]*CFG)
+	}
+	pkg.cfgs[body] = g
+	return g
+}
+
+// Options configures a driver run.
+type Options struct {
+	// Workers bounds the number of packages analyzed concurrently
+	// (0 means GOMAXPROCS). Analyzers over one package always run
+	// sequentially, in registry order.
+	Workers int
+	// ReportStale reports well-formed //lint:ignore directives that
+	// suppressed no finding — dead suppressions hiding nothing are as
+	// suspect as unexplained ones. Enable it only when running the full
+	// analyzer suite: under a subset, a directive naming an analyzer
+	// outside the run set is silent, not stale, and is skipped, but a
+	// "*" directive cannot be told apart, so it is only checked when
+	// this flag is set.
+	ReportStale bool
+}
+
 // Run applies every analyzer to every package, drops findings that are
 // suppressed by well-formed ignore directives, reports malformed
 // directives, and returns the surviving diagnostics sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunWith(pkgs, analyzers, Options{})
+}
+
+// RunWith is Run with explicit options. Packages are analyzed in
+// parallel on a bounded pool; the result is deterministic regardless of
+// worker count.
+func RunWith(pkgs []*Package, analyzers []*Analyzer, opts Options) []Diagnostic {
+	runset := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		runset[a.Name] = true
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	perPkg := make([][]Diagnostic, len(pkgs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			dirs := collectDirectives(pkg)
+			var pkgDiags []Diagnostic
+			for _, a := range analyzers {
+				pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+				a.Run(pass)
+			}
+			used := make([]bool, len(dirs))
+			kept := filterSuppressed(pkgDiags, dirs, used)
+			kept = append(kept, malformedDirectives(dirs)...)
+			if opts.ReportStale {
+				kept = append(kept, staleDirectives(dirs, used, runset)...)
+			}
+			perPkg[i] = kept
+		}(i, pkg)
+	}
+	wg.Wait()
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		dirs := collectDirectives(pkg)
-		var pkgDiags []Diagnostic
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
-			a.Run(pass)
-		}
-		diags = append(diags, filterSuppressed(pkgDiags, dirs)...)
-		diags = append(diags, malformedDirectives(dirs)...)
+	for _, d := range perPkg {
+		diags = append(diags, d...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -110,12 +194,50 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 func Format(diags []Diagnostic, base string) []string {
 	out := make([]string, len(diags))
 	for i, d := range diags {
-		if rel, err := filepath.Rel(base, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			d.Pos.Filename = rel
-		}
-		out[i] = d.String()
+		out[i] = relativize(d, base).String()
 	}
 	return out
+}
+
+// jsonDiagnostic is the machine-readable shape of one diagnostic, one
+// object per output line (JSONL), stable for CI annotation tooling.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// FormatJSON renders the diagnostics as one JSON object per line, with
+// filenames relative to base when possible.
+func FormatJSON(diags []Diagnostic, base string) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		d = relativize(d, base)
+		b, err := json.Marshal(jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+		if err != nil {
+			// A diagnostic is strings and ints; marshaling cannot fail.
+			b = []byte(fmt.Sprintf("{%q:%q}", "error", err.Error()))
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+// relativize rewrites the diagnostic's filename relative to base when it
+// lies under it.
+func relativize(d Diagnostic, base string) Diagnostic {
+	if rel, err := filepath.Rel(base, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d
 }
 
 // isInternal reports whether the package is library code subject to the

@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -88,6 +89,11 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"dictid", "./internal/dictid"},
 		{"lockguard", "./internal/lockguard"},
 		{"printban", "./internal/printban"},
+		{"deferunlock", "./internal/deferunlock"},
+		{"atomicmix", "./internal/atomicmix"},
+		{"goroleak", "./internal/goroleak"},
+		{"versionstamp", "./internal/versionstamp"},
+		{"tracezero", "./internal/tracezero"},
 	}
 	for _, c := range cases {
 		t.Run(c.analyzer, func(t *testing.T) {
@@ -112,6 +118,110 @@ func TestDictPackageExempt(t *testing.T) {
 	}
 }
 
+// Stale-directive reporting under the full suite: the used directive is
+// silent, the dead named directive and the dead wildcard are findings.
+func TestStaleDirectives(t *testing.T) {
+	l := fixture(t)
+	pkgs, err := l.Load("./internal/stale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.RunWith(pkgs, lint.All(), lint.Options{ReportStale: true})
+	checkGolden(t, "stale", lint.Format(diags, l.Root()))
+}
+
+// Under a subset run, a directive naming an analyzer outside the run
+// set is silent — only full-suite runs can judge it (or a wildcard).
+func TestStaleDirectivesSubsetRun(t *testing.T) {
+	l := fixture(t)
+	pkgs, err := l.Load("./internal/stale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset, unknown := lint.ByName([]string{"droppederr"})
+	if len(unknown) > 0 {
+		t.Fatalf("unknown analyzers: %v", unknown)
+	}
+	diags := lint.RunWith(pkgs, subset, lint.Options{ReportStale: true})
+	for _, d := range diags {
+		if strings.Contains(d.Message, "no panicfree finding") {
+			t.Errorf("panicfree directive judged stale under a droppederr-only run: %s", d)
+		}
+	}
+}
+
+// FormatJSON must emit one well-formed object per finding with every
+// field populated — CI archives this output as an artifact and other
+// tooling parses it line by line.
+func TestFormatJSON(t *testing.T) {
+	l := fixture(t)
+	pkgs, err := l.Load("./internal/panicfree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers, unknown := lint.ByName([]string{"panicfree"})
+	if len(unknown) > 0 {
+		t.Fatalf("unknown analyzers: %v", unknown)
+	}
+	diags := lint.Run(pkgs, analyzers)
+	if len(diags) == 0 {
+		t.Fatal("panicfree fixture produced no findings")
+	}
+	for _, line := range lint.FormatJSON(diags, l.Root()) {
+		var d struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("unparseable JSONL line %q: %v", line, err)
+		}
+		if d.File == "" || d.Line == 0 || d.Column == 0 || d.Analyzer != "panicfree" || d.Message == "" {
+			t.Errorf("incomplete JSON diagnostic: %s", line)
+		}
+		if filepath.IsAbs(d.File) {
+			t.Errorf("file not relativized to the module root: %s", d.File)
+		}
+	}
+}
+
+// The loader must be safe for concurrent use: overlapping Load calls on
+// one loader share memoized package state, and concurrent RunWith
+// passes share per-package CFG memos. check.sh runs this under -race.
+func TestLoaderConcurrentStress(t *testing.T) {
+	l, err := lint.NewLoader(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := [][]string{
+		{"./..."},
+		{"./internal/lockguard", "./internal/deferunlock"},
+		{"./internal/tracezero"},
+		{"./internal/goroleak", "./internal/atomicmix", "./internal/versionstamp"},
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pkgs, err := l.Load(patterns[i%len(patterns)]...)
+			if err != nil {
+				t.Errorf("concurrent load %d: %v", i, err)
+				return
+			}
+			if len(pkgs) == 0 {
+				t.Errorf("concurrent load %d returned no packages", i)
+				return
+			}
+			// Analyze as well: exercises the shared CFG memo under race.
+			lint.RunWith(pkgs, lint.All(), lint.Options{Workers: 4})
+		}(i)
+	}
+	wg.Wait()
+}
+
 // The repository must stay clean under its own linter: any new finding
 // is either a bug to fix or a deliberate exception to justify with a
 // //lint:ignore directive.
@@ -127,7 +237,10 @@ func TestRepositoryIsLintClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if diags := lint.Run(pkgs, lint.All()); len(diags) > 0 {
+	// ReportStale: every //lint:ignore in the repository must still be
+	// suppressing a live finding — dead directives rot into traps.
+	diags := lint.RunWith(pkgs, lint.All(), lint.Options{ReportStale: true})
+	if len(diags) > 0 {
 		t.Errorf("repository has %d lint findings:\n%s",
 			len(diags), strings.Join(lint.Format(diags, l.Root()), "\n"))
 	}

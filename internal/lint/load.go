@@ -9,8 +9,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -27,20 +29,43 @@ type Package struct {
 	Types *types.Package
 	// Info holds the type-checker facts the analyzers consume.
 	Info *types.Info
+
+	// cfgs memoizes per-function control-flow graphs across the
+	// analyzers of a run (see Pass.CFG). Guarded by cfgMu so analyzer
+	// passes over the same package may run from different goroutines.
+	cfgMu sync.Mutex
+	cfgs  map[*ast.BlockStmt]*CFG
 }
 
 // Loader loads and type-checks the packages of one module from source.
 // Imports within the module are resolved to its directories; all other
 // imports (the standard library) go through go/importer's source
 // importer, so the loader works in a zero-dependency module without any
-// export data installed.
+// export data installed. A Loader is safe for concurrent use: Load
+// fans packages out over a bounded worker pool, and concurrent loads of
+// the same package coalesce onto one in-flight slot.
 type Loader struct {
-	fset    *token.FileSet
-	root    string // absolute module root
-	module  string // module path from go.mod
-	std     types.Importer
-	pkgs    map[string]*Package // by import path
-	loading map[string]bool     // cycle guard
+	fset   *token.FileSet
+	root   string // absolute module root
+	module string // module path from go.mod
+	// Workers bounds the package-loading pool (0 means GOMAXPROCS).
+	// Set it before the first Load call.
+	Workers int
+
+	std   types.Importer
+	stdMu sync.Mutex // the source importer is not documented goroutine-safe
+
+	mu     sync.Mutex
+	states map[string]*loadState // by import path
+}
+
+// loadState is one package's in-flight or completed load. The first
+// goroutine to claim a path performs the load and closes done; everyone
+// else waits on done and reads the outcome.
+type loadState struct {
+	done chan struct{}
+	pkg  *Package
+	err  error
 }
 
 // NewLoader returns a loader for the module rooted at root (the
@@ -56,12 +81,11 @@ func NewLoader(root string) (*Loader, error) {
 	}
 	fset := token.NewFileSet()
 	return &Loader{
-		fset:    fset,
-		root:    abs,
-		module:  module,
-		std:     importer.ForCompiler(fset, "source", nil),
-		pkgs:    make(map[string]*Package),
-		loading: make(map[string]bool),
+		fset:   fset,
+		root:   abs,
+		module: module,
+		std:    importer.ForCompiler(fset, "source", nil),
+		states: make(map[string]*loadState),
 	}, nil
 }
 
@@ -86,10 +110,20 @@ func modulePath(file string) (string, error) {
 	return "", fmt.Errorf("lint: no module directive in %s", file)
 }
 
+// workers resolves the configured pool size.
+func (l *Loader) workers() int {
+	if l.Workers > 0 {
+		return l.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Load resolves the patterns ("./...", "./internal/bgp", "internal/...")
 // against the module root and returns the matched packages,
 // type-checked, in import-path order. Directories without non-test Go
-// files are skipped silently, as the go tool does.
+// files are skipped silently, as the go tool does. Matched packages
+// load concurrently on a pool of l.Workers goroutines; shared
+// dependencies are loaded once, by whichever worker claims them first.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	var dirs []string
 	seen := make(map[string]bool)
@@ -118,20 +152,38 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		add(filepath.Join(l.root, filepath.FromSlash(pat)))
 	}
 
+	loaded := make([]*Package, len(dirs)) // nil for dirs without Go files
+	errs := make([]error, len(dirs))
+	sem := make(chan struct{}, l.workers())
+	var wg sync.WaitGroup
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			files, err := goFiles(dir)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if len(files) == 0 {
+				return
+			}
+			loaded[i], errs[i] = l.loadDir(dir, nil)
+		}(i, dir)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	var pkgs []*Package
-	for _, dir := range dirs {
-		files, err := goFiles(dir)
-		if err != nil {
-			return nil, err
+	for _, pkg := range loaded {
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
 		}
-		if len(files) == 0 {
-			continue
-		}
-		pkg, err := l.loadDir(dir)
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, pkg)
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
@@ -194,21 +246,39 @@ func (l *Loader) importPathFor(dir string) (string, error) {
 }
 
 // loadDir parses and type-checks the package in dir, memoized by import
-// path.
-func (l *Loader) loadDir(dir string) (*Package, error) {
+// path. chain is the stack of import paths being loaded by this call
+// tree, used to turn same-chain cycles into errors instead of waiting
+// on ourselves. (A cycle split across two workers is not detected — it
+// cannot occur in a module that compiles, and the go build step that
+// precedes lint in CI rejects it first.)
+func (l *Loader) loadDir(dir string, chain []string) (*Package, error) {
 	path, err := l.importPathFor(dir)
 	if err != nil {
 		return nil, err
 	}
-	if pkg, ok := l.pkgs[path]; ok {
-		return pkg, nil
+	l.mu.Lock()
+	st, inFlight := l.states[path]
+	if !inFlight {
+		st = &loadState{done: make(chan struct{})}
+		l.states[path] = st
 	}
-	if l.loading[path] {
-		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	l.mu.Unlock()
+	if inFlight {
+		for _, p := range chain {
+			if p == path {
+				return nil, fmt.Errorf("lint: import cycle through %s", path)
+			}
+		}
+		<-st.done
+		return st.pkg, st.err
 	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
+	st.pkg, st.err = l.typeCheckDir(dir, path, append(chain, path))
+	close(st.done)
+	return st.pkg, st.err
+}
 
+// typeCheckDir does the actual parse + type-check of one package.
+func (l *Loader) typeCheckDir(dir, path string, chain []string) (*Package, error) {
 	names, err := goFiles(dir)
 	if err != nil {
 		return nil, err
@@ -231,33 +301,43 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	conf := types.Config{Importer: (*loaderImporter)(l)}
+	conf := types.Config{Importer: &chainImporter{l: l, chain: chain}}
 	tpkg, err := conf.Check(path, l.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
-	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
-	l.pkgs[path] = pkg
-	return pkg, nil
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
-// loaderImporter adapts the loader to types.Importer: module-local
-// import paths load from the module tree, everything else from the
-// standard-library source importer.
-type loaderImporter Loader
+// importStd resolves a standard-library import, serialized because the
+// source importer mutates shared caches.
+func (l *Loader) importStd(path string) (*types.Package, error) {
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
+	return l.std.Import(path)
+}
 
-func (li *loaderImporter) Import(path string) (*types.Package, error) {
-	l := (*Loader)(li)
+// chainImporter adapts the loader to types.Importer for one package's
+// type-check, carrying that load's import chain for cycle detection:
+// module-local import paths load from the module tree, everything else
+// from the standard-library source importer.
+type chainImporter struct {
+	l     *Loader
+	chain []string
+}
+
+func (ci *chainImporter) Import(path string) (*types.Package, error) {
+	l := ci.l
 	if path == l.module || strings.HasPrefix(path, l.module+"/") {
 		dir := l.root
 		if rest, ok := strings.CutPrefix(path, l.module+"/"); ok {
 			dir = filepath.Join(l.root, filepath.FromSlash(rest))
 		}
-		pkg, err := l.loadDir(dir)
+		pkg, err := l.loadDir(dir, ci.chain)
 		if err != nil {
 			return nil, err
 		}
 		return pkg.Types, nil
 	}
-	return l.std.Import(path)
+	return l.importStd(path)
 }

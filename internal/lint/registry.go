@@ -1,9 +1,13 @@
 package lint
 
 // All returns every analyzer of the suite, in the order findings are
-// conventionally reported.
+// conventionally reported: the AST pattern analyzers from PR 1 first,
+// then the flow-sensitive (CFG/dataflow) analyzers.
 func All() []*Analyzer {
-	return []*Analyzer{PanicFree, DroppedErr, DictID, LockGuard, PrintBan}
+	return []*Analyzer{
+		PanicFree, DroppedErr, DictID, LockGuard, PrintBan,
+		DeferUnlock, AtomicMix, GoroLeak, VersionStamp, TraceZero,
+	}
 }
 
 // ByName resolves analyzer names ("panicfree,dictid"); unknown names

@@ -1,0 +1,69 @@
+// Package atomicmix is a lint fixture: mixed atomic and plain access to
+// the same words.
+package atomicmix
+
+import "sync/atomic"
+
+// counter is updated through sync/atomic somewhere, so every access
+// must go through the API.
+var counter int64
+
+// Bump updates atomically; this is what puts counter under the rule.
+func Bump() { atomic.AddInt64(&counter, 1) }
+
+// Peek reads the same word non-atomically.
+func Peek() int64 { return counter }
+
+// PeekAtomic reads through the API.
+func PeekAtomic() int64 { return atomic.LoadInt64(&counter) }
+
+// gauge mixes one atomic field with one plain field.
+type gauge struct {
+	hot  int64
+	cold int64 // never touched atomically; plain access is fine
+}
+
+// Inc puts the hot field under the atomic rule.
+func (g *gauge) Inc() { atomic.AddInt64(&g.hot, 1) }
+
+// Read mixes: hot is atomic elsewhere, cold never was.
+func (g *gauge) Read() int64 {
+	return g.hot + g.cold
+}
+
+// table holds typed atomics behind a slice.
+type table struct {
+	slots []atomic.Uint32
+}
+
+// Reset zeroes the slots wholesale — a non-atomic store racing any
+// concurrent Load.
+func (t *table) Reset() { clear(t.slots) }
+
+// ResetAtomic stores zero slot by slot.
+func (t *table) ResetAtomic() {
+	for i := range t.slots {
+		t.slots[i].Store(0)
+	}
+}
+
+// marks holds typed atomics in an array.
+type marks struct {
+	m [4]atomic.Uint32
+}
+
+// Zero overwrites the whole array non-atomically.
+func (mk *marks) Zero() {
+	mk.m = [4]atomic.Uint32{}
+}
+
+// quiesced is reset while no reader can exist.
+type quiesced struct {
+	tags []atomic.Uint32
+}
+
+// reset is justified: callers join every worker first.
+func (q *quiesced) reset() {
+	//lint:ignore atomicmix fixture: all workers joined; no concurrent access remains
+	clear(q.tags)
+}

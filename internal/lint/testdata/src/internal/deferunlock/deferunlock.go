@@ -1,0 +1,94 @@
+// Package deferunlock is a lint fixture: locks that escape the function
+// on some path.
+package deferunlock
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+// Box holds state guarded by an RWMutex.
+type Box struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// LeakOnError forgets the unlock on the error path.
+func (b *Box) LeakOnError(fail bool) error {
+	b.mu.Lock()
+	if fail {
+		return errFail // leaks the lock
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// Deferred is the canonical safe shape.
+func (b *Box) Deferred() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+// DeferClosure releases through a deferred closure.
+func (b *Box) DeferClosure() {
+	b.mu.Lock()
+	defer func() { b.mu.Unlock() }()
+	b.n++
+}
+
+// BranchComplete unlocks inline on every path.
+func (b *Box) BranchComplete(fail bool) error {
+	b.mu.Lock()
+	if fail {
+		b.mu.Unlock()
+		return errFail
+	}
+	b.n++
+	b.mu.Unlock()
+	return nil
+}
+
+// ReadLeak leaks the read lock on the panic path; deferred unlocks
+// would run, inline ones do not.
+func (b *Box) ReadLeak() int {
+	b.mu.RLock()
+	if b.n < 0 {
+		panic("negative")
+	}
+	n := b.n
+	b.mu.RUnlock()
+	return n
+}
+
+// DoubleChecked is the read-then-upgrade idiom; both acquisitions are
+// path-complete.
+func (b *Box) DoubleChecked() int {
+	b.mu.RLock()
+	n := b.n
+	b.mu.RUnlock()
+	if n != 0 {
+		return n
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n = 42
+	return b.n
+}
+
+// WrongMode releases the write lock with the read-side call; the write
+// lock never dies.
+func (b *Box) WrongMode() {
+	b.mu.Lock()
+	b.n++
+	b.mu.RUnlock()
+}
+
+// Handoff intentionally returns holding the lock; the caller releases.
+func (b *Box) Handoff() *Box {
+	//lint:ignore deferunlock fixture: lock handoff — the caller unlocks
+	b.mu.Lock()
+	return b
+}

@@ -1,0 +1,19 @@
+// Package stale is a lint fixture for stale-directive reporting: a
+// well-formed ignore that suppresses nothing is itself a finding.
+package stale
+
+// Live suppresses a real finding; the directive is used, not stale.
+func Live() {
+	//lint:ignore panicfree fixture: justified
+	panic("suppressed")
+}
+
+// Dead keeps a directive whose finding was fixed long ago.
+func Dead() {
+	//lint:ignore panicfree fixture: the panic was removed but the directive lingered
+}
+
+// DeadWildcard suppresses nothing for any analyzer.
+func DeadWildcard() {
+	//lint:ignore * fixture: nothing fires here
+}

@@ -1,0 +1,27 @@
+// Package trace is the fixture stand-in for the repository's trace
+// package: a nil *Span is the disabled tracer and every method is
+// nil-safe, which is exactly what makes eagerly-evaluated allocating
+// arguments a trap.
+package trace
+
+// Span is one trace span; nil means tracing is off.
+type Span struct {
+	name  string
+	attrs map[string]string
+}
+
+// Child opens a sub-span; on a nil receiver it returns nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{name: name, attrs: map[string]string{}}
+}
+
+// SetStr records a string attribute; no-op on nil.
+func (s *Span) SetStr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.attrs[k] = v
+}

@@ -1,0 +1,62 @@
+// Package tracezero is a lint fixture: allocating arguments to methods
+// on possibly-nil spans.
+package tracezero
+
+import (
+	"fmt"
+
+	"fixture/internal/trace"
+)
+
+type ctx struct {
+	span *trace.Span
+}
+
+// Unguarded formats an argument for a possibly-nil span.
+func Unguarded(c *ctx, i int) {
+	c.span.SetStr("arm", fmt.Sprintf("arm[%d]", i))
+}
+
+// Guarded proves the receiver non-nil first.
+func Guarded(c *ctx, i int) {
+	if c.span != nil {
+		c.span.SetStr("arm", fmt.Sprintf("arm[%d]", i))
+	}
+}
+
+// EarlyReturn uses the guard-and-return idiom.
+func EarlyReturn(c *ctx, i int) *trace.Span {
+	if c.span == nil {
+		return nil
+	}
+	return c.span.Child(fmt.Sprintf("arm[%d]", i))
+}
+
+// Constant arguments never allocate, guarded or not.
+func Constant(c *ctx) {
+	c.span.SetStr("phase", "optimize")
+	c.span.SetStr("k", "a"+"b") // constant-folded concat is free
+}
+
+// Concat is flagged for non-constant string concatenation too.
+func Concat(c *ctx, name string) {
+	c.span.SetStr("name", "arm:"+name)
+}
+
+// Reassigned loses the proof when the receiver path changes.
+func Reassigned(c *ctx, other *trace.Span, i int) {
+	if c.span != nil {
+		c.span = other
+		c.span.SetStr("arm", fmt.Sprintf("arm[%d]", i))
+	}
+}
+
+// CompoundCond is conservatively unproven through &&; hoisting the nil
+// check into its own if would satisfy the analyzer, the directive
+// documents why this fixture keeps the compound form.
+func CompoundCond(c *ctx, on bool, i int) {
+	if c.span != nil && on {
+		//lint:ignore tracezero fixture: nil check is present but folded into a compound condition
+		c.span.SetStr("arm", fmt.Sprintf("arm[%d]", i))
+	}
+}

@@ -1,0 +1,122 @@
+// Package versionstamp is a lint fixture: cross-query caches must read
+// a version stamp when populated and compare one when hit.
+package versionstamp
+
+import "sync"
+
+// Source hands out the current mutation version.
+type Source struct{ current uint64 }
+
+// Version returns the current mutation version.
+func (s *Source) Version() uint64 { return s.current }
+
+func observe(uint64) {}
+
+// entry is one cached result with its stamp.
+type entry struct {
+	rows  []int
+	stamp uint64
+}
+
+// stamped is a pre-stamped value; the stamp travels inside it.
+type stamped struct {
+	rows    []int
+	Version uint64
+}
+
+// memo is the annotated cache under test.
+//
+//lint:cache memo
+type memo struct {
+	mu       sync.Mutex
+	entries  map[string]entry
+	prebuilt map[string]*stamped
+}
+
+// PutUnstamped populates the cache without reading any version.
+func (m *memo) PutUnstamped(key string, rows []int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[key] = entry{rows: rows}
+}
+
+// PutStamped reads the source version before populating.
+func (m *memo) PutStamped(src *Source, key string, rows []int) {
+	v := src.Version()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[key] = entry{rows: rows, stamp: v}
+}
+
+// PutConditional observes the version on only one path to the write.
+func (m *memo) PutConditional(src *Source, key string, rows []int, fresh bool) {
+	if fresh {
+		observe(src.Version())
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[key] = entry{rows: rows}
+}
+
+// Install stores a pre-stamped value: the parameter type carries a
+// version field, so the function is exempt.
+func (m *memo) Install(key string, e *stamped) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.prebuilt[key] = e
+}
+
+// GetUnchecked serves a hit without comparing versions.
+func (m *memo) GetUnchecked(key string) ([]int, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	return e.rows, ok
+}
+
+// GetChecked validates the stamp against the source.
+func (m *memo) GetChecked(src *Source, key string) ([]int, bool) {
+	v := src.Version()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	if !ok || e.stamp != v {
+		return nil, false
+	}
+	return e.rows, true
+}
+
+// Evict is maintenance, not a hit path.
+func (m *memo) Evict(key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.entries, key)
+}
+
+// Len is maintenance too.
+func (m *memo) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// scratch is annotated but lives for one request only.
+//
+//lint:cache scratch
+type scratch struct {
+	m map[string][]int
+}
+
+// get hits without validation; justified because the cache dies before
+// any mutation can happen.
+func (s *scratch) get(key string) []int {
+	//lint:ignore versionstamp fixture: per-request cache; entries die before any mutation
+	return s.m[key]
+}
+
+// plain is NOT annotated; no rules apply to it.
+type plain struct{ m map[string]int }
+
+func (p *plain) bump(key string, n int) {
+	p.m[key] = n
+}

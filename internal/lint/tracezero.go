@@ -1,0 +1,258 @@
+package lint
+
+// tracezero protects the zero-allocation-when-off invariant of the
+// trace package: a nil *trace.Span is the disabled tracer, and every
+// Span method is nil-safe — but Go evaluates arguments before the call,
+// so `sp.SetStr("arm", fmt.Sprintf("arm[%d]", i))` allocates and
+// formats even when sp is nil and the call itself is a no-op. On the
+// hot path (per-arm, per-binding) that turns "tracing off" into a
+// steady allocation tax.
+//
+// The analyzer flags method calls on a possibly-nil *Span whose
+// arguments allocate — a fmt.Sprint/Sprintf/Sprintln call or a
+// non-constant string concatenation — unless the receiver is proven
+// non-nil at the call by a must-dataflow over the function's CFG. The
+// proof facts come from branch conditions: the true edge of `sp != nil`
+// (and the false edge of `sp == nil`, covering the early-return guard
+// idiom) generate "sp is non-nil", and any assignment to the receiver
+// path (or a prefix of it) kills the fact. Compound conditions
+// (`sp != nil && verbose`) conservatively prove nothing.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var TraceZero = &Analyzer{
+	Name: "tracezero",
+	Doc: "report allocating arguments (fmt.Sprintf, string concat) to methods on a " +
+		"possibly-nil *trace.Span; guard with a nil check to keep disabled tracing zero-alloc",
+	Run: runTraceZero,
+}
+
+func runTraceZero(pass *Pass) {
+	for _, fb := range funcBodies(pass.Pkg) {
+		checkFuncTrace(pass, fb.body)
+	}
+}
+
+// spanReceiver returns the receiver expression of a method call on a
+// *Span from a package named "trace", or nil.
+func spanReceiver(info *types.Info, call *ast.CallExpr) ast.Expr {
+	recv, _, ok := methodCall(call)
+	if !ok {
+		return nil
+	}
+	tv, ok := info.Types[recv]
+	if !ok {
+		return nil
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); !isPtr {
+		return nil // value receivers cannot be nil
+	}
+	if !namedIn(tv.Type, "trace", "Span") {
+		return nil
+	}
+	return recv
+}
+
+// allocatingArg returns a short description of the first allocating
+// sub-expression of the argument list: a fmt.Sprint* call or a
+// non-constant string concatenation. Constant-folded concats ("a"+"b")
+// are free and exempt.
+func allocatingArg(info *types.Info, call *ast.CallExpr) string {
+	desc := ""
+	for _, arg := range call.Args {
+		inspectShallow(arg, func(n ast.Node) bool {
+			if desc != "" {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name := funcFullName(info, n); strings.HasPrefix(name, "fmt.Sprint") {
+					desc = name
+					return false
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.ADD {
+					return true
+				}
+				tv, ok := info.Types[n]
+				if !ok {
+					return true
+				}
+				if b, isBasic := tv.Type.Underlying().(*types.Basic); !isBasic || b.Info()&types.IsString == 0 {
+					return true
+				}
+				if tv.Value == nil { // not constant-folded
+					desc = "string concatenation"
+					return false
+				}
+			}
+			return true
+		})
+		if desc != "" {
+			break
+		}
+	}
+	return desc
+}
+
+func checkFuncTrace(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo()
+
+	// Find the flagged candidate calls first; most functions have none
+	// and skip the dataflow entirely.
+	type candidate struct {
+		call *ast.CallExpr
+		recv ast.Expr
+		key  string
+		what string
+	}
+	var cands []candidate
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv := spanReceiver(info, call)
+		if recv == nil {
+			return true
+		}
+		what := allocatingArg(info, call)
+		if what == "" {
+			return true
+		}
+		cands = append(cands, candidate{call: call, recv: recv, key: pathKey(info, recv), what: what})
+		return true
+	})
+	if len(cands) == 0 {
+		return
+	}
+
+	// Must-dataflow: fact i = "path nonNilKeys[i] is non-nil here".
+	var nonNilKeys []string
+	keyID := make(map[string]int)
+	intern := func(key string) int {
+		if id, ok := keyID[key]; ok {
+			return id
+		}
+		id := len(nonNilKeys)
+		keyID[key] = id
+		nonNilKeys = append(nonNilKeys, key)
+		return id
+	}
+	for _, c := range cands {
+		if c.key != "" {
+			intern(c.key)
+		}
+	}
+	// Pre-intern guard paths from every nil-comparison condition so the
+	// edge filter never mutates the tables.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if path, _, ok := nilCheck(info, n); ok && path != "" {
+			intern(path)
+		}
+		return true
+	})
+
+	transfer := func(n ast.Node, fs *FactSet) {
+		inspectShallow(n, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				w := pathKey(info, lhs)
+				if w == "" {
+					continue
+				}
+				for id, key := range nonNilKeys {
+					if pathInvalidates(w, key) {
+						fs.Remove(id)
+					}
+				}
+			}
+			return true
+		})
+	}
+	edgeFilter := func(e Edge, fs *FactSet) {
+		if e.Cond == nil {
+			return
+		}
+		path, eq, ok := nilCheck(info, e.Cond)
+		if !ok || path == "" {
+			return
+		}
+		// `p != nil` proves non-nil on the true edge; `p == nil`
+		// proves it on the false edge.
+		if eq == e.Negated {
+			if id, known := keyID[path]; known {
+				fs.Add(id)
+			}
+		}
+	}
+
+	g := pass.CFG(body)
+	flow := solve(g, &Problem{Join: JoinIntersect, Transfer: transfer, EdgeFilter: edgeFilter})
+
+	proven := make(map[*ast.CallExpr]bool)
+	flow.Walk(func(n ast.Node, before *FactSet) {
+		inspectShallow(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, c := range cands {
+				if c.call == call && c.key != "" {
+					if id, known := keyID[c.key]; known && before.Has(id) {
+						proven[call] = true
+					}
+				}
+			}
+			return true
+		})
+	})
+
+	for _, c := range cands {
+		if proven[c.call] {
+			continue
+		}
+		recvText := pathText(c.recv)
+		if recvText == "" {
+			recvText = "the span"
+		}
+		pass.Reportf(c.call.Pos(), "%s argument is evaluated even when %s is nil; guard the call with a nil check to keep disabled tracing allocation-free",
+			c.what, recvText)
+	}
+}
+
+// nilCheck decomposes a `<path> == nil` / `nil == <path>` (eq=true) or
+// `<path> != nil` (eq=false) comparison; ok is false for anything else.
+func nilCheck(info *types.Info, n ast.Node) (path string, eq bool, ok bool) {
+	be, isBin := n.(*ast.BinaryExpr)
+	if !isBin || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return "", false, false
+	}
+	operand := ast.Expr(nil)
+	if isNilIdent(info, be.Y) {
+		operand = be.X
+	} else if isNilIdent(info, be.X) {
+		operand = be.Y
+	} else {
+		return "", false, false
+	}
+	return pathKey(info, operand), be.Op == token.EQL, true
+}
+
+// isNilIdent reports whether the expression is the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}

@@ -128,6 +128,8 @@ func (s Stats) HitRate() float64 {
 }
 
 // Cache is a sharded LRU plan cache. The zero value is not usable; use New.
+//
+//lint:cache plancache
 type Cache struct {
 	shards [numShards]shard
 

@@ -28,6 +28,8 @@ type PropStat struct {
 }
 
 // Stats provides cardinality information for one store.
+//
+//lint:cache statsmemo
 type Stats struct {
 	store *storage.Store
 	vocab schema.Vocab
@@ -82,6 +84,8 @@ func Collect(store *storage.Store, vocab schema.Vocab) *Stats {
 func (st *Stats) Total() int { return st.total }
 
 // Property returns the per-property statistics (zero value if unseen).
+//
+//lint:ignore versionstamp props is a collection-time estimate frozen at Collect; only the exact-count pattern memo is version-validated
 func (st *Stats) Property(p dict.ID) PropStat { return st.props[p] }
 
 // EachProperty calls f for every property with its statistics, in
@@ -235,6 +239,7 @@ func (st *Stats) distinctForOn(src CountSource, a bgp.Atom, v uint32) float64 {
 	}
 	if !a.P.Var {
 		p := a.P.Const()
+		//lint:ignore versionstamp props is a collection-time estimate frozen at Collect; distinct-value heuristics tolerate staleness, exact counts go through the version-checked memo
 		ps := st.props[p]
 		if a.S.Var && a.S.ID == v {
 			if !a.O.Var {

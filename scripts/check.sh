@@ -13,8 +13,8 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> go run ./cmd/lint ./..."
-go run ./cmd/lint ./...
+echo "==> go run ./cmd/lint -jsonfile lint-findings.json ./..."
+go run ./cmd/lint -jsonfile lint-findings.json ./...
 
 echo "==> go test ./..."
 go test ./...
