@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint lint-fix-fixtures bench bench-json check
+.PHONY: build test race vet lint lint-fix-fixtures bench bench-json bench-scale check
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,11 @@ bench:
 # bench-json runs the suite at the tiny scale and writes BENCH_<date>.json.
 bench-json:
 	./scripts/bench.sh
+
+# bench-scale runs only the bulk-load scale sweep (flat vs compressed
+# load throughput and bytes/triple) and prints the JSON on stdout.
+bench-scale:
+	$(GO) run ./cmd/benchall -loadscales tiny,small,medium -loadjson -
 
 check:
 	./scripts/check.sh

@@ -393,14 +393,15 @@ func BenchmarkCachedAnswer(b *testing.B) {
 	})
 }
 
-// BenchmarkSaturation measures building the saturated store.
+// BenchmarkSaturation measures building the saturated store, streamed
+// straight off the raw store without materializing a triple slice.
 func BenchmarkSaturation(b *testing.B) {
 	db := lubmDB(b)
-	triples := db.Raw.Triples()
+	n := db.Raw.Len()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		st, _ := saturate.Store(triples, db.Closed, storage.DefaultOrders...)
-		if st.Len() < len(triples) {
+		st, _ := saturate.StoreFrom(db.Raw.Each, db.Closed, storage.DefaultOrders...)
+		if st.Len() < n {
 			b.Fatal("saturation lost triples")
 		}
 	}
@@ -461,7 +462,8 @@ func BenchmarkSharedScanUCQ(b *testing.B) {
 func BenchmarkSnapshotScan(b *testing.B) {
 	db := lubmDB(b)
 	st := db.Raw
-	p := storage.Pattern{P: st.Triples()[0].P}
+	var p storage.Pattern
+	st.Each(func(t storage.Triple) bool { p.P = t.P; return false })
 	sn := st.Snapshot()
 	count := 0
 	sink := func(storage.Triple) bool { count++; return true }
@@ -491,6 +493,44 @@ func BenchmarkSnapshotScan(b *testing.B) {
 		}
 	})
 	_ = count
+}
+
+// BenchmarkBulkLoad measures building the triple store from the raw
+// LUBM stream: the flat serial baseline against the compressed
+// block-columnar parallel sort-merge loader. The compressed variant
+// reports its resident bytes/triple as a metric — scripts/bench.sh
+// embeds it into the committed BENCH_*.json files alongside the
+// cross-scale sweep from `benchall -loadjson`.
+func BenchmarkBulkLoad(b *testing.B) {
+	db := lubmDB(b)
+	n := db.Raw.Len()
+	variants := []struct {
+		name     string
+		compress storage.Compression
+		par      int
+	}{
+		{"flat-serial", storage.CompressionOff, 1},
+		{"compressed-serial", storage.CompressionOn, 1},
+		{"compressed-parallel", storage.CompressionOn, runtime.GOMAXPROCS(0)},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var st *storage.Store
+			for i := 0; i < b.N; i++ {
+				bl := storage.NewBuilder().WithCompression(v.compress).WithParallelism(v.par)
+				db.Raw.Each(func(t storage.Triple) bool {
+					bl.Add(t)
+					return true
+				})
+				st = bl.Build()
+				if st.Len() != n {
+					b.Fatal("load lost triples")
+				}
+			}
+			b.ReportMetric(st.Footprint().BytesPerTriple(), "bytes/triple")
+		})
+	}
 }
 
 // BenchmarkArmJoins measures the three arm-join algorithms on the SCQ

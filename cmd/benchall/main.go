@@ -12,6 +12,8 @@
 //	benchall -parallel           # only the parallelism sweep
 //	benchall -cache              # only the plan-cache sweep (cold/warm/mutate)
 //	benchall -sharedscan         # only the shared-scan on/off sweep
+//	benchall -loadjson - -loadscales tiny,small,medium
+//	                             # only the bulk-load scale sweep, JSON on stdout
 package main
 
 import (
@@ -19,12 +21,42 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/benchkit"
 	"repro/internal/core"
 	"repro/internal/engine"
 )
+
+// writeLoadSweep measures bulk load throughput and resident bytes per
+// triple across the named scales (flat vs compressed block-columnar)
+// and writes the result as JSON — the load data scripts/bench.sh embeds
+// into the committed BENCH_*.json files.
+func writeLoadSweep(names []string, par int, path string) error {
+	sweep, err := benchkit.MeasureLoadScales(names, par)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		if err := sweep.WriteText(os.Stderr); err != nil {
+			return err
+		}
+		return sweep.WriteJSON(os.Stdout)
+	}
+	if err := sweep.WriteText(os.Stderr); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := sweep.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
 
 // writeStageSweep answers a representative LUBM query set with every
 // reformulation strategy under tracing and writes the per-stage
@@ -63,10 +95,22 @@ func main() {
 	cacheSweep := flag.Bool("cache", false, "run only the plan-cache sweep (cold vs warm vs mutate-then-requery)")
 	sharedScan := flag.Bool("sharedscan", false, "run only the shared-scan on/off sweep")
 	stageJSON := flag.String("stagejson", "", "run the traced stage sweep and write its JSON to this file ('-' = stdout), then exit")
+	loadJSON := flag.String("loadjson", "", "run the bulk-load scale sweep and write its JSON to this file ('-' = stdout), then exit")
+	loadScales := flag.String("loadscales", "tiny,small,medium", "comma-separated scales for -loadjson")
+	loadPar := flag.Int("loadpar", 0, "loader parallelism for -loadjson (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	sc := benchkit.ScaleByName(*scale)
 	out := os.Stdout
+
+	if *loadJSON != "" {
+		names := strings.Split(*loadScales, ",")
+		if err := writeLoadSweep(names, *loadPar, *loadJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *stageJSON != "" {
 		if err := writeStageSweep(sc, *stageJSON); err != nil {

@@ -40,12 +40,16 @@ type report struct {
 	// Stages embeds the traced per-stage breakdown produced by
 	// `benchall -stagejson` (see -stages), verbatim.
 	Stages json.RawMessage `json:"stages,omitempty"`
+	// Load embeds the bulk-load scale sweep produced by
+	// `benchall -loadjson` (see -load), verbatim.
+	Load json.RawMessage `json:"load,omitempty"`
 }
 
 func main() {
 	in := flag.String("in", "", "benchmark output to parse (default stdin)")
 	out := flag.String("out", "", "JSON file to write (default stdout)")
 	stages := flag.String("stages", "", "stage-breakdown JSON file (from benchall -stagejson) to embed")
+	load := flag.String("load", "", "bulk-load sweep JSON file (from benchall -loadjson) to embed")
 	flag.Parse()
 
 	src := os.Stdin
@@ -91,6 +95,17 @@ func main() {
 			fatal(fmt.Errorf("%s: not valid JSON", *stages))
 		}
 		rep.Stages = json.RawMessage(raw)
+	}
+
+	if *load != "" {
+		raw, err := os.ReadFile(*load)
+		if err != nil {
+			fatal(err)
+		}
+		if !json.Valid(raw) {
+			fatal(fmt.Errorf("%s: not valid JSON", *load))
+		}
+		rep.Load = json.RawMessage(raw)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

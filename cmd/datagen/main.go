@@ -2,9 +2,13 @@
 // reproduction as N-Triples on stdout (schema first, then data), so they
 // can be loaded by rdfcli or by external tools.
 //
+// Triples stream straight to the writer as the generators emit them, so
+// memory stays flat however large the requested scale is.
+//
 // Usage:
 //
 //	datagen -workload lubm -universities 2 > lubm2.nt
+//	datagen -workload lubm -scale medium > lubm_medium.nt
 //	datagen -workload dblp -publications 50000 > dblp.nt
 package main
 
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/benchkit"
 	"repro/internal/dblp"
 	"repro/internal/lubm"
 	"repro/internal/ntriples"
@@ -26,7 +31,15 @@ func main() {
 	pubs := flag.Int("publications", 20000, "dblp: number of publication records")
 	seed := flag.Int64("seed", 42, "generator seed")
 	tiny := flag.Bool("tiny", false, "lubm: use the scaled-down test profile")
+	scale := flag.String("scale", "", "use a benchkit scale preset (tiny, small or medium) for the sizes; overrides -universities/-publications/-tiny so datasets match BENCH runs")
 	flag.Parse()
+
+	if *scale != "" {
+		sc := benchkit.ScaleByName(*scale)
+		*universities = sc.LUBMUnivs
+		*pubs = sc.DBLPPubs
+		*tiny = sc.Name == "tiny"
+	}
 
 	out := bufio.NewWriterSize(os.Stdout, 1<<20)
 	w := ntriples.NewWriter(out)

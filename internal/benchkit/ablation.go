@@ -25,7 +25,6 @@ func (db *Database) AblationIndexSet(w io.Writer, queryNames ...string) error {
 	}
 	fmt.Fprintln(tw)
 
-	triples := db.Raw.Triples()
 	for _, layout := range []struct {
 		name   string
 		orders []storage.Order
@@ -35,9 +34,10 @@ func (db *Database) AblationIndexSet(w io.Writer, queryNames ...string) error {
 	} {
 		start := time.Now()
 		b := storage.NewBuilder(layout.orders...)
-		for _, t := range triples {
+		db.Raw.Each(func(t storage.Triple) bool {
 			b.Add(t)
-		}
+			return true
+		})
 		st := b.Build()
 		build := time.Since(start)
 		eng := engine.New(st, stats.Collect(st, db.Vocab), engine.Native)

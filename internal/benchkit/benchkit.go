@@ -152,7 +152,7 @@ func build(name string, ontology []rdf.Triple, gen func(func(rdf.Triple)), specs
 		b.Add(storage.Triple{S: c[0], P: c[1], O: c[2]})
 	}
 	raw := b.Build()
-	sat, _ := saturate.Store(raw.Triples(), closed)
+	sat, _ := saturate.StoreFrom(raw.Each, closed)
 
 	db := &Database{
 		Name:     name,

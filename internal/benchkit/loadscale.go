@@ -1,0 +1,202 @@
+// The bulk-load / storage-scale axis of the benchmark suite: how fast a
+// workload loads into each index representation and how many resident
+// bytes per triple each costs — the numbers that justify the compressed
+// block-columnar store at 10–100x the query-bench scale. cmd/benchall
+// runs this via -loadscales/-loadjson and scripts/bench.sh embeds the
+// result in the committed BENCH_*.json files.
+
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// LoadReport is the bulk-load and footprint measurement of one workload
+// at one scale: the compressed parallel loader against the flat serial
+// baseline, over the identical triple stream.
+type LoadReport struct {
+	Workload    string `json:"workload"`
+	Scale       string `json:"scale"`
+	Triples     int    `json:"triples"` // raw store, incl. closed constraint triples
+	Parallelism int    `json:"parallelism"`
+
+	LoadSeconds   float64 `json:"load_seconds"` // compressed, parallel bulk load
+	TriplesPerSec float64 `json:"triples_per_sec"`
+
+	FlatLoadSeconds   float64 `json:"flat_load_seconds"` // flat, serial baseline
+	FlatTriplesPerSec float64 `json:"flat_triples_per_sec"`
+
+	CompressedBytes    int     `json:"compressed_bytes"` // payload + fence directory
+	CompressedBlocks   int     `json:"compressed_blocks"`
+	BytesPerTriple     float64 `json:"bytes_per_triple"` // compressed, summed over orders
+	FlatBytes          int     `json:"flat_bytes"`
+	FlatBytesPerTriple float64 `json:"flat_bytes_per_triple"`
+
+	// Verified is true when the two representations answered
+	// identically: equal length, equal content hash over a full streamed
+	// pass, and equal counts for every pattern shape of sampled triples.
+	Verified bool `json:"verified"`
+}
+
+// LoadSweep is a set of load measurements across scales.
+type LoadSweep struct {
+	Workload string       `json:"workload"`
+	Runs     []LoadReport `json:"runs"`
+}
+
+// MeasureLoad loads the LUBM workload at the given scale into both
+// index representations, timing feed+Build for each, and cross-checks
+// the results. par is the loader parallelism for the compressed build
+// (0 = GOMAXPROCS); the flat baseline always builds serially.
+func MeasureLoad(sc Scale, par int) (LoadReport, error) {
+	db, err := BuildLUBM(sc)
+	if err != nil {
+		return LoadReport{}, err
+	}
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	rebuild := func(c storage.Compression, par int) (*storage.Store, float64) {
+		start := time.Now()
+		b := storage.NewBuilder().WithCompression(c).WithParallelism(par)
+		db.Raw.Each(func(t storage.Triple) bool {
+			b.Add(t)
+			return true
+		})
+		st := b.Build()
+		return st, time.Since(start).Seconds()
+	}
+	flat, flatSecs := rebuild(storage.CompressionOff, 1)
+	comp, compSecs := rebuild(storage.CompressionOn, par)
+
+	n := comp.Len()
+	ffp, cfp := flat.Footprint(), comp.Footprint()
+	rep := LoadReport{
+		Workload:    "LUBM",
+		Scale:       sc.Name,
+		Triples:     n,
+		Parallelism: par,
+
+		LoadSeconds:   compSecs,
+		TriplesPerSec: float64(n) / compSecs,
+
+		FlatLoadSeconds:   flatSecs,
+		FlatTriplesPerSec: float64(n) / flatSecs,
+
+		CompressedBytes:    cfp.IndexBytes(),
+		CompressedBlocks:   cfp.Blocks,
+		BytesPerTriple:     cfp.BytesPerTriple(),
+		FlatBytes:          ffp.IndexBytes(),
+		FlatBytesPerTriple: ffp.BytesPerTriple(),
+
+		Verified: equalStores(flat, comp),
+	}
+	return rep, nil
+}
+
+// MeasureLoadScales measures the named scales in order.
+func MeasureLoadScales(names []string, par int) (LoadSweep, error) {
+	sweep := LoadSweep{Workload: "LUBM"}
+	for _, name := range names {
+		rep, err := MeasureLoad(ScaleByName(name), par)
+		if err != nil {
+			return sweep, err
+		}
+		sweep.Runs = append(sweep.Runs, rep)
+	}
+	return sweep, nil
+}
+
+// WriteJSON writes the sweep as indented JSON.
+func (ls LoadSweep) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ls)
+}
+
+// WriteText renders the sweep as a table.
+func (ls LoadSweep) WriteText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "scale\ttriples\tload s\ttriples/s\tB/triple\tflat B/triple\tratio\tverified\n")
+	for _, r := range ls.Runs {
+		ratio := 0.0
+		if r.CompressedBytes > 0 {
+			ratio = float64(r.FlatBytes) / float64(r.CompressedBytes)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.0f\t%.2f\t%.2f\t%.1fx\t%v\n",
+			r.Scale, r.Triples, r.LoadSeconds, r.TriplesPerSec,
+			r.BytesPerTriple, r.FlatBytesPerTriple, ratio, r.Verified)
+	}
+	return tw.Flush()
+}
+
+// equalStores cross-checks two stores built from the same stream: equal
+// length, equal FNV-1a hash over a full streamed pass (order-sensitive,
+// both stream in SPO order), and equal counts for every bound-position
+// combination of sampled triples.
+func equalStores(a, b *storage.Store) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	if storeHash(a) != storeHash(b) {
+		return false
+	}
+	ok := true
+	i := 0
+	a.Each(func(t storage.Triple) bool {
+		i++
+		if i%997 != 0 {
+			return true
+		}
+		for mask := 0; mask < 8; mask++ {
+			p := storage.Pattern{}
+			if mask&1 != 0 {
+				p.S = t.S
+			}
+			if mask&2 != 0 {
+				p.P = t.P
+			}
+			if mask&4 != 0 {
+				p.O = t.O
+			}
+			if a.Count(p) != b.Count(p) {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// storeHash hashes the full triple stream of the store (FNV-1a over the
+// ID words, the same mixing the schema stamp uses).
+func storeHash(s *storage.Store) uint64 {
+	h := uint64(fnvOffset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime64
+			v >>= 8
+		}
+	}
+	s.Each(func(t storage.Triple) bool {
+		mix(uint64(t.S))
+		mix(uint64(t.P))
+		mix(uint64(t.O))
+		return true
+	})
+	return h
+}

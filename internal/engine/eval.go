@@ -94,6 +94,12 @@ func (e *Engine) EvalArms(head []uint32, arms []ArmSource) (*Relation, Metrics, 
 		snap:   e.store.Snapshot(),
 		shared: !e.noShared,
 	}
+	// Release runs after the deferred scanCache release below (LIFO), so
+	// every cached range subslice borrowed from the snapshot's decoded
+	// blocks is dropped before the snapshot returns them to the pool. By
+	// then all evaluation workers have joined (evalArms returns only
+	// after its wait groups), so no read is in flight.
+	defer ctx.snap.Release()
 	if ctx.shared {
 		ctx.scans = newScanCache()
 		defer ctx.scans.release()

@@ -24,11 +24,19 @@ type Maintained struct {
 
 // NewMaintained builds the maintained saturation of the explicit triples.
 func NewMaintained(explicit []storage.Triple, sch *schema.Closed, orders ...storage.Order) *Maintained {
+	return NewMaintainedFrom(sliceSeq(explicit), sch, orders...)
+}
+
+// NewMaintainedFrom is NewMaintained over a streamed triple source,
+// which is iterated twice (once for the explicit store, once for the
+// saturation) and so must be re-iterable — a store's Each is.
+func NewMaintainedFrom(each Seq, sch *schema.Closed, orders ...storage.Order) *Maintained {
 	eb := storage.NewBuilder(orders...)
-	for _, t := range explicit {
+	each(func(t storage.Triple) bool {
 		eb.Add(t)
-	}
-	sat, _ := Store(explicit, sch, orders...)
+		return true
+	})
+	sat, _ := StoreFrom(each, sch, orders...)
 	return &Maintained{sch: sch, explicit: eb.Build(), sat: sat}
 }
 

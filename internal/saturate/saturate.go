@@ -53,18 +53,45 @@ type Result struct {
 	Implicit int // derived triples that were not already explicit
 }
 
+// Seq is a callback iterator over triples: it calls yield for each
+// triple and stops early if yield returns false. storage.Store.Each
+// satisfies it, which is how saturation is seeded from an existing store
+// without materializing an O(store) slice first.
+type Seq = func(yield func(storage.Triple) bool)
+
 // Store builds a saturated store from the given data triples: the input
 // triples plus every implicit triple, deduplicated and indexed with the
 // given orders (storage.DefaultOrders if empty).
 func Store(data []storage.Triple, sch *schema.Closed, orders ...storage.Order) (*storage.Store, Result) {
+	st, _ := StoreFrom(sliceSeq(data), sch, orders...)
+	return st, Result{Explicit: len(data), Implicit: st.Len() - countDistinct(data)}
+}
+
+// StoreFrom is Store over a streamed triple source. The source must
+// yield distinct triples (a store's Each does) — Result.Explicit counts
+// the triples yielded.
+func StoreFrom(each Seq, sch *schema.Closed, orders ...storage.Order) (*storage.Store, Result) {
 	b := storage.NewBuilder(orders...)
-	for _, t := range data {
+	n := 0
+	each(func(t storage.Triple) bool {
+		n++
 		b.Add(t)
 		Derived(t, sch, b.Add)
-	}
+		return true
+	})
 	st := b.Build()
-	res := Result{Explicit: len(data), Implicit: st.Len() - countDistinct(data)}
-	return st, res
+	return st, Result{Explicit: n, Implicit: st.Len() - n}
+}
+
+// sliceSeq adapts a triple slice to a Seq.
+func sliceSeq(ts []storage.Triple) Seq {
+	return func(yield func(storage.Triple) bool) {
+		for _, t := range ts {
+			if !yield(t) {
+				return
+			}
+		}
+	}
 }
 
 // countDistinct returns the number of distinct triples in ts without

@@ -56,7 +56,7 @@ func Collect(store *storage.Store, vocab schema.Vocab) *Stats {
 	byProp := make(map[dict.ID]*PropStat)
 	subjSets := make(map[dict.ID]map[dict.ID]struct{})
 	objSets := make(map[dict.ID]map[dict.ID]struct{})
-	for _, t := range store.Triples() {
+	store.Each(func(t storage.Triple) bool {
 		ps := byProp[t.P]
 		if ps == nil {
 			ps = &PropStat{}
@@ -67,13 +67,14 @@ func Collect(store *storage.Store, vocab schema.Vocab) *Stats {
 		ps.Count++
 		subjSets[t.P][t.S] = struct{}{}
 		objSets[t.P][t.O] = struct{}{}
-	}
+		return true
+	})
 	for p, ps := range byProp {
 		ps.DistinctS = len(subjSets[p])
 		ps.DistinctO = len(objSets[p])
 		st.props[p] = *ps
 	}
-	// Read the version after the pass: Triples() above may have compacted
+	// Read the version after the pass: Each() above may have compacted
 	// the store (bumping it), and the memo starts empty either way.
 	//lint:ignore lockguard construction: st is not shared until Collect returns
 	st.memoVersion = store.Version()

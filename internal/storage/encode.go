@@ -1,0 +1,120 @@
+// Block encoding for the compressed frozen representation: one block
+// holds a fixed target number of consecutive triples of one permutation
+// index, encoded column-wise in the index's sort order.
+//
+// The leading sort column is run-length encoded (its value repeats for
+// long stretches of a sorted index — every triple of one subject in SPO,
+// of one property in POS), the second column is delta-coded within the
+// run (it is non-decreasing there), and the third column is delta-coded
+// while the second column holds still and stored raw when it moves. All
+// values and deltas are unsigned LEB128 varints, so dense dictionary IDs
+// cost one or two bytes instead of twelve per triple. Every block is
+// self-contained — deltas never cross a block boundary — which is what
+// lets blocks decode independently and encode in parallel.
+package storage
+
+import "repro/internal/dict"
+
+// appendUvarint appends v in unsigned LEB128.
+func appendUvarint(dst []byte, v uint32) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// readUvarint decodes one unsigned LEB128 value at pos, returning the
+// value and the position after it. The encoder above is the only
+// producer, so the input is trusted; a truncated buffer fails loudly via
+// the bounds check.
+func readUvarint(data []byte, pos int) (uint32, int) {
+	var v uint32
+	var shift uint
+	for {
+		b := data[pos]
+		pos++
+		v |= uint32(b&0x7f) << shift
+		if b < 0x80 {
+			return v, pos
+		}
+		shift += 7
+	}
+}
+
+// encodeBlock appends the encoding of ts — sorted under perm — to dst
+// and returns the extended buffer. The layout is a sequence of runs:
+//
+//	uvarint(k0 − prev run's k0)   leading-column value, delta-coded
+//	uvarint(run length)
+//	per triple of the run:
+//	    uvarint(k1 − prev k1 in run)            second column
+//	    if that delta is zero:  uvarint(k2 − prev k2)
+//	    else:                   uvarint(k2)     third column restarts
+//
+// At the start of a block the previous run value is zero, and at the
+// start of a run the previous k1/k2 are zero, so the first occurrences
+// encode their raw values under the same rule — no special cases, and no
+// state crosses block boundaries.
+func encodeBlock(dst []byte, ts []Triple, perm [3]int) []byte {
+	var prevRun uint32
+	i := 0
+	for i < len(ts) {
+		k0 := uint32(key(ts[i])[perm[0]])
+		j := i
+		for j < len(ts) && uint32(key(ts[j])[perm[0]]) == k0 {
+			j++
+		}
+		dst = appendUvarint(dst, k0-prevRun)
+		dst = appendUvarint(dst, uint32(j-i))
+		prevRun = k0
+		var prevK1, prevK2 uint32
+		for ; i < j; i++ {
+			k := key(ts[i])
+			k1, k2 := uint32(k[perm[1]]), uint32(k[perm[2]])
+			d1 := k1 - prevK1
+			dst = appendUvarint(dst, d1)
+			if d1 == 0 {
+				dst = appendUvarint(dst, k2-prevK2)
+			} else {
+				dst = appendUvarint(dst, k2)
+			}
+			prevK1, prevK2 = k1, k2
+		}
+	}
+	return dst
+}
+
+// decodeBlockInto decodes a block payload into dst, which must have room
+// for exactly the block's triple count, and returns the number written.
+func decodeBlockInto(dst []Triple, data []byte, perm [3]int) int {
+	var runVal uint32
+	pos := 0
+	w := 0
+	for pos < len(data) {
+		var d0, runLen uint32
+		d0, pos = readUvarint(data, pos)
+		runLen, pos = readUvarint(data, pos)
+		runVal += d0
+		var k1, k2 uint32
+		for r := uint32(0); r < runLen; r++ {
+			var d1 uint32
+			d1, pos = readUvarint(data, pos)
+			k1 += d1
+			if d1 == 0 {
+				var d2 uint32
+				d2, pos = readUvarint(data, pos)
+				k2 += d2
+			} else {
+				k2, pos = readUvarint(data, pos)
+			}
+			var k [3]dict.ID
+			k[perm[0]] = dict.ID(runVal)
+			k[perm[1]] = dict.ID(k1)
+			k[perm[2]] = dict.ID(k2)
+			dst[w] = Triple{S: k[0], P: k[1], O: k[2]}
+			w++
+		}
+	}
+	return w
+}

@@ -1,0 +1,506 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/dict"
+)
+
+// buildPair builds the same triple set twice — flat and compressed with
+// deliberately tiny blocks so every lookup crosses block boundaries —
+// and applies an identical mutation mix to both, so the pair carries the
+// same delta and tombstones over different physical representations.
+func buildPair(t *testing.T, rng *rand.Rand, n int, maxID dict.ID, orders ...Order) (flat, comp *Store, data []Triple) {
+	t.Helper()
+	data = randomTriples(rng, n, maxID)
+	mk := func(c Compression) *Store {
+		b := NewBuilder(orders...).WithCompression(c).WithBlockSize(16).WithParallelism(4)
+		for _, tr := range data {
+			b.Add(tr)
+		}
+		return b.Build()
+	}
+	flat, comp = mk(CompressionOff), mk(CompressionOn)
+	if len(comp.frozen) > 0 && comp.frozen[comp.orders[0]] == nil {
+		t.Fatalf("CompressionOn store is not frozen")
+	}
+	return flat, comp, data
+}
+
+// mutatePair applies the same adds and removes to both stores.
+func mutatePair(flat, comp *Store, rng *rand.Rand, data []Triple, maxID dict.ID) {
+	for i := 0; i < len(data)/5; i++ {
+		victim := data[rng.Intn(len(data))]
+		flat.Remove(victim)
+		comp.Remove(victim)
+	}
+	for i := 0; i < len(data)/5; i++ {
+		add := Triple{
+			S: dict.ID(rng.Intn(int(maxID)) + 1),
+			P: dict.ID(rng.Intn(8) + 1),
+			O: dict.ID(rng.Intn(int(maxID)) + 1),
+		}
+		flat.Add(add)
+		comp.Add(add)
+	}
+}
+
+// probePatterns derives a deterministic mix of pattern shapes from the
+// data: every bound-position combination, plus misses.
+func probePatterns(rng *rand.Rand, data []Triple, k int) []Pattern {
+	var ps []Pattern
+	for i := 0; i < k; i++ {
+		ps = append(ps, allPatterns(data[rng.Intn(len(data))])...)
+	}
+	ps = append(ps, Pattern{S: math.MaxUint32}, Pattern{P: math.MaxUint32, O: 1})
+	return ps
+}
+
+func TestFrozenDifferentialStore(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, orders := range [][]Order{nil, AllOrders} {
+		flat, comp, data := buildPair(t, rng, 600, 50, orders...)
+		mutatePair(flat, comp, rng, data, 50)
+		if flat.Len() != comp.Len() {
+			t.Fatalf("len: flat %d, compressed %d", flat.Len(), comp.Len())
+		}
+		for _, p := range probePatterns(rng, data, 40) {
+			want := collectScan(flat.Scan, p)
+			got := collectScan(comp.Scan, p)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("orders %v pattern %+v: compressed scan %v, flat scan %v", orders, p, got, want)
+			}
+			if cf, cc := flat.Count(p), comp.Count(p); cf != cc {
+				t.Fatalf("pattern %+v: compressed count %d, flat count %d", p, cc, cf)
+			}
+		}
+		for _, tr := range data[:80] {
+			if flat.Contains(tr) != comp.Contains(tr) {
+				t.Fatalf("contains(%v): flat %v, compressed %v", tr, flat.Contains(tr), comp.Contains(tr))
+			}
+		}
+	}
+}
+
+func TestFrozenDifferentialSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, withMutations := range []bool{false, true} {
+		flat, comp, data := buildPair(t, rng, 600, 50)
+		if withMutations {
+			mutatePair(flat, comp, rng, data, 50)
+		}
+		fs, cs := flat.Snapshot(), comp.Snapshot()
+		for _, p := range probePatterns(rng, data, 40) {
+			want := collectScan(fs.Scan, p)
+			got := collectScan(cs.Scan, p)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("mut=%v pattern %+v: compressed snapshot scan %v, flat %v", withMutations, p, got, want)
+			}
+			if cf, cc := fs.Count(p), cs.Count(p); cf != cc {
+				t.Fatalf("pattern %+v: snapshot count flat %d, compressed %d", p, cf, cc)
+			}
+			fr, fok := fs.Range(p)
+			cr, cok := cs.Range(p)
+			if fok && cok {
+				if !reflect.DeepEqual(append([]Triple{}, fr...), append([]Triple{}, cr...)) {
+					t.Fatalf("pattern %+v: range content differs (flat %d triples, compressed %d)", p, len(fr), len(cr))
+				}
+			}
+			// Whatever each representation answered, replaying the range
+			// through ScanRange must equal Scan — the engine's contract.
+			if cok {
+				viaRange := collectScan(func(p Pattern, f func(Triple) bool) { cs.ScanRange(cr, p, f) }, p)
+				if !reflect.DeepEqual(viaRange, want) {
+					t.Fatalf("pattern %+v: compressed ScanRange(Range()) %v, want %v", p, viaRange, want)
+				}
+			}
+		}
+		fs.Release()
+		cs.Release()
+	}
+}
+
+func TestFrozenDifferentialMultiRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	flat, comp, data := buildPair(t, rng, 900, 60)
+	fs, cs := flat.Snapshot(), comp.Snapshot()
+	defer fs.Release()
+	defer cs.Release()
+
+	families := []struct {
+		g    Pattern
+		vpos int
+	}{
+		{Pattern{}, 0},                           // vary S over the SPO index
+		{Pattern{P: data[0].P}, 2},               // vary O over the POS index
+		{Pattern{S: data[1].S, P: data[1].P}, 2}, // fully bound members
+		{Pattern{O: data[2].O}, 0},               // vary S over the OSP index
+		{Pattern{P: data[3].P}, 0},               // wrong vpos: both must decline
+	}
+	for fi, fam := range families {
+		var consts []dict.ID
+		for i := 0; i < 12; i++ {
+			consts = append(consts, dict.ID(rng.Intn(60)+1))
+		}
+		consts = append(consts, consts[len(consts)-1]) // equal repeat
+		sortIDs(consts)
+		fr, fok := fs.MultiRange(fam.g, fam.vpos, consts, nil)
+		cr, cok := cs.MultiRange(fam.g, fam.vpos, consts, nil)
+		if fok != cok {
+			t.Fatalf("family %d: flat ok=%v, compressed ok=%v", fi, fok, cok)
+		}
+		if !fok {
+			continue
+		}
+		if len(fr) != len(cr) {
+			t.Fatalf("family %d: %d vs %d ranges", fi, len(fr), len(cr))
+		}
+		for i := range fr {
+			if !reflect.DeepEqual(append([]Triple{}, fr[i]...), append([]Triple{}, cr[i]...)) {
+				t.Fatalf("family %d range %d: flat %v, compressed %v", fi, i, fr[i], cr[i])
+			}
+		}
+	}
+}
+
+func sortIDs(ids []dict.ID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// TestFrozenSnapshotIsolationAcrossCompact pins a snapshot of a frozen
+// store, mutates and compacts the store (which replaces the whole frozen
+// generation), and checks the snapshot still answers from the old
+// generation, byte-identically to a flat snapshot taken at the same
+// point.
+func TestFrozenSnapshotIsolationAcrossCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	flat, comp, data := buildPair(t, rng, 600, 50)
+	mutatePair(flat, comp, rng, data, 50)
+	fs, cs := flat.Snapshot(), comp.Snapshot()
+	defer fs.Release()
+	defer cs.Release()
+
+	// Mutate past the snapshot and fold everything — the compressed
+	// store re-encodes every block, the flat one re-sorts.
+	mutatePair(flat, comp, rng, data, 50)
+	flat.Compact()
+	comp.Compact()
+	mutatePair(flat, comp, rng, data, 50)
+
+	for _, p := range probePatterns(rng, data, 30) {
+		want := collectScan(fs.Scan, p)
+		got := collectScan(cs.Scan, p)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pattern %+v after compact: snapshot scan %v, want %v", p, got, want)
+		}
+	}
+	// And the live stores agree with each other post-compaction.
+	for _, p := range probePatterns(rng, data, 30) {
+		if !reflect.DeepEqual(collectScan(comp.Scan, p), collectScan(flat.Scan, p)) {
+			t.Fatalf("pattern %+v: live stores disagree after compact", p)
+		}
+	}
+}
+
+// TestFrozenCompactTransitionsRepresentation checks CompressionAuto
+// crossing the threshold on Compact: a store built small (flat) that
+// grows past compressMinTriples becomes frozen on the next Compact, with
+// identical contents.
+func TestFrozenCompactTransitionsRepresentation(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	b := NewBuilder()
+	data := randomTriples(rng, compressMinTriples/2, 4000)
+	for _, tr := range data {
+		b.Add(tr)
+	}
+	s := b.Build()
+	if s.frozen[OrderSPO] != nil {
+		t.Fatalf("small store should be flat under CompressionAuto")
+	}
+	var added []Triple
+	for i := 0; len(added) < compressMinTriples; i++ {
+		tr := Triple{
+			S: dict.ID(rng.Intn(4000) + 1),
+			P: dict.ID(rng.Intn(8) + 1),
+			O: dict.ID(rng.Intn(4000) + 1),
+		}
+		if s.Add(tr) {
+			added = append(added, tr)
+		}
+	}
+	s.Compact()
+	if s.frozen[OrderSPO] == nil {
+		t.Fatalf("store with %d triples should be frozen after Compact", s.Len())
+	}
+	for _, tr := range added {
+		if !s.Contains(tr) {
+			t.Fatalf("lost %v across the flat→frozen transition", tr)
+		}
+	}
+	checkAgainstLinear(t, s, append(append([]Triple{}, data...), added...),
+		probePatterns(rng, data, 20))
+}
+
+// TestLoaderParallelismEquivalence proves the chunked parallel sort and
+// block encode produce byte-identical indexes to the serial path.
+func TestLoaderParallelismEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := randomTriples(rng, parallelSortMin+3000, 2000)
+	mk := func(par int) *Store {
+		b := NewBuilder(AllOrders...).WithCompression(CompressionOn).WithParallelism(par)
+		for _, tr := range data {
+			b.Add(tr)
+		}
+		return b.Build()
+	}
+	serial, parallel := mk(1), mk(8)
+	for _, o := range AllOrders {
+		a, b := serial.frozen[o], parallel.frozen[o]
+		if a.n != b.n || len(a.blocks) != len(b.blocks) || a.dataBytes != b.dataBytes {
+			t.Fatalf("order %v: shape differs (%d/%d blocks, %d/%d bytes)", o, len(a.blocks), len(b.blocks), a.dataBytes, b.dataBytes)
+		}
+		for i := range a.blocks {
+			if !reflect.DeepEqual(a.blocks[i].data, b.blocks[i].data) ||
+				a.blocks[i].first != b.blocks[i].first ||
+				a.blocks[i].off != b.blocks[i].off {
+				t.Fatalf("order %v block %d differs between par=1 and par=8", o, i)
+			}
+		}
+	}
+}
+
+// TestEncodeBlockRoundTrip exercises the varint/delta/RLE encoder on
+// edge shapes: single triples, maximal IDs, long runs, descending
+// second-column restarts, and exact block-boundary sizes.
+func TestEncodeBlockRoundTrip(t *testing.T) {
+	cases := [][]Triple{
+		{{S: 1, P: 1, O: 1}},
+		{{S: math.MaxUint32, P: math.MaxUint32, O: math.MaxUint32}},
+		{{S: 1, P: 1, O: 1}, {S: 1, P: 1, O: math.MaxUint32}, {S: 1, P: 2, O: 1}, {S: math.MaxUint32, P: 1, O: 5}},
+		// One long run with the third column restarting downward.
+		{{S: 7, P: 1, O: 900}, {S: 7, P: 2, O: 3}, {S: 7, P: 3, O: 2}, {S: 7, P: 3, O: 1000}},
+	}
+	rng := rand.New(rand.NewSource(3))
+	big := randomTriples(rng, 1024, 30)
+	sortByOrder(big, OrderSPO.perm())
+	big = dedupSorted(big)
+	cases = append(cases, big)
+
+	for _, perm := range [][3]int{OrderSPO.perm(), OrderPOS.perm(), OrderOSP.perm()} {
+		for ci, ts := range cases {
+			in := append([]Triple{}, ts...)
+			sortByOrder(in, perm)
+			data := encodeBlock(nil, in, perm)
+			out := make([]Triple, len(in))
+			if n := decodeBlockInto(out, data, perm); n != len(in) {
+				t.Fatalf("case %d perm %v: decoded %d of %d", ci, perm, n, len(in))
+			}
+			if !reflect.DeepEqual(out, in) {
+				t.Fatalf("case %d perm %v: round trip mismatch", ci, perm)
+			}
+		}
+	}
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	vals := []uint32{0, 1, 127, 128, 16383, 16384, 1<<21 - 1, 1 << 21, math.MaxUint32}
+	var buf []byte
+	for _, v := range vals {
+		buf = appendUvarint(buf, v)
+	}
+	pos := 0
+	for _, want := range vals {
+		var got uint32
+		got, pos = readUvarint(buf, pos)
+		if got != want {
+			t.Fatalf("uvarint round trip: got %d, want %d", got, want)
+		}
+	}
+	if pos != len(buf) {
+		t.Fatalf("trailing bytes: %d of %d consumed", pos, len(buf))
+	}
+}
+
+// TestBlockBufPool checks the ref-count contract: a buffer with live
+// references never returns to the pool, and release is balanced.
+func TestBlockBufPool(t *testing.T) {
+	b := decodePool.get(100)
+	if len(b.ts) != 100 {
+		t.Fatalf("got len %d, want 100", len(b.ts))
+	}
+	if b.class < 0 {
+		t.Fatalf("100-triple request should be pooled")
+	}
+	b.retain()
+	b.release()
+	if got := b.refs.Load(); got != 1 {
+		t.Fatalf("refs after retain+release: %d, want 1", got)
+	}
+	b.release() // returns to pool
+
+	huge := decodePool.get(minBufClass<<numBufClasses + 1)
+	if huge.class != -1 {
+		t.Fatalf("oversized request should be unpooled")
+	}
+	huge.release()
+}
+
+// TestFrozenViewRelease checks that releasing the last reference drops
+// the cached blocks and spans.
+func TestFrozenViewRelease(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	_, comp, data := buildPair(t, rng, 400, 40)
+	sn := comp.Snapshot()
+	for _, tr := range data[:20] {
+		sn.Scan(Pattern{S: tr.S}, func(Triple) bool { return true })
+		sn.Range(Pattern{P: tr.P})
+	}
+	v := sn.frozen[OrderSPO]
+	if v == nil {
+		t.Fatalf("no frozen view on compressed snapshot")
+	}
+	sn.Release()
+	sn.Release() // idempotent
+	if got := v.refs.Load(); got != 1 {
+		t.Fatalf("view refs after snapshot release: %d, want 1 (the store's)", got)
+	}
+}
+
+// TestFrozenRangeDeclinesWideSpans builds a store wider than the span
+// cap and checks Range declines the unbounded pattern while Scan still
+// streams it, so the engine's fallback path stays correct.
+func TestFrozenRangeDeclinesWideSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	b := NewBuilder().WithCompression(CompressionOn)
+	seen := 0
+	for seen < maxSpanTriples+500 {
+		b.Add(Triple{
+			S: dict.ID(rng.Intn(1 << 20)),
+			P: dict.ID(rng.Intn(8) + 1),
+			O: dict.ID(rng.Intn(1 << 20)),
+		})
+		seen++
+	}
+	s := b.Build()
+	sn := s.Snapshot()
+	defer sn.Release()
+	if _, ok := sn.Range(Pattern{}); ok {
+		t.Fatalf("Range should decline a %d-triple span", s.Len())
+	}
+	n := 0
+	sn.Scan(Pattern{}, func(Triple) bool { n++; return true })
+	if n != s.Len() {
+		t.Fatalf("Scan streamed %d of %d", n, s.Len())
+	}
+}
+
+// TestEachMatchesTriples checks the streaming iterator: same order and
+// contents as Triples, early stop honored, on both representations.
+func TestEachMatchesTriples(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	flat, comp, data := buildPair(t, rng, 500, 40)
+	mutatePair(flat, comp, rng, data, 40)
+	for _, s := range []*Store{flat, comp} {
+		want := s.Triples()
+		var got []Triple
+		s.Each(func(tr Triple) bool { got = append(got, tr); return true })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Each != Triples (%d vs %d triples)", len(got), len(want))
+		}
+		n := 0
+		s.Each(func(Triple) bool { n++; return n < 10 })
+		if n != 10 {
+			t.Fatalf("early stop: visited %d, want 10", n)
+		}
+	}
+}
+
+// TestFootprint sanity-checks the resident-size report: the compressed
+// form of a realistic store must be substantially smaller than flat.
+func TestFootprint(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	flat, comp, _ := buildPair(t, rng, 5000, 400)
+	ff, cf := flat.Footprint(), comp.Footprint()
+	if ff.Compressed || !cf.Compressed {
+		t.Fatalf("footprint representation flags wrong: flat=%+v compressed=%+v", ff, cf)
+	}
+	if ff.Triples != cf.Triples {
+		t.Fatalf("triple counts differ: %d vs %d", ff.Triples, cf.Triples)
+	}
+	if ff.FlatBytes == 0 || cf.BlockBytes == 0 || cf.Blocks == 0 {
+		t.Fatalf("zero sizes: flat=%+v compressed=%+v", ff, cf)
+	}
+	// Tiny 16-triple test blocks carry heavy directory overhead; compare
+	// payload alone, which must beat 24 bytes/triple/order comfortably.
+	if cf.BlockBytes*3 > ff.FlatBytes {
+		t.Fatalf("compression too weak: %d block bytes vs %d flat", cf.BlockBytes, ff.FlatBytes)
+	}
+}
+
+// TestFrozenConcurrentScansRaceLoader is the -race stress test: snapshot
+// scans and live-store reads race Add/Remove/Compact — the bulk-loader
+// path that swaps whole frozen generations — on a compressed store.
+func TestFrozenConcurrentScansRaceLoader(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	data := randomTriples(rng, 3000, 200)
+	b := NewBuilder().WithCompression(CompressionOn).WithBlockSize(64)
+	for _, tr := range data {
+		b.Add(tr)
+	}
+	s := b.Build()
+
+	const readers = 4
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(readers)
+	for r := 0; r < readers; r++ {
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				sn := s.Snapshot()
+				p := allPatterns(data[rng.Intn(len(data))])[rng.Intn(8)]
+				n := 0
+				sn.Scan(p, func(Triple) bool { n++; return true })
+				if c := sn.Count(p); c != n {
+					t.Errorf("snapshot count %d != scanned %d", c, n)
+				}
+				if sub, ok := sn.Range(p); ok {
+					for range sub {
+					}
+				}
+				sn.Release()
+			}
+		}(int64(r))
+	}
+	wrng := rand.New(rand.NewSource(202))
+	for i := 0; i < 200; i++ {
+		switch i % 10 {
+		case 9:
+			s.Compact()
+		case 8:
+			s.Remove(data[wrng.Intn(len(data))])
+		default:
+			s.Add(Triple{
+				S: dict.ID(wrng.Intn(200) + 1),
+				P: dict.ID(wrng.Intn(8) + 1),
+				O: dict.ID(wrng.Intn(200) + 1),
+			})
+		}
+	}
+	close(done)
+	wg.Wait()
+}

@@ -10,35 +10,44 @@
 // scans and MVCC snapshots. Snapshot is this reproduction's equivalent:
 // the engine pins one Snapshot at the top of an evaluation and every
 // bind-join, statistics probe and shard worker reads through it.
+//
+// Over the compressed frozen representation a snapshot reads through the
+// store generation's shared frozenView cursors (retained at capture):
+// Scan streams blocks, Range hands out lazily-decoded cached views with
+// the same zero-copy stability contract as flat subslices, and the
+// optional Release returns the cached decode buffers to the pool early.
 package storage
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/dict"
 )
 
 // Snapshot is an immutable view of a Store at one mutation version.
 // The sorted indexes are shared zero-copy with the store (mutations
-// always install fresh index slices, never write through old ones);
-// the small delta and tombstone sets are copied at capture time because
-// Add and Remove update them in place. All methods are safe for
+// always install fresh index slices and views, never write through old
+// ones); the small delta and tombstone sets are copied at capture time
+// because Add and Remove update them in place. All methods are safe for
 // concurrent use by any number of goroutines without synchronization,
 // and — unlike Store.Scan callbacks — may be nested freely and may run
 // concurrently with store mutations.
 type Snapshot struct {
-	version uint64
-	orders  []Order
-	indexes [numOrders][]Triple
-	delta   []Triple            // additions not yet compacted, in insertion order
-	deleted map[Triple]struct{} // tombstoned sorted entries
-	n       int
+	version  uint64
+	orders   []Order
+	indexes  [numOrders][]Triple
+	frozen   [numOrders]*frozenView // retained cursors; nil for flat or unused orders
+	delta    []Triple               // additions not yet compacted, in insertion order
+	deleted  map[Triple]struct{}    // tombstoned sorted entries
+	n        int
+	released atomic.Bool
 }
 
 // Snapshot captures an immutable view of the store's current contents.
 // The capture cost is one read-lock acquisition plus a copy of the
 // (typically empty) delta and tombstone sets; on a frozen store it is a
-// handful of pointer copies.
+// handful of pointer copies and view retains.
 func (s *Store) Snapshot() *Snapshot {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -47,6 +56,12 @@ func (s *Store) Snapshot() *Snapshot {
 		orders:  s.orders,
 		indexes: s.indexes,
 		n:       s.n + len(s.delta) - len(s.deleted),
+	}
+	for _, o := range s.orders {
+		if v := s.views[o]; v != nil {
+			v.retain()
+			sn.frozen[o] = v
+		}
 	}
 	if len(s.delta) > 0 {
 		sn.delta = append([]Triple(nil), s.delta...)
@@ -58,6 +73,25 @@ func (s *Store) Snapshot() *Snapshot {
 		}
 	}
 	return sn
+}
+
+// Release drops the snapshot's references on the frozen-generation
+// cursors, letting their cached decode buffers return to the pool as
+// soon as the store has moved past the generation too. Calling it is
+// optional — an unreleased snapshot is reclaimed by the garbage
+// collector like any value, the pool just recycles less — but the
+// engine releases at the end of every evaluation, after all workers have
+// joined and every borrowed range subslice has been dropped. Any reads
+// through the snapshot after Release are invalid. Release is idempotent.
+func (sn *Snapshot) Release() {
+	if sn.released.Swap(true) {
+		return
+	}
+	for _, v := range sn.frozen {
+		if v != nil {
+			v.release()
+		}
+	}
 }
 
 // Version returns the store mutation version the snapshot was captured
@@ -73,12 +107,6 @@ func (sn *Snapshot) Len() int { return sn.n }
 // Orders returns the index orders the snapshot carries.
 func (sn *Snapshot) Orders() []Order { return sn.orders }
 
-// indexFor picks an index whose sort prefix covers the bound positions
-// of the pattern (see Store.indexFor).
-func (sn *Snapshot) indexFor(p Pattern) ([]Triple, [3]int) {
-	return pickIndex(sn.orders, &sn.indexes, p)
-}
-
 // Contains reports whether the triple is visible in the snapshot.
 func (sn *Snapshot) Contains(t Triple) bool {
 	if _, dead := sn.deleted[t]; dead {
@@ -90,8 +118,12 @@ func (sn *Snapshot) Contains(t Triple) bool {
 		}
 	}
 	p := Pattern{S: t.S, P: t.P, O: t.O}
-	idx, perm := sn.indexFor(p)
-	lo, hi := searchRange(idx, perm, p)
+	o := pickOrder(sn.orders, p)
+	if v := sn.frozen[o]; v != nil {
+		lo, hi := v.searchRange(p)
+		return hi > lo
+	}
+	lo, hi := searchRange(sn.indexes[o], o.perm(), p)
 	return hi > lo
 }
 
@@ -99,10 +131,42 @@ func (sn *Snapshot) Contains(t Triple) bool {
 // f returns false, in exactly the order Store.Scan would produce: the
 // sorted range first, then matching delta triples in insertion order.
 // No lock is held; f may nest further snapshot reads and may run
-// concurrently with store mutations.
+// concurrently with store mutations. On a frozen index the range streams
+// block by block, holding O(block) decoded memory however wide it is.
 func (sn *Snapshot) Scan(p Pattern, f func(Triple) bool) {
-	idx, perm := sn.indexFor(p)
-	lo, hi := searchRange(idx, perm, p)
+	o := pickOrder(sn.orders, p)
+	if v := sn.frozen[o]; v != nil {
+		lo, hi := v.searchRange(p)
+		stopped := false
+		v.iterate(lo, hi, func(t Triple) bool {
+			if !p.Matches(t) { // residual filter; no-op for covering indexes
+				return true
+			}
+			if len(sn.deleted) > 0 {
+				if _, dead := sn.deleted[t]; dead {
+					return true
+				}
+			}
+			if !f(t) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+		for _, t := range sn.delta {
+			if p.Matches(t) {
+				if !f(t) {
+					return
+				}
+			}
+		}
+		return
+	}
+	idx := sn.indexes[o]
+	lo, hi := searchRange(idx, o.perm(), p)
 	sn.ScanRange(idx[lo:hi], p, f)
 }
 
@@ -133,14 +197,23 @@ func (sn *Snapshot) ScanRange(sub []Triple, p Pattern, f func(Triple) bool) {
 	}
 }
 
-// Range returns the triples matching p as a zero-copy sorted subslice,
-// when the subslice alone is provably the exact answer: the pattern's
-// bound positions are a sort prefix of the chosen index (no residual
-// filter), no tombstones exist, and no delta triple matches. ok=false
-// means the caller must fall back to Scan; on a frozen store with the
-// default index set, every pattern shape takes the ok path.
+// Range returns the triples matching p as a sorted subslice, when the
+// subslice alone is provably the exact answer: the pattern's bound
+// positions are a sort prefix of the chosen index (no residual filter),
+// no tombstones exist, and no delta triple matches. ok=false means the
+// caller must fall back to Scan.
+//
+// On a flat index the subslice is zero-copy into the shared index. On a
+// frozen index it is a view of a lazily-decoded block (or a materialized
+// multi-block span) cached on the generation's cursor — equally stable
+// for the snapshot's lifetime, so callers (the engine's bind-joins and
+// scanCache) treat both identically; a range wider than the
+// materialization cap is declined (ok=false) and streams through Scan
+// instead. On a frozen store with the default index set, every pattern
+// shape narrower than the cap takes the ok path.
 func (sn *Snapshot) Range(p Pattern) (ts []Triple, ok bool) {
-	idx, perm := sn.indexFor(p)
+	o := pickOrder(sn.orders, p)
+	perm := o.perm()
 	if !coversBound(perm, p) {
 		return nil, false
 	}
@@ -152,22 +225,45 @@ func (sn *Snapshot) Range(p Pattern) (ts []Triple, ok bool) {
 			return nil, false
 		}
 	}
+	if v := sn.frozen[o]; v != nil {
+		lo, hi := v.searchRange(p)
+		return v.slice(lo, hi)
+	}
+	idx := sn.indexes[o]
 	lo, hi := searchRange(idx, perm, p)
 	return idx[lo:hi:hi], true
 }
 
 // Count returns the number of triples matching the pattern, exactly as
-// Store.Count would, without taking any lock.
+// Store.Count would, without taking any lock. Covered patterns on a
+// frozen index count through the fence-key directory — at most two
+// boundary blocks decode, never the range.
 func (sn *Snapshot) Count(p Pattern) int {
-	idx, perm := sn.indexFor(p)
-	lo, hi := searchRange(idx, perm, p)
+	o := pickOrder(sn.orders, p)
+	perm := o.perm()
 	n := 0
-	if coversBound(perm, p) {
-		n = hi - lo
+	if v := sn.frozen[o]; v != nil {
+		lo, hi := v.searchRange(p)
+		if coversBound(perm, p) {
+			n = hi - lo
+		} else {
+			v.iterate(lo, hi, func(t Triple) bool {
+				if p.Matches(t) {
+					n++
+				}
+				return true
+			})
+		}
 	} else {
-		for _, t := range idx[lo:hi] {
-			if p.Matches(t) {
-				n++
+		idx := sn.indexes[o]
+		lo, hi := searchRange(idx, perm, p)
+		if coversBound(perm, p) {
+			n = hi - lo
+		} else {
+			for _, t := range idx[lo:hi] {
+				if p.Matches(t) {
+					n++
+				}
 			}
 		}
 	}
@@ -192,16 +288,19 @@ func (sn *Snapshot) Count(p Pattern) int {
 // covering range of g left to right, so the whole family costs two
 // binary searches on the full index plus two per constant on the
 // remaining (ever-shrinking) range, instead of a full index lookup per
-// member.
+// member. On a frozen index the narrowing binary searches probe through
+// the fence directory with point decodes, and each member's subrange
+// materializes through the generation cursor exactly as Range would.
 //
 // ok=false means the index layout does not support a shared pass for
 // this shape (the varying position is not the next sort position after
 // g's bound prefix, a residual filter would be needed, the chosen index
-// differs from the one per-pattern scans would use, or consts are not
-// sorted); callers then fall back to per-pattern scans. ranges[i] is the
-// sorted range for g with vpos bound to consts[i] — exactly the
-// subslice Range would return for that pattern, so it must be replayed
-// through ScanRange to apply tombstones and delta.
+// differs from the one per-pattern scans would use, consts are not
+// sorted, or a member range exceeds the frozen materialization cap);
+// callers then fall back to per-pattern scans. ranges[i] is the sorted
+// range for g with vpos bound to consts[i] — exactly the subslice Range
+// would return for that pattern, so it must be replayed through
+// ScanRange to apply tombstones and delta.
 //
 // dst, when non-nil, is reused as the backing for the returned ranges
 // slice (the per-range subslice headers are copied out by value, so a
@@ -210,7 +309,8 @@ func (sn *Snapshot) MultiRange(g Pattern, vpos int, consts []dict.ID, dst [][]Tr
 	if vpos < 0 || vpos > 2 || len(consts) == 0 {
 		return nil, false
 	}
-	idx, perm := sn.indexFor(g)
+	o := pickOrder(sn.orders, g)
+	perm := o.perm()
 	if !coversBound(perm, g) {
 		return nil, false
 	}
@@ -224,16 +324,41 @@ func (sn *Snapshot) MultiRange(g Pattern, vpos int, consts []dict.ID, dst [][]Tr
 	// exempt: its range holds at most one triple.
 	if prefix+1 < 3 {
 		m := withPos(g, vpos, consts[0])
-		if _, mperm := sn.indexFor(m); mperm != perm {
+		if mo := pickOrder(sn.orders, m); mo.perm() != perm {
 			return nil, false
 		}
 	}
-	lo, hi := searchRange(idx, perm, g)
 	if cap(dst) >= len(consts) {
 		ranges = dst[:len(consts)]
 	} else {
 		ranges = make([][]Triple, len(consts))
 	}
+	if v := sn.frozen[o]; v != nil {
+		lo, hi := v.searchRange(g)
+		cursor := lo
+		for i, c := range consts {
+			if i > 0 {
+				if c < consts[i-1] {
+					return nil, false
+				}
+				if c == consts[i-1] {
+					ranges[i] = ranges[i-1]
+					continue
+				}
+			}
+			l := v.searchPos(cursor, hi, func(k [3]dict.ID) bool { return k[vpos] >= c })
+			h := v.searchPos(l, hi, func(k [3]dict.ID) bool { return k[vpos] > c })
+			sub, subOK := v.slice(l, h)
+			if !subOK {
+				return nil, false
+			}
+			ranges[i] = sub
+			cursor = h
+		}
+		return ranges, true
+	}
+	idx := sn.indexes[o]
+	lo, hi := searchRange(idx, perm, g)
 	cursor := lo
 	for i, c := range consts {
 		if i > 0 {

@@ -1,6 +1,6 @@
 // Package storage implements the Triples(s, p, o) table of the paper's
 // experimental setting (Section 5.1): dictionary-encoded triples held in
-// sorted arrays, one per index order, so that every triple-pattern shape
+// sorted indexes, one per index order, so that every triple-pattern shape
 // can be answered by a binary-searched range scan.
 //
 // The paper indexes the table by all six permutations of (s, p, o); three
@@ -8,6 +8,13 @@
 // combination of bound positions, so the store defaults to those three and
 // can be configured with all six (the difference is benchmarked by the
 // index-set ablation).
+//
+// A sorted index has two physical representations: a flat []Triple, whose
+// ranges are free zero-copy subslices, and the compressed block-columnar
+// frozen form (block.go/encode.go) that cuts resident bytes per triple by
+// roughly an order of magnitude at larger scales. The Compression policy
+// on the Builder picks between them; every read path works identically
+// over both and produces byte-identical answers.
 package storage
 
 import (
@@ -120,6 +127,12 @@ func less(order [3]int, a, b Triple) bool {
 // write lock. Scan callbacks run under the read lock and must not call
 // mutating store methods.
 //
+// Each sorted index lives in exactly one of two slots: indexes[o] (flat)
+// or frozen[o] (compressed block-columnar, read through the ref-counted
+// views[o] cursor shared with every snapshot of the current generation).
+// Mutations always install fresh indexes and fresh views — old
+// generations stay valid for the snapshots still holding them.
+//
 // Every state change bumps a monotonic version counter (see Version);
 // consumers such as the statistics memo and the plan cache stamp derived
 // artifacts with the version they were computed against and discard them
@@ -129,11 +142,17 @@ type Store struct {
 
 	mu      sync.RWMutex
 	orders  []Order
-	indexes [numOrders][]Triple // nil for unused orders
-	delta   []Triple            // unsorted recent additions
-	present map[Triple]struct{} // set semantics for Add
-	deleted map[Triple]struct{} // tombstones for Remove
+	indexes [numOrders][]Triple     // flat representation; nil when frozen or unused
+	frozen  [numOrders]*frozenIndex // compressed representation; nil when flat or unused
+	views   [numOrders]*frozenView  // current-generation cursors over frozen
+	delta   []Triple                // unsorted recent additions
+	present map[Triple]struct{}     // set semantics for Add
+	deleted map[Triple]struct{}     // tombstones for Remove
 	n       int
+
+	compress     Compression // policy applied on Build and every Compact
+	blockTriples int         // target triples per compressed block
+	par          int         // loader parallelism (0 = GOMAXPROCS)
 }
 
 // Version returns the store's mutation counter: it increases on every
@@ -146,6 +165,10 @@ func (s *Store) Version() uint64 { return s.version.Load() }
 type Builder struct {
 	orders  []Order
 	triples []Triple
+
+	par          int         // see WithParallelism
+	compress     Compression // see WithCompression
+	blockTriples int         // see WithBlockSize
 }
 
 // NewBuilder returns a builder using the given index orders (or
@@ -162,38 +185,6 @@ func (b *Builder) Add(t Triple) { b.triples = append(b.triples, t) }
 
 // Len returns the number of triples added so far (duplicates included).
 func (b *Builder) Len() int { return len(b.triples) }
-
-// Build sorts, deduplicates and indexes the triples, consuming the builder.
-func (b *Builder) Build() *Store {
-	s := &Store{orders: b.orders}
-	base := b.triples
-	b.triples = nil
-	sortByOrder(base, OrderSPO.perm())
-	base = dedupSorted(base)
-	//lint:ignore lockguard construction: s is not shared until Build returns
-	s.n = len(base)
-	for _, o := range b.orders {
-		if o == OrderSPO {
-			//lint:ignore lockguard construction: s is not shared until Build returns
-			s.indexes[o] = base
-			continue
-		}
-		cp := make([]Triple, len(base))
-		copy(cp, base)
-		sortByOrder(cp, o.perm())
-		//lint:ignore lockguard construction: s is not shared until Build returns
-		s.indexes[o] = cp
-	}
-	if !hasOrder(b.orders, OrderSPO) {
-		// base was sorted in SPO for dedup; re-sort it into the first
-		// requested order and store it there.
-		first := b.orders[0]
-		sortByOrder(base, first.perm())
-		//lint:ignore lockguard construction: s is not shared until Build returns
-		s.indexes[first] = base
-	}
-	return s
-}
 
 func hasOrder(orders []Order, o Order) bool {
 	for _, x := range orders {
@@ -284,7 +275,7 @@ func (s *Store) Remove(t Triple) bool {
 }
 
 // Compact merges the delta into the sorted indexes and drops tombstoned
-// triples.
+// triples (see compactLocked in loader.go for the merge strategy).
 func (s *Store) Compact() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -296,37 +287,6 @@ func (s *Store) Compact() {
 // layers use, and like every mutation it advances the version counter
 // when it changes state.
 func (s *Store) Freeze() { s.Compact() }
-
-// compactLocked does the work of Compact; the caller holds the write lock.
-func (s *Store) compactLocked() {
-	if len(s.delta) == 0 && len(s.deleted) == 0 {
-		return
-	}
-	rebuilt := make(map[Order][]Triple, len(s.orders))
-	for _, o := range s.orders {
-		src := s.indexes[o]
-		merged := make([]Triple, 0, len(src)+len(s.delta))
-		for _, t := range src {
-			if _, dead := s.deleted[t]; !dead {
-				merged = append(merged, t)
-			}
-		}
-		merged = append(merged, s.delta...)
-		sortByOrder(merged, o.perm())
-		rebuilt[o] = merged
-	}
-	for o, idx := range rebuilt {
-		s.indexes[o] = idx
-	}
-	s.n = s.n + len(s.delta) - len(s.deleted)
-	s.delta = nil
-	s.present = nil
-	s.deleted = nil
-	// The visible triple set is unchanged, but the physical layout the
-	// zero-copy readers (Triples) may be holding is not; a bump keeps
-	// version-stamped consumers maximally conservative.
-	s.version.Add(1)
-}
 
 // Contains reports whether the triple is in the store.
 func (s *Store) Contains(t Triple) bool {
@@ -344,24 +304,21 @@ func (s *Store) containsLocked(t Triple) bool {
 	if _, ok := s.present[t]; ok {
 		return true
 	}
-	idx, perm := s.indexFor(Pattern{S: t.S, P: t.P, O: t.O})
-	lo, hi := searchRange(idx, perm, Pattern{S: t.S, P: t.P, O: t.O})
+	p := Pattern{S: t.S, P: t.P, O: t.O}
+	o := pickOrder(s.orders, p)
+	if v := s.views[o]; v != nil {
+		lo, hi := v.searchRange(p)
+		return hi > lo
+	}
+	lo, hi := searchRange(s.indexes[o], o.perm(), p)
 	return hi > lo
 }
 
-// indexFor picks an index whose sort prefix covers the bound positions of
-// the pattern, so the matching triples form one contiguous range.
-func (s *Store) indexFor(p Pattern) ([]Triple, [3]int) {
-	//lint:ignore lockguard read-only borrow: every indexFor caller holds mu; pickIndex only reads through the pointer
-	return pickIndex(s.orders, &s.indexes, p)
-}
-
-// pickIndex implements indexFor for both Store and Snapshot: it returns
-// the first index whose sort prefix covers the bound positions of the
-// pattern, falling back to the first index (with a residual filter at
-// scan time) when no order covers them — possible with a custom order
-// set.
-func pickIndex(orders []Order, indexes *[numOrders][]Triple, p Pattern) ([]Triple, [3]int) {
+// pickOrder returns the first order whose sort prefix covers the bound
+// positions of the pattern, so the matching triples form one contiguous
+// range; it falls back to the first order (with a residual filter at scan
+// time) when no order covers them — possible with a custom order set.
+func pickOrder(orders []Order, p Pattern) Order {
 	bound := [3]bool{p.S != dict.None, p.P != dict.None, p.O != dict.None}
 	nBound := 0
 	for _, b := range bound {
@@ -379,43 +336,28 @@ func pickIndex(orders []Order, indexes *[numOrders][]Triple, p Pattern) ([]Tripl
 			}
 		}
 		if ok {
-			return indexes[o], perm
+			return o
 		}
 	}
-	return indexes[orders[0]], orders[0].perm()
+	return orders[0]
 }
 
 // searchRange returns the [lo, hi) range of triples matching the bound
-// prefix of the pattern under the given permutation.
+// prefix of the pattern under the given permutation. The frozen
+// counterpart is frozenView.searchRange.
 func searchRange(idx []Triple, perm [3]int, p Pattern) (int, int) {
-	want := [3]dict.ID{p.S, p.P, p.O}
-	prefix := 0
-	for prefix < 3 && want[perm[prefix]] != dict.None {
-		prefix++
-	}
+	want, prefix := prefixOf(perm, p)
 	if prefix == 0 {
 		return 0, len(idx)
 	}
-	cmp := func(t Triple) int { // -1 below, 0 inside, +1 above the prefix
-		k := key(t)
-		for i := 0; i < prefix; i++ {
-			pos := perm[i]
-			if k[pos] < want[pos] {
-				return -1
-			}
-			if k[pos] > want[pos] {
-				return 1
-			}
-		}
-		return 0
-	}
-	lo := sort.Search(len(idx), func(i int) bool { return cmp(idx[i]) >= 0 })
-	hi := sort.Search(len(idx), func(i int) bool { return cmp(idx[i]) > 0 })
+	lo := sort.Search(len(idx), func(i int) bool { return cmpPrefix(key(idx[i]), want, perm, prefix) >= 0 })
+	hi := sort.Search(len(idx), func(i int) bool { return cmpPrefix(key(idx[i]), want, perm, prefix) > 0 })
 	return lo, hi
 }
 
 // Scan calls f for every triple matching the pattern, stopping early if f
-// returns false. The sorted range is zero-copy; the delta is filtered.
+// returns false. The sorted range streams zero-copy (flat) or block by
+// block (frozen); the delta is filtered.
 //
 // Legacy locking contract: f runs under the store's read lock, must not
 // call mutating store methods (Add, Remove, Compact, Freeze, Triples),
@@ -427,20 +369,37 @@ func searchRange(idx []Triple, perm [3]int, p Pattern) (int, int) {
 func (s *Store) Scan(p Pattern, f func(Triple) bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	idx, perm := s.indexFor(p)
-	lo, hi := searchRange(idx, perm, p)
-	for _, t := range idx[lo:hi] {
+	o := pickOrder(s.orders, p)
+	stopped := false
+	visit := func(t Triple) bool {
 		if !p.Matches(t) { // residual filter; no-op for covering indexes
-			continue
+			return true
 		}
 		if len(s.deleted) > 0 {
 			if _, dead := s.deleted[t]; dead {
-				continue
+				return true
 			}
 		}
 		if !f(t) {
-			return
+			stopped = true
+			return false
 		}
+		return true
+	}
+	if v := s.views[o]; v != nil {
+		lo, hi := v.searchRange(p)
+		v.iterate(lo, hi, visit)
+	} else {
+		idx := s.indexes[o]
+		lo, hi := searchRange(idx, o.perm(), p)
+		for _, t := range idx[lo:hi] {
+			if !visit(t) {
+				break
+			}
+		}
+	}
+	if stopped {
+		return
 	}
 	for _, t := range s.delta {
 		if p.Matches(t) {
@@ -453,19 +412,37 @@ func (s *Store) Scan(p Pattern, f func(Triple) bool) {
 
 // Count returns the number of triples matching the pattern. For patterns
 // whose bound positions are a sort prefix of some index this is two binary
-// searches, which is what makes statistics collection cheap.
+// searches — on a frozen index the fence-key directory narrows them to at
+// most two boundary-block decodes, never a full decode — which is what
+// makes statistics collection cheap.
 func (s *Store) Count(p Pattern) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	idx, perm := s.indexFor(p)
-	lo, hi := searchRange(idx, perm, p)
+	o := pickOrder(s.orders, p)
+	perm := o.perm()
 	n := 0
-	if coversBound(perm, p) {
-		n = hi - lo
+	if v := s.views[o]; v != nil {
+		lo, hi := v.searchRange(p)
+		if coversBound(perm, p) {
+			n = hi - lo
+		} else {
+			v.iterate(lo, hi, func(t Triple) bool {
+				if p.Matches(t) {
+					n++
+				}
+				return true
+			})
+		}
 	} else {
-		for _, t := range idx[lo:hi] {
-			if p.Matches(t) {
-				n++
+		idx := s.indexes[o]
+		lo, hi := searchRange(idx, perm, p)
+		if coversBound(perm, p) {
+			n = hi - lo
+		} else {
+			for _, t := range idx[lo:hi] {
+				if p.Matches(t) {
+					n++
+				}
 			}
 		}
 	}
@@ -500,20 +477,135 @@ func coversBound(perm [3]int, p Pattern) bool {
 	return true
 }
 
-// Triples returns all triples in SPO order (delta compacted first). The
-// returned slice is a snapshot: later mutations build fresh index slices
-// and never write through it.
+// Triples returns all triples in SPO order (delta compacted first). It
+// materializes an O(store) slice on a frozen store or a custom order set;
+// callers that only iterate should use Each, which streams block by block
+// and allocates nothing on the flat path.
 func (s *Store) Triples() []Triple {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.compactLocked()
-	if idx := s.indexes[OrderSPO]; idx != nil {
-		return idx
+	ts, sorted := s.spoTriplesLocked()
+	if !sorted {
+		sortByOrder(ts, OrderSPO.perm())
 	}
-	// Custom order sets may lack SPO; return a sorted copy.
-	src := s.indexes[s.orders[0]]
+	return ts
+}
+
+// spoTriplesLocked returns the compacted store's triples, flat. sorted
+// reports whether they are already in SPO order; when false the slice is
+// a private copy the caller may sort in place. The flat-SPO case shares
+// the index zero-copy: later mutations build fresh index slices and never
+// write through it.
+func (s *Store) spoTriplesLocked() (ts []Triple, sorted bool) {
+	if idx := s.indexes[OrderSPO]; idx != nil {
+		return idx, true
+	}
+	if v := s.views[OrderSPO]; v != nil {
+		cp := make([]Triple, 0, s.n)
+		v.iterate(0, s.n, func(t Triple) bool { cp = append(cp, t); return true })
+		return cp, true
+	}
+	// Custom order sets may lack SPO entirely; copy out the first order.
+	first := s.orders[0]
+	if v := s.views[first]; v != nil {
+		cp := make([]Triple, 0, s.n)
+		v.iterate(0, s.n, func(t Triple) bool { cp = append(cp, t); return true })
+		return cp, false
+	}
+	src := s.indexes[first]
 	cp := make([]Triple, len(src))
 	copy(cp, src)
-	sortByOrder(cp, OrderSPO.perm())
-	return cp
+	return cp, false
+}
+
+// Each calls f for every triple in the store in SPO order (delta
+// compacted first), stopping early if f returns false. Unlike Triples it
+// never materializes the store: the flat representation iterates the
+// index in place and the frozen one streams block by block, so a full
+// pass holds O(block) decoded memory. f runs without the store lock —
+// the captured index generation is immutable — and may call any store
+// method.
+func (s *Store) Each(f func(Triple) bool) {
+	s.mu.Lock()
+	s.compactLocked()
+	flat := s.indexes[OrderSPO]
+	view := s.views[OrderSPO]
+	if flat == nil && view == nil {
+		// Custom order set without SPO: fall back to the sorted copy.
+		ts, sorted := s.spoTriplesLocked()
+		if !sorted {
+			sortByOrder(ts, OrderSPO.perm())
+		}
+		s.mu.Unlock()
+		for _, t := range ts {
+			if !f(t) {
+				return
+			}
+		}
+		return
+	}
+	n := s.n
+	if view != nil {
+		view.retain()
+	}
+	s.mu.Unlock()
+	if view != nil {
+		defer view.release()
+		view.iterate(0, n, f)
+		return
+	}
+	for _, t := range flat {
+		if !f(t) {
+			return
+		}
+	}
+}
+
+// Footprint describes the resident cost of the store's current index
+// representation (excluding the transient delta and tombstone sets).
+type Footprint struct {
+	Triples    int  // distinct triples in the sorted indexes
+	Orders     int  // index orders maintained
+	Compressed bool // true when the indexes are block-columnar
+
+	FlatBytes  int // flat []Triple index bytes (24 per triple per order)
+	BlockBytes int // compressed block payload bytes across orders
+	DirBytes   int // fence-key directory bytes across orders
+	Blocks     int // compressed blocks across orders
+}
+
+// IndexBytes returns the total resident index bytes.
+func (f Footprint) IndexBytes() int { return f.FlatBytes + f.BlockBytes + f.DirBytes }
+
+// BytesPerTriple returns resident index bytes divided by triple count,
+// summed over all maintained orders.
+func (f Footprint) BytesPerTriple() float64 {
+	if f.Triples == 0 {
+		return 0
+	}
+	return float64(f.IndexBytes()) / float64(f.Triples)
+}
+
+// fblockDirBytes approximates the in-memory size of one fence-directory
+// entry: the fence key (12), off and n (16), and the payload slice
+// header (24), padded.
+const fblockDirBytes = 56
+
+// Footprint reports the store's resident index cost.
+func (s *Store) Footprint() Footprint {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fp := Footprint{Triples: s.n, Orders: len(s.orders)}
+	for _, o := range s.orders {
+		if fz := s.frozen[o]; fz != nil {
+			fp.Compressed = true
+			fp.BlockBytes += fz.dataBytes
+			fp.DirBytes += len(fz.blocks) * fblockDirBytes
+			fp.Blocks += len(fz.blocks)
+			continue
+		}
+		fp.FlatBytes += len(s.indexes[o]) * 24
+	}
+	return fp
 }

@@ -347,7 +347,7 @@ func (s *Store) Saturate() int {
 	if s.sat != nil {
 		return s.sat.Store().Len() - s.raw.Len()
 	}
-	s.sat = saturate.NewMaintained(s.raw.Triples(), s.closed, s.orders...)
+	s.sat = saturate.NewMaintainedFrom(s.raw.Each, s.closed, s.orders...)
 	s.satStats = stats.Collect(s.sat.Store(), s.vocab)
 	return s.sat.Store().Len() - s.raw.Len()
 }

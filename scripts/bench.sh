@@ -10,7 +10,10 @@
 # always includes the plan-cache cold/warm pair with its hit rate
 # (cachedanswer) and the shared-scan on/off pair with its scan-cache hit
 # rate (sharedscan), after running the strict shared-vs-baseline
-# equality sweep. `make bench-json` and CI run exactly this script.
+# equality sweep, and the bulk-load scale sweep from `benchall
+# -loadjson` (flat vs compressed load throughput and bytes/triple
+# across REPRO_LOAD_SCALES). `make bench-json` and CI run exactly this
+# script.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,10 +23,12 @@ date="$(date -u +%Y-%m-%d)"
 out="BENCH_${date}.json"
 raw="$(mktemp)"
 stages="$(mktemp)"
-trap 'rm -f "$raw" "$stages"' EXIT
+load="$(mktemp)"
+trap 'rm -f "$raw" "$stages" "$load"' EXIT
 
 REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-tiny}"
 export REPRO_BENCH_SCALE
+REPRO_LOAD_SCALES="${REPRO_LOAD_SCALES:-tiny,small,medium}"
 
 echo "==> go test -bench=$pattern -benchmem (scale: $REPRO_BENCH_SCALE)"
 go test -run '^$' -bench "$pattern" -benchmem . | tee "$raw"
@@ -76,5 +81,8 @@ go run ./cmd/benchall -scale "$REPRO_BENCH_SCALE" -sharedscan
 echo "==> benchall -stagejson (traced per-stage breakdown)"
 go run ./cmd/benchall -scale "$REPRO_BENCH_SCALE" -stagejson "$stages"
 
-go run ./cmd/benchjson -in "$raw" -stages "$stages" -out "$out"
+echo "==> benchall -loadjson (bulk-load scale sweep: $REPRO_LOAD_SCALES)"
+go run ./cmd/benchall -loadscales "$REPRO_LOAD_SCALES" -loadjson "$load"
+
+go run ./cmd/benchjson -in "$raw" -stages "$stages" -load "$load" -out "$out"
 echo "==> wrote $out"
