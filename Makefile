@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint lint-fix-fixtures bench bench-json bench-scale check
+.PHONY: build test race vet lint lint-fix-fixtures bench bench-json bench-scale bench-serve serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,15 @@ bench-json:
 # load throughput and bytes/triple) and prints the JSON on stdout.
 bench-scale:
 	$(GO) run ./cmd/benchall -loadscales tiny,small,medium -loadjson -
+
+# bench-serve runs only the HTTP serve throughput sweep (an in-process
+# rdfserver driven by the load generator) and prints the JSON on stdout.
+bench-serve:
+	$(GO) run ./cmd/benchall -scale tiny -servejson -
+
+# serve-smoke exercises rdfserver + loadgen end to end on an ephemeral port.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 check:
 	./scripts/check.sh

@@ -58,6 +58,32 @@ func writeLoadSweep(names []string, par int, path string) error {
 	return werr
 }
 
+// writeServeSweep stands up an in-process rdfserver over the LUBM store
+// and drives it with the load generator, writing per-point throughput
+// and latency percentiles as JSON — the serve data scripts/bench.sh
+// embeds into the committed BENCH_*.json files.
+func writeServeSweep(sc benchkit.Scale, dur time.Duration, path string) error {
+	sweep, err := benchkit.MeasureServe(sc, benchkit.ServeOptions{Duration: dur})
+	if err != nil {
+		return err
+	}
+	if err := sweep.WriteText(os.Stderr); err != nil {
+		return err
+	}
+	if path == "-" {
+		return sweep.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := sweep.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
 // writeStageSweep answers a representative LUBM query set with every
 // reformulation strategy under tracing and writes the per-stage
 // breakdown as JSON — the stage data scripts/bench.sh embeds into the
@@ -95,6 +121,8 @@ func main() {
 	cacheSweep := flag.Bool("cache", false, "run only the plan-cache sweep (cold vs warm vs mutate-then-requery)")
 	sharedScan := flag.Bool("sharedscan", false, "run only the shared-scan on/off sweep")
 	stageJSON := flag.String("stagejson", "", "run the traced stage sweep and write its JSON to this file ('-' = stdout), then exit")
+	serveJSON := flag.String("servejson", "", "run the HTTP serve throughput sweep and write its JSON to this file ('-' = stdout), then exit")
+	serveDur := flag.Duration("serveduration", 2*time.Second, "per-point duration for -servejson")
 	loadJSON := flag.String("loadjson", "", "run the bulk-load scale sweep and write its JSON to this file ('-' = stdout), then exit")
 	loadScales := flag.String("loadscales", "tiny,small,medium", "comma-separated scales for -loadjson")
 	loadPar := flag.Int("loadpar", 0, "loader parallelism for -loadjson (0 = GOMAXPROCS)")
@@ -106,6 +134,14 @@ func main() {
 	if *loadJSON != "" {
 		names := strings.Split(*loadScales, ",")
 		if err := writeLoadSweep(names, *loadPar, *loadJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *serveJSON != "" {
+		if err := writeServeSweep(sc, *serveDur, *serveJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
 			os.Exit(1)
 		}

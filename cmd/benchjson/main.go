@@ -43,6 +43,9 @@ type report struct {
 	// Load embeds the bulk-load scale sweep produced by
 	// `benchall -loadjson` (see -load), verbatim.
 	Load json.RawMessage `json:"load,omitempty"`
+	// Serve embeds the HTTP serve throughput sweep produced by
+	// `benchall -servejson` (see -serve), verbatim.
+	Serve json.RawMessage `json:"serve,omitempty"`
 }
 
 func main() {
@@ -50,6 +53,7 @@ func main() {
 	out := flag.String("out", "", "JSON file to write (default stdout)")
 	stages := flag.String("stages", "", "stage-breakdown JSON file (from benchall -stagejson) to embed")
 	load := flag.String("load", "", "bulk-load sweep JSON file (from benchall -loadjson) to embed")
+	serve := flag.String("serve", "", "serve throughput JSON file (from benchall -servejson) to embed")
 	flag.Parse()
 
 	src := os.Stdin
@@ -106,6 +110,17 @@ func main() {
 			fatal(fmt.Errorf("%s: not valid JSON", *load))
 		}
 		rep.Load = json.RawMessage(raw)
+	}
+
+	if *serve != "" {
+		raw, err := os.ReadFile(*serve)
+		if err != nil {
+			fatal(err)
+		}
+		if !json.Valid(raw) {
+			fatal(fmt.Errorf("%s: not valid JSON", *serve))
+		}
+		rep.Serve = json.RawMessage(raw)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

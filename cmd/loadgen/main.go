@@ -1,0 +1,114 @@
+// Loadgen drives a running rdfserver with a mixed LUBM query workload
+// and reports throughput and latency percentiles.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 -duration 10s -concurrency 16
+//	loadgen -url ... -queries Q03,Q05 -strategy ucq -qps 200    # open loop
+//	loadgen -url ... -mutators 2 -json                          # mixed read/write
+//	loadgen -url ... -minqps 50 -maxp99 250                     # CI gate: exit 1 on miss
+//
+// The closed loop (default) measures capacity: each worker issues its
+// next query as soon as the previous answer returns. With -qps the open
+// loop offers load on a fixed schedule instead, measuring latency at
+// that rate. -minqps / -maxp99 turn the run into a pass/fail gate for
+// smoke scripts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/lubm"
+)
+
+func main() {
+	url := flag.String("url", "", "server base URL, e.g. http://127.0.0.1:8080 (required)")
+	queries := flag.String("queries", "Q03,Q05,Q08", "comma-separated LUBM query names to mix round-robin")
+	queryText := flag.String("query", "", "raw SPARQL text to drive instead of -queries")
+	strategy := flag.String("strategy", "", "strategy override sent with every query (empty = server default)")
+	duration := flag.Duration("duration", 5*time.Second, "how long to drive load")
+	concurrency := flag.Int("concurrency", 8, "worker count")
+	qps := flag.Float64("qps", 0, "open-loop target QPS (0 = closed loop)")
+	mutators := flag.Int("mutators", 0, "concurrent clients adding/removing noise triples via /update")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON on stdout")
+	minQPS := flag.Float64("minqps", 0, "exit 1 if measured QPS falls below this")
+	maxP99 := flag.Float64("maxp99", 0, "exit 1 if p99 latency (ms) exceeds this")
+	flag.Parse()
+
+	if *url == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -url is required")
+		os.Exit(2)
+	}
+
+	var work []loadgen.Query
+	if *queryText != "" {
+		work = []loadgen.Query{{Name: "adhoc", Text: *queryText, Strategy: *strategy}}
+	} else {
+		byName := make(map[string]string)
+		for _, q := range lubm.Queries() {
+			byName[q.Name] = q.Text
+		}
+		for _, name := range strings.Split(*queries, ",") {
+			name = strings.TrimSpace(name)
+			text, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "loadgen: unknown LUBM query %q (valid: Q01..Q%02d)\n", name, len(byName))
+				os.Exit(2)
+			}
+			work = append(work, loadgen.Query{Name: name, Text: text, Strategy: *strategy})
+		}
+	}
+
+	res, err := loadgen.Run(loadgen.Config{
+		URL:         *url,
+		Queries:     work,
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		TargetQPS:   *qps,
+		Mutators:    *mutators,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", out)
+	} else {
+		fmt.Printf("requests %d  answered %d  rejected %d  failed %d  dropped %d  mutations %d\n",
+			res.Requests, res.Answered, res.Rejected, res.Failed, res.Dropped, res.Mutations)
+		fmt.Printf("duration %v  qps %.1f\n", res.Duration.Round(time.Millisecond), res.QPS)
+		fmt.Printf("latency ms: p50 %.2f  p95 %.2f  p99 %.2f  max %.2f\n",
+			res.Latency.P50, res.Latency.P95, res.Latency.P99, res.Latency.Max)
+	}
+
+	bad := false
+	if *minQPS > 0 && res.QPS < *minQPS {
+		fmt.Fprintf(os.Stderr, "loadgen: QPS %.1f below -minqps %.1f\n", res.QPS, *minQPS)
+		bad = true
+	}
+	if *maxP99 > 0 && res.Latency.P99 > *maxP99 {
+		fmt.Fprintf(os.Stderr, "loadgen: p99 %.2fms above -maxp99 %.2fms\n", res.Latency.P99, *maxP99)
+		bad = true
+	}
+	if res.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d requests failed\n", res.Failed)
+		bad = true
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -55,6 +55,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rdfcli: provide -query or -queryfile")
 		os.Exit(2)
 	}
+	// Validate the name-valued flags before the (possibly long) load, and
+	// reject unknown names outright — a typo like -strategy gcv must not
+	// silently answer with some other strategy.
+	strat, ok := repro.StrategyByName(*strategy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rdfcli: unknown strategy %q (valid: %s)\n", *strategy, strings.Join(repro.StrategyNames(), ", "))
+		os.Exit(2)
+	}
+	prof, ok := repro.ProfileByName(*profile)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "rdfcli: unknown profile %q (valid: %s)\n", *profile, strings.Join(repro.ProfileNames(), ", "))
+		os.Exit(2)
+	}
 
 	st := repro.NewStore()
 	start := time.Now()
@@ -76,14 +89,12 @@ func main() {
 	st.Freeze()
 	fmt.Fprintf(os.Stderr, "loaded %d triples in %v (store: %d)\n", total, time.Since(start).Round(time.Millisecond), st.NumTriples())
 
-	strat := repro.Strategy(*strategy)
 	if strat == repro.Saturation {
 		start = time.Now()
 		added := st.Saturate()
 		fmt.Fprintf(os.Stderr, "saturated: +%d implicit triples in %v\n", added, time.Since(start).Round(time.Millisecond))
 	}
 
-	prof := profileByName(*profile)
 	var tr *repro.Trace
 	if *traceFlag {
 		tr = repro.NewTrace("query")
@@ -132,7 +143,16 @@ func main() {
 		}
 		report(0, res.Report)
 		for i := 1; i < *repeat; i++ {
-			ri, err := a.Query(text, strat)
+			// Each run gets its own span tree — without this every run's
+			// spans pile into one shared root and the rendered trace shows
+			// the accumulation of all runs instead of one run's lifecycle.
+			// The last run's tree is the one rendered below.
+			ai := a
+			if *traceFlag {
+				tr = repro.NewTrace("query")
+				ai = a.WithTrace(tr)
+			}
+			ri, err := ai.Query(text, strat)
 			if err != nil {
 				fatal(err)
 			}
@@ -186,19 +206,6 @@ func main() {
 		if err := tr.Registry().WriteJSON(os.Stderr); err != nil {
 			fatal(err)
 		}
-	}
-}
-
-func profileByName(name string) repro.Profile {
-	switch name {
-	case "postgreslike":
-		return repro.PostgresLike
-	case "db2like":
-		return repro.DB2Like
-	case "mysqllike":
-		return repro.MySQLLike
-	default:
-		return repro.Native
 	}
 }
 

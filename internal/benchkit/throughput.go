@@ -1,0 +1,192 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro"
+	"repro/internal/loadgen"
+	"repro/internal/lubm"
+	"repro/internal/rdf"
+	"repro/internal/server"
+)
+
+// ServeOptions configures the throughput sweep of MeasureServe.
+type ServeOptions struct {
+	// Duration is how long each sweep point drives load (default 2s).
+	Duration time.Duration
+	// CacheCap is the server's shared plan-cache capacity (0 = server
+	// default).
+	CacheCap int
+	// MaxInflight is the server's admission bound (0 = server default).
+	MaxInflight int
+	// Queries names the LUBM queries mixed round-robin (default Q03,
+	// Q05, Q08 — selective queries whose per-request latency stays
+	// small enough that a short sweep point measures steady state).
+	Queries []string
+}
+
+// ServePoint is one measured point of the sweep: a driving discipline
+// (closed/open loop, with or without concurrent mutators) and the
+// loadgen result it produced.
+type ServePoint struct {
+	Name        string  `json:"name"`
+	Concurrency int     `json:"concurrency"`
+	TargetQPS   float64 `json:"target_qps,omitempty"`
+	Mutators    int     `json:"mutators,omitempty"`
+	loadgen.Result
+}
+
+// ServeSweep is the throughput section embedded in BENCH_*.json: an
+// in-process rdfserver over a generated LUBM store, driven through real
+// HTTP by the load generator at several concurrency levels.
+type ServeSweep struct {
+	Scale       string       `json:"scale"`
+	Triples     int          `json:"triples"`
+	CacheCap    int          `json:"cache_cap,omitempty"`
+	MaxInflight int          `json:"max_inflight,omitempty"`
+	Queries     []string     `json:"queries"`
+	Points      []ServePoint `json:"points"`
+	// CacheHitRate is the server's shared plan-cache hit rate over the
+	// whole sweep — after the first answer per (strategy, query)
+	// signature, every request should hit.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// MeasureServe stands up an in-process query service over a generated
+// LUBM store on an ephemeral loopback port and drives it with the load
+// generator: closed loops at increasing concurrency, one mixed
+// read/write point, and one paced open-loop point.
+func MeasureServe(sc Scale, opt ServeOptions) (sweep *ServeSweep, err error) {
+	if opt.Duration <= 0 {
+		opt.Duration = 2 * time.Second
+	}
+	if len(opt.Queries) == 0 {
+		opt.Queries = []string{"Q03", "Q05", "Q08"}
+	}
+
+	st := repro.NewStore()
+	var addErr error
+	add := func(t rdf.Triple) {
+		if addErr == nil {
+			addErr = st.Add(t)
+		}
+	}
+	for _, t := range lubm.Ontology() {
+		add(t)
+	}
+	lubm.Generate(sc.LUBMUnivs, 42, sc.LUBMConfig, add)
+	if addErr != nil {
+		return nil, addErr
+	}
+	st.Freeze()
+
+	srv, err := server.New(server.Config{
+		Store:       st,
+		CacheCap:    opt.CacheCap,
+		MaxInflight: opt.MaxInflight,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	var serveErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if serr := hs.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+			serveErr = serr
+		}
+	}()
+	defer func() {
+		cerr := hs.Close()
+		<-done
+		for _, e := range []error{cerr, serveErr} {
+			if e != nil && err == nil {
+				sweep, err = nil, e
+			}
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+
+	byName := make(map[string]string)
+	for _, q := range lubm.Queries() {
+		byName[q.Name] = q.Text
+	}
+	var work []loadgen.Query
+	for _, name := range opt.Queries {
+		text, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("benchkit: unknown LUBM query %q", name)
+		}
+		work = append(work, loadgen.Query{Name: name, Text: text})
+	}
+
+	sweep = &ServeSweep{
+		Scale:       sc.Name,
+		Triples:     st.NumTriples(),
+		CacheCap:    opt.CacheCap,
+		MaxInflight: opt.MaxInflight,
+		Queries:     opt.Queries,
+	}
+	points := []ServePoint{
+		{Name: "closed-c1", Concurrency: 1},
+		{Name: "closed-c2", Concurrency: 2},
+		{Name: "closed-c4", Concurrency: 4},
+		{Name: "mixed-c4-m2", Concurrency: 4, Mutators: 2},
+		{Name: "open-50qps", Concurrency: 4, TargetQPS: 50},
+	}
+	for _, p := range points {
+		res, err := loadgen.Run(loadgen.Config{
+			URL:         base,
+			Queries:     work,
+			Duration:    opt.Duration,
+			Concurrency: p.Concurrency,
+			TargetQPS:   p.TargetQPS,
+			Mutators:    p.Mutators,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.Result = res
+		sweep.Points = append(sweep.Points, p)
+	}
+	sweep.CacheHitRate = srv.CacheStats().HitRate()
+	return sweep, nil
+}
+
+// WriteJSON writes the sweep as indented JSON.
+func (s *ServeSweep) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// WriteText writes the sweep as an aligned human-readable table.
+func (s *ServeSweep) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "serve throughput (scale=%s, %d triples, queries %v, cache hit rate %.0f%%)\n",
+		s.Scale, s.Triples, s.Queries, 100*s.CacheHitRate); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-14s %5s %5s %8s %9s %9s %9s %9s %9s\n",
+		"point", "conc", "mut", "answered", "rejected", "qps", "p50ms", "p95ms", "p99ms"); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(w, "%-14s %5d %5d %8d %9d %9.1f %9.2f %9.2f %9.2f\n",
+			p.Name, p.Concurrency, p.Mutators, p.Answered, p.Rejected,
+			p.QPS, p.Latency.P50, p.Latency.P95, p.Latency.P99); err != nil {
+			return err
+		}
+	}
+	return nil
+}

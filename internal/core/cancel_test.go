@@ -1,0 +1,83 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/naive"
+	"repro/internal/plancache"
+	"repro/internal/testkit"
+)
+
+// A context canceled before AnswerContext is called must surface the
+// typed engine.ErrCanceled for every strategy — whether the cancellation
+// is caught in the cover search or at evaluation admission.
+func TestAnswerContextPreCanceled(t *testing.T) {
+	e := testkit.Paper()
+	a := answererFor(e, engine.Native, core.Options{})
+	q := paperQuery(e)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, strat := range core.Strategies() {
+		_, err := a.AnswerContext(ctx, q, strat)
+		if !errors.Is(err, engine.ErrCanceled) {
+			t.Errorf("%s: err = %v, want %v", strat, err, engine.ErrCanceled)
+		}
+	}
+}
+
+// AnswerContext with an uncancelable context must return exactly the
+// same answer set as Answer — the cancellation seam is off-path.
+func TestAnswerContextBackgroundIdentical(t *testing.T) {
+	e := testkit.Random(31, 120)
+	a := answererFor(e, engine.Native, core.Options{})
+	q := bgp.CQ{
+		Head:  []bgp.Term{bgp.V(0), bgp.V(1)},
+		Atoms: []bgp.Atom{{S: bgp.V(0), P: bgp.C(e.Vocab.Type), O: bgp.V(1)}},
+	}
+	plain, err := a.Answer(q, core.GCov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxd, err := a.AnswerContext(context.Background(), q, core.GCov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !naive.Equal(relRows(ctxd.Rel), relRows(plain.Rel)) {
+		t.Errorf("AnswerContext rows differ from Answer rows")
+	}
+}
+
+// Cancellation through the plan-cache path: a canceled context must fail
+// the cache-hit (evaluate only) path too, and a subsequent uncanceled
+// call must still answer correctly — the canceled attempt must not have
+// poisoned the cache.
+func TestAnswerContextCanceledWithPlanCache(t *testing.T) {
+	e := testkit.Paper()
+	a := answererFor(e, engine.Native, core.Options{PlanCache: plancache.New(0)})
+	q := paperQuery(e)
+
+	// Warm the cache.
+	want, err := a.AnswerContext(context.Background(), q, core.GCov)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.AnswerContext(ctx, q, core.GCov); !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("cache-hit path: err = %v, want %v", err, engine.ErrCanceled)
+	}
+
+	got, err := a.AnswerContext(context.Background(), q, core.GCov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !naive.Equal(relRows(got.Rel), relRows(want.Rel)) {
+		t.Errorf("answer after canceled attempt differs from the original")
+	}
+}

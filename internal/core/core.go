@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -229,11 +230,22 @@ type Answer struct {
 
 // Answer answers q with the given strategy.
 func (a *Answerer) Answer(q bgp.CQ, strategy Strategy) (*Answer, error) {
+	return a.AnswerContext(context.Background(), q, strategy)
+}
+
+// AnswerContext answers q under ctx: once ctx is done — a per-request
+// deadline expired, a client disconnected — the optimization search
+// stops at its next budget check and the evaluation stops at its next
+// cancellation poll (engine.WithContext), surfacing the typed
+// engine.ErrCanceled. An uncancelable ctx (context.Background) costs the
+// hot path nothing; answers under any ctx that never fires are identical
+// to Answer's.
+func (a *Answerer) AnswerContext(ctx context.Context, q bgp.CQ, strategy Strategy) (*Answer, error) {
 	if strategy == Saturation {
 		if a.sat == nil {
 			return nil, ErrNoSaturatedStore
 		}
-		eng := a.sat
+		eng := engineFor(a.sat, ctx)
 		var evalSp *trace.Span
 		if a.opts.Trace != nil {
 			evalSp = a.opts.Trace.Child("evaluate")
@@ -254,20 +266,30 @@ func (a *Answerer) Answer(q bgp.CQ, strategy Strategy) (*Answer, error) {
 	}
 
 	if a.opts.PlanCache == nil {
-		c, rep, err := a.ChooseCover(q, strategy)
+		c, rep, _, err := a.chooseCover(ctx, q, strategy)
 		if err != nil {
 			return nil, err
 		}
-		return a.EvaluateCover(q, c, rep)
+		return a.evaluateCover(ctx, q, c, rep)
 	}
-	return a.answerWithCache(q, strategy)
+	return a.answerWithCache(ctx, q, strategy)
+}
+
+// engineFor attaches ctx to the engine when it is actually cancelable —
+// context.Background().Done() is nil, so the common uncancelable path
+// keeps the exact engine value (no copy, no poll).
+func engineFor(e *engine.Engine, ctx context.Context) *engine.Engine {
+	if ctx == nil || ctx.Done() == nil {
+		return e
+	}
+	return e.WithContext(ctx)
 }
 
 // answerWithCache is the Answer path for answerers with a plan cache: a
 // current entry skips straight to evaluation; otherwise the plan is
 // computed once and installed, reusing the searcher's fragment
 // reformulations so a miss costs no more than an uncached answer.
-func (a *Answerer) answerWithCache(q bgp.CQ, strategy Strategy) (*Answer, error) {
+func (a *Answerer) answerWithCache(ctx context.Context, q bgp.CQ, strategy Strategy) (*Answer, error) {
 	cache := a.opts.PlanCache
 	reg := a.opts.Trace.Registry()
 	// The validity pair is read *before* planning: a mutation racing the
@@ -296,13 +318,13 @@ func (a *Answerer) answerWithCache(q bgp.CQ, strategy Strategy) (*Answer, error)
 		for i, f := range e.Fragments {
 			frags[i] = fragArtifact{cq: f.CQ, ref: f.Ref}
 		}
-		return a.evaluateFrags(e.Head, frags, rep)
+		return a.evaluateFrags(ctx, e.Head, frags, rep)
 	} else if out == plancache.Stale {
 		reg.Counter("plancache.invalidations").Add(1)
 	}
 	reg.Counter("plancache.misses").Add(1)
 
-	c, rep, s, err := a.chooseCover(q, strategy)
+	c, rep, s, err := a.chooseCover(ctx, q, strategy)
 	if err != nil {
 		return nil, err
 	}
@@ -336,7 +358,7 @@ func (a *Answerer) answerWithCache(q bgp.CQ, strategy Strategy) (*Answer, error)
 	if err := s.failure(); err != nil {
 		return nil, err
 	}
-	ans, err := a.evaluateFrags(entry.Head, frags, rep)
+	ans, err := a.evaluateFrags(ctx, entry.Head, frags, rep)
 	if err != nil {
 		return ans, err
 	}
@@ -347,20 +369,25 @@ func (a *Answerer) answerWithCache(q bgp.CQ, strategy Strategy) (*Answer, error)
 // ChooseCover runs only the optimization stage: it returns the cover the
 // strategy would evaluate, with the search effort filled into the report.
 func (a *Answerer) ChooseCover(q bgp.CQ, strategy Strategy) (cover.Cover, Report, error) {
-	c, rep, _, err := a.chooseCover(q, strategy)
+	c, rep, _, err := a.chooseCover(context.Background(), q, strategy)
 	return c, rep, err
 }
 
 // chooseCover is ChooseCover keeping the searcher, whose memoized
 // fragment artifacts (reformulations, statistics) the caching answer
-// path reuses.
-func (a *Answerer) chooseCover(q bgp.CQ, strategy Strategy) (cover.Cover, Report, *searcher, error) {
+// path reuses. ctx bounds the search: a done context trips the same
+// early-stop seam as the wall-clock budget, and the typed
+// engine.ErrCanceled is surfaced instead of a silently truncated search.
+func (a *Answerer) chooseCover(ctx context.Context, q bgp.CQ, strategy Strategy) (cover.Cover, Report, *searcher, error) {
 	if err := checkQuery(q); err != nil {
 		return nil, Report{}, nil, err
 	}
 	s, err := newSearcher(a, q)
 	if err != nil {
 		return nil, Report{}, nil, err
+	}
+	if ctx != nil {
+		s.done = ctx.Done()
 	}
 	var sp *trace.Span
 	if a.opts.Trace != nil {
@@ -395,6 +422,11 @@ func (a *Answerer) chooseCover(q bgp.CQ, strategy Strategy) (cover.Cover, Report
 	if err := s.failure(); err != nil {
 		return nil, Report{}, nil, err
 	}
+	// A context fired mid-search stopped it early (the expired() seam);
+	// report the typed cancellation rather than a truncated search.
+	if ctx != nil && ctx.Err() != nil {
+		return nil, Report{}, nil, fmt.Errorf("%w (%v)", engine.ErrCanceled, ctx.Err())
+	}
 	rep.OptimizeTime = time.Since(start)
 	if sp != nil {
 		sp.SetInt("covers_explored", int64(rep.CoversExplored))
@@ -411,6 +443,11 @@ func (a *Answerer) chooseCover(q bgp.CQ, strategy Strategy) (cover.Cover, Report
 // EvaluateCover evaluates the cover-based JUCQ reformulation of q induced
 // by cover c (Theorem 3.1) through the raw engine, completing the report.
 func (a *Answerer) EvaluateCover(q bgp.CQ, c cover.Cover, rep Report) (*Answer, error) {
+	return a.evaluateCover(context.Background(), q, c, rep)
+}
+
+// evaluateCover is EvaluateCover under a caller context.
+func (a *Answerer) evaluateCover(ctx context.Context, q bgp.CQ, c cover.Cover, rep Report) (*Answer, error) {
 	var refSp *trace.Span
 	if a.opts.Trace != nil {
 		refSp = a.opts.Trace.Child("reformulate")
@@ -439,7 +476,7 @@ func (a *Answerer) EvaluateCover(q bgp.CQ, c cover.Cover, rep Report) (*Answer, 
 		refSp.SetInt("total_cqs", rep.TotalCQs)
 		refSp.End()
 	}
-	return a.evaluateFrags(headVars(q), frags, rep)
+	return a.evaluateFrags(ctx, headVars(q), frags, rep)
 }
 
 // fragArtifact pairs a cover fragment's subquery with its reformulation —
@@ -464,12 +501,12 @@ func headVars(q bgp.CQ) []uint32 {
 // evaluateFrags runs the evaluation stage over prepared fragment
 // artifacts, completing the report. A cached plan (rep.Cached) marks its
 // evaluate span so traces show the skipped stages.
-func (a *Answerer) evaluateFrags(head []uint32, frags []fragArtifact, rep Report) (*Answer, error) {
+func (a *Answerer) evaluateFrags(ctx context.Context, head []uint32, frags []fragArtifact, rep Report) (*Answer, error) {
 	arms := make([]engine.ArmSource, len(frags))
 	for i, fa := range frags {
 		arms[i] = armSource(fa.cq, fa.ref)
 	}
-	eng := a.raw
+	eng := engineFor(a.raw, ctx)
 	var evalSp *trace.Span
 	if a.opts.Trace != nil {
 		evalSp = a.opts.Trace.Child("evaluate")

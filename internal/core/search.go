@@ -34,6 +34,11 @@ type searcher struct {
 
 	start  time.Time
 	budget time.Duration
+	// done, when non-nil, is the caller context's cancellation signal:
+	// a done context expires the search exactly like the wall-clock
+	// budget (the anytime searches stop at their next check), and
+	// chooseCover then reports the typed cancellation error.
+	done <-chan struct{}
 
 	// Search-effort counters, reported on the optimize trace span by
 	// recordSpan. The memo counters are atomics because pricing workers
@@ -94,6 +99,13 @@ func newSearcher(a *Answerer, q bgp.CQ) (*searcher, error) {
 }
 
 func (s *searcher) expired() bool {
+	if s.done != nil {
+		select {
+		case <-s.done:
+			return true
+		default:
+		}
+	}
 	return s.budget > 0 && time.Since(s.start) > s.budget
 }
 

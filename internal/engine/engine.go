@@ -27,6 +27,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -49,6 +50,11 @@ var (
 	// ErrWorkBudget reports an evaluation that exceeded the profile's
 	// work budget (the experiment timeout).
 	ErrWorkBudget = errors.New("engine: evaluation exceeded the profile's work budget")
+	// ErrCanceled reports an evaluation interrupted by its context
+	// (WithContext): the caller's deadline expired or the request was
+	// canceled mid-flight. Unlike the budget errors it is not a property
+	// of the query — retrying under a fresh context may succeed.
+	ErrCanceled = errors.New("engine: evaluation canceled by the caller's context")
 )
 
 // JoinAlgorithm selects how materialized arm relations are joined.
@@ -173,6 +179,11 @@ type Engine struct {
 	// merged member scans); see WithSharedScan. Snapshot pinning stays
 	// on either way.
 	noShared bool
+	// ctx, when non-nil, can interrupt evaluations mid-flight (see
+	// WithContext). nil — the default — means evaluations run to
+	// completion or budget exhaustion; the hot path then pays nothing
+	// for cancellation beyond one nil check per budget charge.
+	ctx context.Context
 }
 
 // New returns an engine over the store with the given statistics and
@@ -204,6 +215,24 @@ func (e *Engine) WithParallelism(n int) *Engine {
 func (e *Engine) WithSpan(sp *trace.Span) *Engine {
 	e2 := *e
 	e2.span = sp
+	return &e2
+}
+
+// WithContext returns a copy of the engine whose evaluations stop early
+// with ErrCanceled once ctx is done. Cancellation shares the budget seam:
+// the shared atomic work counter every scanned tuple and deduplicated row
+// already charges doubles as the poll clock, and the context's done
+// channel is polled only when a charge crosses a cancelCheckWork
+// boundary — about once per 4096 work units, from whichever worker lands
+// the crossing charge. Workers of a parallel evaluation all charge the
+// one counter, so a cancellation surfaces on every shard within one poll
+// interval and the evaluation unwinds through the ordinary error path:
+// pools drain, the snapshot is released, and the typed error reports the
+// context's cause. A ctx that can never be canceled (context.Background)
+// leaves the poll disabled entirely.
+func (e *Engine) WithContext(ctx context.Context) *Engine {
+	e2 := *e
+	e2.ctx = ctx
 	return &e2
 }
 
@@ -266,6 +295,12 @@ type evalCtx struct {
 	scans *scanCache
 	// shared enables the scan memo and merged member scans.
 	shared bool
+	// done is the cancellation signal of the evaluation's context, nil
+	// when the engine has no cancelable context: charge then skips the
+	// poll entirely, keeping the uncancellable path zero-cost. cctx is
+	// the context itself, read only to report the cancellation cause.
+	done <-chan struct{}
+	cctx context.Context
 
 	tuplesScanned    atomic.Int64
 	rowsMaterialized atomic.Int64
@@ -340,13 +375,41 @@ func (c *evalCtx) finishSpan(sp *trace.Span, err error) {
 	}
 }
 
-// charge adds n work units, failing when the budget is exhausted.
+// cancelCheckShift spaces the cancellation polls on the work counter:
+// the done channel is polled when a charge crosses a multiple of
+// 2^cancelCheckShift (4096) work units. One work unit is one scanned
+// tuple or one deduplicated row, so even the cheapest evaluations poll
+// within microseconds of real work, while the per-tuple cost stays one
+// predictable branch on the counter value.
+const cancelCheckShift = 12
+
+// charge adds n work units, failing when the budget is exhausted or —
+// on poll boundaries — when the evaluation's context has been canceled.
 func (c *evalCtx) charge(n int64) error {
 	w := c.work.Add(n)
 	if c.prof.WorkBudget > 0 && w > c.prof.WorkBudget {
 		return fmt.Errorf("%w (%s: %d units)", ErrWorkBudget, c.prof.Name, w)
 	}
+	if c.done != nil && (w>>cancelCheckShift) != ((w-n)>>cancelCheckShift) {
+		return c.canceled()
+	}
 	return nil
+}
+
+// canceled polls the evaluation's cancellation signal without blocking,
+// returning the typed ErrCanceled (with the context's own error as the
+// cause) once the context is done. A context-free evaluation returns nil
+// after one nil check.
+func (c *evalCtx) canceled() error {
+	if c.done == nil {
+		return nil
+	}
+	select {
+	case <-c.done:
+		return fmt.Errorf("%w (%v)", ErrCanceled, c.cctx.Err())
+	default:
+		return nil
+	}
 }
 
 // checkRows fails when a materialized intermediate exceeds the budget.

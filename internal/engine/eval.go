@@ -94,6 +94,12 @@ func (e *Engine) EvalArms(head []uint32, arms []ArmSource) (*Relation, Metrics, 
 		snap:   e.store.Snapshot(),
 		shared: !e.noShared,
 	}
+	if e.ctx != nil {
+		ctx.done, ctx.cctx = e.ctx.Done(), e.ctx
+	}
+	if evalSnapshotHook != nil {
+		evalSnapshotHook(ctx.snap)
+	}
 	// Release runs after the deferred scanCache release below (LIFO), so
 	// every cached range subslice borrowed from the snapshot's decoded
 	// blocks is dropped before the snapshot returns them to the pool. By
@@ -109,10 +115,20 @@ func (e *Engine) EvalArms(head []uint32, arms []ArmSource) (*Relation, Metrics, 
 	return rel, ctx.snapshot(), err
 }
 
+// evalSnapshotHook, when non-nil, observes the snapshot every evaluation
+// pins — a test seam for asserting that cancellation (like every other
+// exit path) releases the snapshot. nil outside tests; the production
+// path pays one nil check per evaluation.
+var evalSnapshotHook func(*storage.Snapshot)
+
 // evalArms is EvalArms' body, with the metrics snapshot and the span
 // bookkeeping hoisted into the wrapper so every return path stays a
 // plain error return.
 func (e *Engine) evalArms(ctx *evalCtx, head []uint32, arms []ArmSource) (*Relation, error) {
+	// A context already canceled at admission fails before any work.
+	if err := ctx.canceled(); err != nil {
+		return nil, err
+	}
 	// Admission control: total plan size.
 	var leaves int64
 	for _, a := range arms {

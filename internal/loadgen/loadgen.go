@@ -1,0 +1,375 @@
+// Package loadgen drives an rdfserver with a mixed query workload and
+// measures throughput and latency.
+//
+// Two driving disciplines are supported. The closed loop runs a fixed
+// number of workers, each issuing its next query as soon as the previous
+// answer returns — it measures the server's capacity. The open loop
+// (TargetQPS > 0) releases requests on a fixed schedule regardless of
+// how fast answers come back — it measures latency at a given offered
+// load, and counts a tick as dropped when every worker is still busy,
+// instead of letting a slow server shrink the offered rate (coordinated
+// omission).
+//
+// Latencies are recorded in a logarithmic histogram (about 3% relative
+// resolution) and reported as p50/p95/p99/max; counters distinguish
+// answered (200), rejected (429, admission control working as designed)
+// and failed (anything else) requests.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	mathbits "math/bits"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Query is one workload element: a named SPARQL query with an optional
+// strategy override.
+type Query struct {
+	Name     string `json:"name"`
+	Text     string `json:"-"`
+	Strategy string `json:"strategy,omitempty"`
+}
+
+// Config describes a load generation run.
+type Config struct {
+	// URL is the server base URL (e.g. http://127.0.0.1:8080). Required.
+	URL string
+	// Queries is the workload mix, issued round-robin per worker.
+	// Required (at least one).
+	Queries []Query
+	// Duration is how long to drive load (default 5s).
+	Duration time.Duration
+	// Concurrency is the worker count (default 8).
+	Concurrency int
+	// TargetQPS switches to the open loop at this offered rate; 0 runs
+	// the closed loop.
+	TargetQPS float64
+	// Mutators is the number of clients continuously adding and
+	// removing noise triples through POST /update while the query
+	// workload runs (default 0).
+	Mutators int
+	// Timeout is the per-request client timeout (default 30s).
+	Timeout time.Duration
+}
+
+// LatencyStats are latency percentiles in milliseconds over answered
+// requests.
+type LatencyStats struct {
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Requests counts every query request issued.
+	Requests int64 `json:"requests"`
+	// Answered counts 200s; Rejected 429s (admission control); Failed
+	// everything else, including transport errors.
+	Answered int64 `json:"answered"`
+	Rejected int64 `json:"rejected"`
+	Failed   int64 `json:"failed"`
+	// Dropped counts open-loop ticks skipped because every worker was
+	// busy — offered load the server never saw.
+	Dropped int64 `json:"dropped"`
+	// Mutations counts completed update round-trips.
+	Mutations int64 `json:"mutations"`
+	// Duration is the measured wall-clock span of the run.
+	Duration time.Duration `json:"duration_ns"`
+	// QPS is Answered divided by Duration.
+	QPS float64 `json:"qps"`
+	// Latency summarizes answered-request latencies.
+	Latency LatencyStats `json:"latency"`
+	// StatusCounts maps HTTP status (0 for transport errors) to count.
+	StatusCounts map[int]int64 `json:"status_counts"`
+}
+
+// hist is a logarithmic latency histogram: bucket i covers
+// [base*growth^i, base*growth^(i+1)) with base 1µs and growth 2^(1/16)
+// (≈ 4.4% relative error), spanning 1µs to beyond an hour in 512
+// buckets. Each worker owns one, merged after the run — no contention.
+type hist struct {
+	buckets [histBuckets]int64
+	max     time.Duration
+	n       int64
+}
+
+const (
+	histGrowth  = 16 // sub-buckets per octave
+	histBuckets = 512
+)
+
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		us = 1
+	}
+	// index ≈ histGrowth * log2(us): the octave is the bit length, the
+	// sub-bucket a linear interpolation within the octave.
+	octave := mathbits.Len64(uint64(us)) - 1
+	frac := 0
+	if octave > 0 {
+		frac = int(((us - (1 << octave)) * histGrowth) >> octave)
+	}
+	i := octave*histGrowth + frac
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+func bucketUpperMS(i int) float64 {
+	octave := i / histGrowth
+	frac := i % histGrowth
+	us := math.Exp2(float64(octave) + (float64(frac)+1)/histGrowth)
+	return us / 1000
+}
+
+func (h *hist) record(d time.Duration) {
+	h.buckets[bucketOf(d)]++
+	h.n++
+	if d > h.max {
+		h.max = d
+	}
+}
+
+func (h *hist) merge(o *hist) {
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.n += o.n
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// percentile returns the upper bound of the bucket holding the q-th
+// quantile (0 < q <= 1), in milliseconds.
+func (h *hist) percentile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	var seen int64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			return bucketUpperMS(i)
+		}
+	}
+	return float64(h.max) / float64(time.Millisecond)
+}
+
+func (h *hist) stats() LatencyStats {
+	return LatencyStats{
+		P50: h.percentile(0.50),
+		P95: h.percentile(0.95),
+		P99: h.percentile(0.99),
+		Max: float64(h.max) / float64(time.Millisecond),
+	}
+}
+
+type counters struct {
+	requests  atomic.Int64
+	answered  atomic.Int64
+	rejected  atomic.Int64
+	failed    atomic.Int64
+	dropped   atomic.Int64
+	mutations atomic.Int64
+}
+
+// Run drives the configured load and reports the measured result.
+func Run(cfg Config) (Result, error) {
+	if cfg.URL == "" {
+		return Result{}, errors.New("loadgen: Config.URL is required")
+	}
+	if len(cfg.Queries) == 0 {
+		return Result{}, errors.New("loadgen: Config.Queries must name at least one query")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	client := &http.Client{Timeout: cfg.Timeout}
+
+	var (
+		ctrs     counters
+		mu       sync.Mutex
+		total    hist
+		statuses = make(map[int]int64)
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
+	defer cancel()
+
+	// tickets is nil in the closed loop (workers self-pace); in the open
+	// loop a pacer goroutine feeds it at TargetQPS and counts drops.
+	var tickets chan struct{}
+	var pacerWG sync.WaitGroup
+	if cfg.TargetQPS > 0 {
+		tickets = make(chan struct{}, cfg.Concurrency)
+		interval := time.Duration(float64(time.Second) / cfg.TargetQPS)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		pacerWG.Add(1)
+		go func() {
+			defer pacerWG.Done()
+			defer close(tickets)
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					select {
+					case tickets <- struct{}{}:
+					default:
+						ctrs.dropped.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local hist
+			localStatus := make(map[int]int64)
+			for i := w; ; i++ {
+				if tickets != nil {
+					if _, ok := <-tickets; !ok {
+						break
+					}
+				} else if ctx.Err() != nil {
+					break
+				}
+				q := cfg.Queries[i%len(cfg.Queries)]
+				code, d := issue(ctx, client, cfg.URL, q)
+				if code == 0 && ctx.Err() != nil {
+					// The run's own deadline aborted this request mid-flight;
+					// that is an artifact of stopping, not a server failure.
+					break
+				}
+				ctrs.requests.Add(1)
+				localStatus[code]++
+				switch code {
+				case http.StatusOK:
+					ctrs.answered.Add(1)
+					local.record(d)
+				case http.StatusTooManyRequests:
+					ctrs.rejected.Add(1)
+				default:
+					ctrs.failed.Add(1)
+				}
+			}
+			mu.Lock()
+			total.merge(&local)
+			for c, n := range localStatus {
+				statuses[c] += n
+			}
+			mu.Unlock()
+		}(w)
+	}
+	for m := 0; m < cfg.Mutators; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for i := 0; ctx.Err() == nil; i++ {
+				if mutate(ctx, client, cfg.URL, m, i) {
+					ctrs.mutations.Add(1)
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+	pacerWG.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{
+		Requests:     ctrs.requests.Load(),
+		Answered:     ctrs.answered.Load(),
+		Rejected:     ctrs.rejected.Load(),
+		Failed:       ctrs.failed.Load(),
+		Dropped:      ctrs.dropped.Load(),
+		Mutations:    ctrs.mutations.Load(),
+		Duration:     elapsed,
+		Latency:      total.stats(),
+		StatusCounts: statuses,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		res.QPS = float64(res.Answered) / s
+	}
+	return res, nil
+}
+
+// issue posts one query and returns the HTTP status (0 on transport
+// error) and the round-trip latency.
+func issue(ctx context.Context, client *http.Client, base string, q Query) (int, time.Duration) {
+	body, err := json.Marshal(map[string]string{"query": q.Text, "strategy": q.Strategy})
+	if err != nil {
+		return 0, 0
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/query", bytes.NewReader(body))
+	if err != nil {
+		return 0, 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, time.Since(start)
+	}
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		if cerr := resp.Body.Close(); cerr != nil {
+			return 0, time.Since(start)
+		}
+		return 0, time.Since(start)
+	}
+	if err := resp.Body.Close(); err != nil {
+		return 0, time.Since(start)
+	}
+	return resp.StatusCode, time.Since(start)
+}
+
+// mutate posts one add/remove round-trip of a unique noise triple that
+// no benchmark query matches, reporting whether both requests succeeded.
+func mutate(ctx context.Context, client *http.Client, base string, m, i int) bool {
+	nt := fmt.Sprintf("<http://loadgen.invalid/junk-%d-%d> <http://loadgen.invalid/noise> <http://loadgen.invalid/x> .\n", m, i)
+	for _, op := range []string{"add", "remove"} {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/update?op="+op, bytes.NewReader([]byte(nt)))
+		if err != nil {
+			return false
+		}
+		req.Header.Set("Content-Type", "application/n-triples")
+		resp, err := client.Do(req)
+		if err != nil {
+			return false
+		}
+		_, cpErr := io.Copy(io.Discard, resp.Body)
+		closeErr := resp.Body.Close()
+		if cpErr != nil || closeErr != nil || resp.StatusCode != http.StatusOK {
+			return false
+		}
+	}
+	return true
+}

@@ -94,6 +94,11 @@ func (sn *Snapshot) Release() {
 	}
 }
 
+// Released reports whether Release has run — observability for the
+// engine's release-on-every-exit-path guarantee (the cancellation tests
+// assert it), not a synchronization primitive.
+func (sn *Snapshot) Released() bool { return sn.released.Load() }
+
 // Version returns the store mutation version the snapshot was captured
 // at. Two snapshots with equal versions have identical contents, which
 // is what lets version-stamped artifacts (statistics memos, plan-cache

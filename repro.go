@@ -28,6 +28,7 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -87,7 +88,50 @@ var (
 	ErrPlanTooComplex = engine.ErrPlanTooComplex
 	ErrMemoryBudget   = engine.ErrMemoryBudget
 	ErrWorkBudget     = engine.ErrWorkBudget
+	// ErrCanceled is returned by QueryContext and friends when the
+	// caller's context is canceled or its deadline expires before the
+	// answer is complete. The evaluation stops early and the pinned
+	// storage snapshot is released.
+	ErrCanceled = engine.ErrCanceled
 )
+
+// StrategyNames returns the valid strategy names, in the paper's order.
+func StrategyNames() []string {
+	var names []string
+	for _, s := range core.Strategies() {
+		names = append(names, string(s))
+	}
+	return names
+}
+
+// StrategyByName looks up an answering strategy by its name
+// ("saturation", "ucq", "scq", "ecov" or "gcov"); ok is false for an
+// unknown name.
+func StrategyByName(name string) (Strategy, bool) {
+	for _, s := range core.Strategies() {
+		if string(s) == name {
+			return s, true
+		}
+	}
+	return "", false
+}
+
+// ProfileNames returns the valid engine-profile names.
+func ProfileNames() []string {
+	return []string{Native.Name, PostgresLike.Name, DB2Like.Name, MySQLLike.Name}
+}
+
+// ProfileByName looks up a built-in engine profile by its name ("native",
+// "postgreslike", "db2like" or "mysqllike"); ok is false for an unknown
+// name.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range []Profile{Native, PostgresLike, DB2Like, MySQLLike} {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
 
 // Report describes how a query was answered (chosen cover, search effort,
 // estimated cost, engine metrics).
@@ -352,6 +396,20 @@ func (s *Store) Saturate() int {
 	return s.sat.Store().Len() - s.raw.Len()
 }
 
+// Compact merges the mutable delta of the raw store (and of the
+// saturated twin, if built) into its frozen block-columnar base. Safe to
+// call concurrently with readers and queries: in-flight evaluations keep
+// answering against the snapshot they pinned. A no-op before Freeze.
+func (s *Store) Compact() {
+	if !s.frozen {
+		return
+	}
+	s.raw.Compact()
+	if s.sat != nil {
+		s.sat.Store().Compact()
+	}
+}
+
 // NumTriples returns the number of distinct triples (data plus closed
 // constraints) in the raw store; before Freeze it counts pending data.
 func (s *Store) NumTriples() int {
@@ -413,6 +471,17 @@ type Answerer struct {
 // Profile returns the engine profile.
 func (a *Answerer) Profile() Profile { return a.profile }
 
+// WithTrace returns a copy of the Answerer whose queries record their
+// lifecycle as children of tr (nil detaches tracing). The copy shares
+// the store, the engines and the plan cache with the receiver; use it to
+// give each run its own span tree without rebuilding the answerer.
+func (a *Answerer) WithTrace(tr *Trace) *Answerer {
+	cp := *a
+	cp.trace = tr
+	cp.inner = a.inner.WithTrace(tr)
+	return &cp
+}
+
 // Params returns the cost-model constants in use.
 func (a *Answerer) Params() CostParams { return a.params }
 
@@ -434,6 +503,14 @@ func (r *Result) Boolean() bool { return len(r.Rows) > 0 }
 
 // Query parses and answers a SPARQL BGP query.
 func (a *Answerer) Query(text string, strategy Strategy) (*Result, error) {
+	return a.QueryContext(context.Background(), text, strategy)
+}
+
+// QueryContext is Query under a context: when ctx is canceled or its
+// deadline expires, the cover search and the evaluation stop early and
+// the error matches ErrCanceled (errors.Is). An uncancelable context
+// (context.Background) costs nothing over Query.
+func (a *Answerer) QueryContext(ctx context.Context, text string, strategy Strategy) (*Result, error) {
 	var parseSp *Trace
 	if a.trace != nil {
 		parseSp = a.trace.Child("parse")
@@ -443,11 +520,16 @@ func (a *Answerer) Query(text string, strategy Strategy) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return a.QueryParsed(q, strategy)
+	return a.QueryParsedContext(ctx, q, strategy)
 }
 
 // QueryParsed answers an already parsed query.
 func (a *Answerer) QueryParsed(q *sparql.Query, strategy Strategy) (*Result, error) {
+	return a.QueryParsedContext(context.Background(), q, strategy)
+}
+
+// QueryParsedContext is QueryParsed under a context; see QueryContext.
+func (a *Answerer) QueryParsedContext(ctx context.Context, q *sparql.Query, strategy Strategy) (*Result, error) {
 	var encSp *Trace
 	if a.trace != nil {
 		encSp = a.trace.Child("encode")
@@ -457,7 +539,7 @@ func (a *Answerer) QueryParsed(q *sparql.Query, strategy Strategy) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	ans, err := a.inner.Answer(enc.CQ, strategy)
+	ans, err := a.inner.AnswerContext(ctx, enc.CQ, strategy)
 	if err != nil {
 		return nil, fmt.Errorf("answering %q with %s: %w", q.String(), strategy, err)
 	}

@@ -12,8 +12,10 @@
 # rate (sharedscan), after running the strict shared-vs-baseline
 # equality sweep, and the bulk-load scale sweep from `benchall
 # -loadjson` (flat vs compressed load throughput and bytes/triple
-# across REPRO_LOAD_SCALES). `make bench-json` and CI run exactly this
-# script.
+# across REPRO_LOAD_SCALES), and the HTTP serve throughput sweep from
+# `benchall -servejson` (an in-process rdfserver driven by the load
+# generator: QPS and latency percentiles per concurrency level).
+# `make bench-json` and CI run exactly this script.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,7 +26,8 @@ out="BENCH_${date}.json"
 raw="$(mktemp)"
 stages="$(mktemp)"
 load="$(mktemp)"
-trap 'rm -f "$raw" "$stages" "$load"' EXIT
+serve="$(mktemp)"
+trap 'rm -f "$raw" "$stages" "$load" "$serve"' EXIT
 
 REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-tiny}"
 export REPRO_BENCH_SCALE
@@ -84,5 +87,8 @@ go run ./cmd/benchall -scale "$REPRO_BENCH_SCALE" -stagejson "$stages"
 echo "==> benchall -loadjson (bulk-load scale sweep: $REPRO_LOAD_SCALES)"
 go run ./cmd/benchall -loadscales "$REPRO_LOAD_SCALES" -loadjson "$load"
 
-go run ./cmd/benchjson -in "$raw" -stages "$stages" -load "$load" -out "$out"
+echo "==> benchall -servejson (HTTP serve throughput sweep)"
+go run ./cmd/benchall -scale "$REPRO_BENCH_SCALE" -servejson "$serve"
+
+go run ./cmd/benchjson -in "$raw" -stages "$stages" -load "$load" -serve "$serve" -out "$out"
 echo "==> wrote $out"

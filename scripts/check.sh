@@ -22,4 +22,7 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> scripts/serve_smoke.sh (query service end-to-end)"
+./scripts/serve_smoke.sh
+
 echo "All checks passed."

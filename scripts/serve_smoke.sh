@@ -1,0 +1,55 @@
+#!/bin/sh
+# serve_smoke.sh exercises the query service end to end: it lints the
+# server and load-generator packages, builds the rdfserver and loadgen
+# binaries, starts a server over a self-generated LUBM(1) dataset on an
+# ephemeral port (parsed from the "rdfserver listening on" line), drives
+# a short mixed read/write burst through real HTTP, asserts the burst
+# answered queries (non-zero QPS, sane p99, zero failures — loadgen's
+# -minqps/-maxp99 gates), and checks SIGTERM drains the server cleanly.
+# scripts/check.sh runs this after the test suite.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> lint: server, loadgen and their commands"
+go run ./cmd/lint ./internal/server ./internal/loadgen ./cmd/rdfserver ./cmd/loadgen
+
+echo "==> build rdfserver + loadgen"
+bin="$(mktemp -d)"
+srvpid=""
+trap '[ -n "$srvpid" ] && kill "$srvpid" 2>/dev/null; rm -rf "$bin"' EXIT
+go build -o "$bin/rdfserver" ./cmd/rdfserver
+go build -o "$bin/loadgen" ./cmd/loadgen
+
+echo "==> start rdfserver (LUBM(1), ephemeral port)"
+"$bin/rdfserver" -lubm 1 -addr 127.0.0.1:0 >"$bin/serve.out" 2>"$bin/serve.err" &
+srvpid=$!
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr="$(sed -n 's/^rdfserver listening on //p' "$bin/serve.out")"
+    [ -n "$addr" ] && break
+    if ! kill -0 "$srvpid" 2>/dev/null; then
+        echo "serve_smoke: rdfserver exited before announcing its port" >&2
+        cat "$bin/serve.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "serve_smoke: rdfserver never announced its port" >&2
+    cat "$bin/serve.err" >&2
+    exit 1
+fi
+
+echo "==> loadgen burst against http://$addr (2s, mixed read/write)"
+"$bin/loadgen" -url "http://$addr" -duration 2s -concurrency 4 -mutators 1 \
+    -minqps 1 -maxp99 30000
+
+echo "==> SIGTERM drains the server"
+kill -TERM "$srvpid"
+wait "$srvpid"
+srvpid=""
+
+echo "serve smoke passed."
