@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet lint lint-fix-fixtures bench bench-json bench-scale bench-serve serve-smoke check
+.PHONY: build test race vet lint lint-fix-fixtures bench bench-json bench-scale bench-serve bench-feedback serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,12 @@ bench-scale:
 # rdfserver driven by the load generator) and prints the JSON on stdout.
 bench-serve:
 	$(GO) run ./cmd/benchall -scale tiny -servejson -
+
+# bench-feedback runs only the adaptive-cost warm-up sweep (estimation
+# error trajectory over repeated workload passes) and prints the JSON
+# on stdout; it fails unless the error shrinks at least 2x.
+bench-feedback:
+	$(GO) run ./cmd/benchall -scale tiny -feedbackjson -
 
 # serve-smoke exercises rdfserver + loadgen end to end on an ephemeral port.
 serve-smoke:

@@ -12,6 +12,8 @@
 //	benchall -parallel           # only the parallelism sweep
 //	benchall -cache              # only the plan-cache sweep (cold/warm/mutate)
 //	benchall -sharedscan         # only the shared-scan on/off sweep
+//	benchall -feedback           # only the adaptive-cost warm-up sweep (gated)
+//	benchall -feedbackjson -     # the same sweep, JSON on stdout
 //	benchall -loadjson - -loadscales tiny,small,medium
 //	                             # only the bulk-load scale sweep, JSON on stdout
 package main
@@ -84,6 +86,47 @@ func writeServeSweep(sc benchkit.Scale, dur time.Duration, path string) error {
 	return werr
 }
 
+// runFeedbackSweep runs the adaptive-cost warm-up sweep and enforces
+// its acceptance gate: the mean relative cardinality estimation error
+// must shrink at least 2x over the sweep (unless it ends near-exact),
+// and the answers must match a feedback-free baseline exactly.
+func runFeedbackSweep(sc benchkit.Scale, epochs int, jsonPath string) error {
+	rep, err := benchkit.MeasureFeedback(sc, epochs)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteText(os.Stderr); err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		if jsonPath == "-" {
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			f, err := os.Create(jsonPath)
+			if err != nil {
+				return err
+			}
+			werr := rep.WriteJSON(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return werr
+			}
+		}
+	}
+	if !rep.AnswersIdentical {
+		return fmt.Errorf("feedback changed answers — the loop must stay advisory")
+	}
+	if rep.CardImprovement < 2 && rep.FinalCardErr >= 0.02 {
+		return fmt.Errorf("cardinality error improved only %.2fx (final %.4f), want >= 2x",
+			rep.CardImprovement, rep.FinalCardErr)
+	}
+	return nil
+}
+
 // writeStageSweep answers a representative LUBM query set with every
 // reformulation strategy under tracing and writes the per-stage
 // breakdown as JSON — the stage data scripts/bench.sh embeds into the
@@ -126,10 +169,21 @@ func main() {
 	loadJSON := flag.String("loadjson", "", "run the bulk-load scale sweep and write its JSON to this file ('-' = stdout), then exit")
 	loadScales := flag.String("loadscales", "tiny,small,medium", "comma-separated scales for -loadjson")
 	loadPar := flag.Int("loadpar", 0, "loader parallelism for -loadjson (0 = GOMAXPROCS)")
+	fbSweep := flag.Bool("feedback", false, "run only the feedback warm-up sweep (fails if the estimation error does not shrink 2x)")
+	fbJSON := flag.String("feedbackjson", "", "run the feedback warm-up sweep and write its JSON to this file ('-' = stdout), then exit")
+	fbEpochs := flag.Int("feedbackepochs", 4, "workload passes for the feedback sweep")
 	flag.Parse()
 
 	sc := benchkit.ScaleByName(*scale)
 	out := os.Stdout
+
+	if *fbSweep || *fbJSON != "" {
+		if err := runFeedbackSweep(sc, *fbEpochs, *fbJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *loadJSON != "" {
 		names := strings.Split(*loadScales, ",")

@@ -46,6 +46,9 @@ type report struct {
 	// Serve embeds the HTTP serve throughput sweep produced by
 	// `benchall -servejson` (see -serve), verbatim.
 	Serve json.RawMessage `json:"serve,omitempty"`
+	// Feedback embeds the adaptive-cost warm-up sweep produced by
+	// `benchall -feedbackjson` (see -feedback), verbatim.
+	Feedback json.RawMessage `json:"feedback,omitempty"`
 }
 
 func main() {
@@ -54,6 +57,7 @@ func main() {
 	stages := flag.String("stages", "", "stage-breakdown JSON file (from benchall -stagejson) to embed")
 	load := flag.String("load", "", "bulk-load sweep JSON file (from benchall -loadjson) to embed")
 	serve := flag.String("serve", "", "serve throughput JSON file (from benchall -servejson) to embed")
+	fbPath := flag.String("feedback", "", "feedback warm-up sweep JSON file (from benchall -feedbackjson) to embed")
 	flag.Parse()
 
 	src := os.Stdin
@@ -121,6 +125,17 @@ func main() {
 			fatal(fmt.Errorf("%s: not valid JSON", *serve))
 		}
 		rep.Serve = json.RawMessage(raw)
+	}
+
+	if *fbPath != "" {
+		raw, err := os.ReadFile(*fbPath)
+		if err != nil {
+			fatal(err)
+		}
+		if !json.Valid(raw) {
+			fatal(fmt.Errorf("%s: not valid JSON", *fbPath))
+		}
+		rep.Feedback = json.RawMessage(raw)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

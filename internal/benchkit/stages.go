@@ -18,6 +18,9 @@ type Stage struct {
 	Name     string           `json:"name"`
 	Ns       int64            `json:"ns"`
 	Counters map[string]int64 `json:"counters,omitempty"`
+	// Floats carries the stage's float attributes — the feedback loop's
+	// est_cost/est_rows annotations on the evaluate span.
+	Floats map[string]float64 `json:"floats,omitempty"`
 }
 
 // RunStaged is Run with a fresh trace attached: the returned outcome
@@ -41,13 +44,19 @@ func StagesFromTrace(root *trace.Span) []Stage {
 	for _, c := range root.Children() {
 		st := Stage{Name: c.Name(), Ns: c.Duration().Nanoseconds()}
 		for _, a := range c.Attrs() {
-			if a.IsStr {
-				continue
+			switch {
+			case a.IsStr:
+			case a.IsFloat:
+				if st.Floats == nil {
+					st.Floats = make(map[string]float64)
+				}
+				st.Floats[a.Key] = a.Float
+			default:
+				if st.Counters == nil {
+					st.Counters = make(map[string]int64)
+				}
+				st.Counters[a.Key] = a.Int
 			}
-			if st.Counters == nil {
-				st.Counters = make(map[string]int64)
-			}
-			st.Counters[a.Key] = a.Int
 		}
 		out = append(out, st)
 	}

@@ -1,0 +1,100 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/testkit"
+)
+
+// repStores builds the same fixture data as a flat store and as a
+// compressed frozen one. The fixture is padded with one dominant
+// property so it clears both the freeze threshold and the decode-ratio
+// sample floor.
+func repStores(t *testing.T) (*testkit.Example, *storage.Store, *storage.Store) {
+	t.Helper()
+	e := testkit.Random(5, 100)
+	dense := e.ID("densePadding")
+	for i := 0; i < 6000; i++ {
+		e.Data = append(e.Data, storage.Triple{
+			S: e.ID(fmt.Sprintf("padS%d", i%97)),
+			P: dense,
+			O: e.ID(fmt.Sprintf("padO%d", i)),
+		})
+	}
+	build := func(c storage.Compression) *storage.Store {
+		b := storage.NewBuilder().WithCompression(c)
+		for _, tr := range e.Data {
+			b.Add(tr)
+		}
+		for _, cs := range e.Closed.ConstraintTriples() {
+			b.Add(storage.Triple{S: cs[0], P: cs[1], O: cs[2]})
+		}
+		return b.Build()
+	}
+	return e, build(storage.CompressionOff), build(storage.CompressionOn)
+}
+
+// Calibration must label the representation it measured and carry a
+// sane measured decode ratio, so ForRepresentation can transfer the
+// model between flat and frozen stores instead of reusing the flat scan
+// constant verbatim on a store that pays block decoding on every scan.
+func TestCalibrateRepresentationAware(t *testing.T) {
+	e, flat, frozen := repStores(t)
+	if flat.Footprint().Compressed || !frozen.Footprint().Compressed {
+		t.Fatalf("fixture stores have wrong representations (flat %v, frozen %v)",
+			flat.Footprint().Compressed, frozen.Footprint().Compressed)
+	}
+
+	flatP := core.Calibrate(engine.New(flat, stats.Collect(flat, e.Vocab), engine.Native))
+	frozenP := core.Calibrate(engine.New(frozen, stats.Collect(frozen, e.Vocab), engine.Native))
+
+	if flatP.Provenance != "calibrated" || frozenP.Provenance != "calibrated" {
+		t.Errorf("provenance = %q / %q, want calibrated", flatP.Provenance, frozenP.Provenance)
+	}
+	if flatP.Representation != "flat" {
+		t.Errorf("flat store calibrated as %q", flatP.Representation)
+	}
+	if frozenP.Representation != "frozen" {
+		t.Errorf("frozen store calibrated as %q", frozenP.Representation)
+	}
+	for _, p := range []struct {
+		name string
+		r    float64
+	}{{"flat", flatP.DecodeRatio}, {"frozen", frozenP.DecodeRatio}} {
+		if p.r < 1 || p.r > 16 {
+			t.Errorf("%s decode ratio %v outside the measured band [1, 16]", p.name, p.r)
+		}
+	}
+
+	// Transferring a flat calibration to a frozen store scales the scan
+	// constant up by the measured ratio; transferring it back recovers
+	// the original within rounding.
+	ported := flatP.ForRepresentation(true)
+	if ported.Representation != "frozen" {
+		t.Errorf("ported representation = %q, want frozen", ported.Representation)
+	}
+	if ported.CT < flatP.CT {
+		t.Errorf("porting flat→frozen lowered CT: %v -> %v", flatP.CT, ported.CT)
+	}
+	back := ported.ForRepresentation(false)
+	if !approxEq(back.CT, flatP.CT) {
+		t.Errorf("flat→frozen→flat round trip changed CT: %v -> %v", flatP.CT, back.CT)
+	}
+	// Matching representation is a no-op.
+	if same := flatP.ForRepresentation(false); same.CT != flatP.CT || same.Provenance != flatP.Provenance {
+		t.Error("ForRepresentation must not touch a matching representation")
+	}
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(a+b)
+}

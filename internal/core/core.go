@@ -20,6 +20,7 @@ import (
 	"repro/internal/cover"
 	"repro/internal/dict"
 	"repro/internal/engine"
+	"repro/internal/feedback"
 	"repro/internal/plancache"
 	"repro/internal/reformulate"
 	"repro/internal/schema"
@@ -117,6 +118,15 @@ type Options struct {
 	// safe for concurrent use. Answers are identical with and without a
 	// cache — hits only skip the optimize and reformulate stages.
 	PlanCache *plancache.Cache
+	// Feedback, when non-nil, closes the estimate→observe→recalibrate
+	// loop: every successful evaluation's observed cardinalities and
+	// timings are folded into the loop, and cover pricing blends the
+	// loop's learned corrections into Params. A loop may be shared by
+	// any number of answerers over the same store and engine profile.
+	// Feedback is strictly advisory: it perturbs only estimates, and
+	// every cover computes the same answer set (Theorem 3.1), so
+	// answers are identical with and without it.
+	Feedback *feedback.Loop
 }
 
 // DefaultMaxCovers bounds ECov's enumeration when Options.MaxCovers is 0.
@@ -147,6 +157,14 @@ type Answerer struct {
 func NewAnswerer(sch *schema.Closed, raw, sat *engine.Engine, opts Options) *Answerer {
 	if opts.Params == (cost.Params{}) {
 		opts.Params = cost.DefaultParams
+	}
+	// Adjust the constants for the representation they will price: a
+	// model calibrated against a flat store underprices scans of the
+	// compressed block-columnar representation (and vice versa) by the
+	// measured decode ratio. A no-op when the representation matches or
+	// was never measured.
+	if raw != nil {
+		opts.Params = opts.Params.ForRepresentation(raw.Store().Footprint().Compressed)
 	}
 	if opts.MaxCovers == 0 {
 		opts.MaxCovers = DefaultMaxCovers
@@ -204,6 +222,9 @@ type Report struct {
 	TotalCQs int64
 	// EstimatedCost is the cost-model value of the evaluated plan.
 	EstimatedCost float64
+	// EstimatedRows is the model's (feedback-corrected, when a loop is
+	// configured) final-cardinality estimate; 0 for Saturation.
+	EstimatedRows float64
 	// CoversExplored counts the covers the search priced (1 for the
 	// fixed UCQ and SCQ covers; 0 for Saturation).
 	CoversExplored int
@@ -266,13 +287,74 @@ func (a *Answerer) AnswerContext(ctx context.Context, q bgp.CQ, strategy Strateg
 	}
 
 	if a.opts.PlanCache == nil {
-		c, rep, _, err := a.chooseCover(ctx, q, strategy)
+		c, rep, s, err := a.chooseCover(ctx, q, strategy)
 		if err != nil {
 			return nil, err
 		}
-		return a.evaluateCover(ctx, q, c, rep)
+		// The searcher already reformulated every fragment of the chosen
+		// cover while pricing it; evaluate those artifacts directly
+		// instead of reformulating from scratch (Reformulate is
+		// deterministic, so the answer is byte-identical).
+		frags, err := a.fragsFromSearch(c, s, rep)
+		if err != nil {
+			return nil, err
+		}
+		return a.evaluateFrags(ctx, headVars(q), frags, rep, a.observationFor(s, rep, frags))
 	}
 	return a.answerWithCache(ctx, q, strategy)
+}
+
+// fragsFromSearch extracts the searcher's memoized fragment artifacts
+// for the chosen cover, recording a "reformulate" span whose work
+// happened during optimize (marked memoized) so traces keep their
+// stage shape.
+func (a *Answerer) fragsFromSearch(c cover.Cover, s *searcher, rep Report) ([]fragArtifact, error) {
+	var refSp *trace.Span
+	if a.opts.Trace != nil {
+		refSp = a.opts.Trace.Child("reformulate")
+		refSp.SetInt("fragments", int64(len(c)))
+		refSp.SetInt("memoized", 1)
+	}
+	frags := make([]fragArtifact, len(c))
+	for i, f := range c {
+		info := s.frag(f)
+		frags[i] = fragArtifact{cq: info.cq, ref: info.ref, stats: info.stats, key: info.key, hasStats: true}
+		if refSp != nil {
+			fragSp := refSp.Child(fmt.Sprintf("fragment[%d]", i))
+			fragSp.SetInt("atoms", int64(len(info.cq.Atoms)))
+			fragSp.SetInt("member_cqs", info.numCQs)
+			fragSp.End()
+		}
+	}
+	if refSp != nil {
+		refSp.SetInt("total_cqs", rep.TotalCQs)
+		refSp.End()
+	}
+	if err := s.failure(); err != nil {
+		return nil, err
+	}
+	return frags, nil
+}
+
+// observationFor prepares the estimate side of a feedback observation
+// from a completed cover search; evaluateFrags fills in the observed
+// side. nil (no observation) without a feedback loop.
+func (a *Answerer) observationFor(s *searcher, rep Report, frags []fragArtifact) *feedback.Observation {
+	if a.opts.Feedback == nil {
+		return nil
+	}
+	obs := &feedback.Observation{
+		StoreVersion:  s.storeV,
+		QueryKey:      s.finalKey,
+		EstimatedCost: rep.EstimatedCost,
+		EstimatedRows: rep.EstimatedRows,
+		RawRows:       s.final,
+		Arms:          make([]feedback.ArmObservation, len(frags)),
+	}
+	for i, fa := range frags {
+		obs.Arms[i] = feedback.ArmObservation{Key: fa.key, Stats: fa.stats}
+	}
+	return obs
 }
 
 // engineFor attaches ctx to the engine when it is actually cancelable —
@@ -291,24 +373,38 @@ func engineFor(e *engine.Engine, ctx context.Context) *engine.Engine {
 // reformulations so a miss costs no more than an uncached answer.
 func (a *Answerer) answerWithCache(ctx context.Context, q bgp.CQ, strategy Strategy) (*Answer, error) {
 	cache := a.opts.PlanCache
+	fb := a.opts.Feedback
 	reg := a.opts.Trace.Registry()
-	// The validity pair is read *before* planning: a mutation racing the
-	// plan computation can only make the recorded version too old (a
-	// spurious invalidation later), never let a stale plan pass as
-	// current.
+	// The validity stamps are read *before* planning: a mutation (or a
+	// feedback drift event) racing the plan computation can only make
+	// the recorded version too old (a spurious invalidation or re-price
+	// later), never let a stale plan pass as current.
 	storeV := a.raw.Store().Version()
 	schemaS := a.sch.Stamp()
+	fbV := fb.Version()
 	key := plancache.Signature(string(strategy), q)
 
 	start := time.Now()
 	if e, out := cache.Get(key, storeV, schemaS); out == plancache.Hit {
 		reg.Counter("plancache.hits").Add(1)
+		// A hit must observe the *current* correction-factor version:
+		// estimates priced before a drift event no longer describe what
+		// the optimizer believes, so they are re-priced from the
+		// entry's stored raw stats before being reported or observed
+		// against. The plan itself (cover, reformulations) is reused
+		// unchanged either way — only estimates move, so answers are
+		// unaffected.
+		if fb != nil && e.FeedbackVersion != fbV {
+			e = a.repriceEntry(e, fb, fbV)
+			reg.Counter("plancache.reprices").Add(1)
+		}
 		rep := Report{
 			Strategy:       Strategy(e.Strategy),
 			Cover:          e.Cover,
 			FragmentCQs:    append([]int64(nil), e.FragmentCQs...),
 			TotalCQs:       e.TotalCQs,
 			EstimatedCost:  e.EstimatedCost,
+			EstimatedRows:  e.EstimatedRows,
 			CoversExplored: e.CoversExplored,
 			Exhaustive:     e.Exhaustive,
 			Cached:         true,
@@ -316,9 +412,23 @@ func (a *Answerer) answerWithCache(ctx context.Context, q bgp.CQ, strategy Strat
 		}
 		frags := make([]fragArtifact, len(e.Fragments))
 		for i, f := range e.Fragments {
-			frags[i] = fragArtifact{cq: f.CQ, ref: f.Ref}
+			frags[i] = fragArtifact{cq: f.CQ, ref: f.Ref, stats: f.Stats, key: f.Key, hasStats: true}
 		}
-		return a.evaluateFrags(ctx, e.Head, frags, rep)
+		var obs *feedback.Observation
+		if fb != nil {
+			obs = &feedback.Observation{
+				StoreVersion:  e.StoreVersion,
+				QueryKey:      e.QueryKey,
+				EstimatedCost: e.EstimatedCost,
+				EstimatedRows: e.EstimatedRows,
+				RawRows:       e.RawRows,
+				Arms:          make([]feedback.ArmObservation, len(frags)),
+			}
+			for i, fa := range frags {
+				obs.Arms[i] = feedback.ArmObservation{Key: fa.key, Stats: fa.stats}
+			}
+		}
+		return a.evaluateFrags(ctx, e.Head, frags, rep, obs)
 	} else if out == plancache.Stale {
 		reg.Counter("plancache.invalidations").Add(1)
 	}
@@ -329,17 +439,21 @@ func (a *Answerer) answerWithCache(ctx context.Context, q bgp.CQ, strategy Strat
 		return nil, err
 	}
 	entry := &plancache.Entry{
-		Key:            key,
-		Strategy:       string(strategy),
-		StoreVersion:   storeV,
-		SchemaStamp:    schemaS,
-		Head:           headVars(q),
-		Cover:          c,
-		EstimatedCost:  rep.EstimatedCost,
-		CoversExplored: rep.CoversExplored,
-		Exhaustive:     rep.Exhaustive,
-		TotalCQs:       rep.TotalCQs,
-		FragmentCQs:    append([]int64(nil), rep.FragmentCQs...),
+		Key:             key,
+		Strategy:        string(strategy),
+		StoreVersion:    storeV,
+		SchemaStamp:     schemaS,
+		FeedbackVersion: fbV,
+		Head:            headVars(q),
+		Cover:           c,
+		QueryKey:        s.finalKey,
+		EstimatedCost:   rep.EstimatedCost,
+		EstimatedRows:   rep.EstimatedRows,
+		RawRows:         s.final,
+		CoversExplored:  rep.CoversExplored,
+		Exhaustive:      rep.Exhaustive,
+		TotalCQs:        rep.TotalCQs,
+		FragmentCQs:     append([]int64(nil), rep.FragmentCQs...),
 	}
 	// The searcher already reformulated every fragment of the chosen
 	// cover while pricing it; reuse those artifacts for both the entry
@@ -347,23 +461,49 @@ func (a *Answerer) answerWithCache(ctx context.Context, q bgp.CQ, strategy Strat
 	frags := make([]fragArtifact, len(c))
 	for i, f := range c {
 		info := s.frag(f)
-		frags[i] = fragArtifact{cq: info.cq, ref: info.ref}
+		frags[i] = fragArtifact{cq: info.cq, ref: info.ref, stats: info.stats, key: info.key, hasStats: true}
 		entry.Fragments = append(entry.Fragments, plancache.Fragment{
 			CQ:     info.cq,
 			Ref:    info.ref,
 			NumCQs: info.numCQs,
 			Stats:  info.stats,
+			Key:    info.key,
 		})
 	}
 	if err := s.failure(); err != nil {
 		return nil, err
 	}
-	ans, err := a.evaluateFrags(ctx, entry.Head, frags, rep)
+	ans, err := a.evaluateFrags(ctx, entry.Head, frags, rep, a.observationFor(s, rep, frags))
 	if err != nil {
 		return ans, err
 	}
 	cache.Put(entry)
 	return ans, nil
+}
+
+// repriceEntry re-prices a cached plan under the current feedback
+// corrections: cost and cardinality estimates are recomputed from the
+// entry's stored *raw* fragment stats, and the refreshed entry —
+// stamped with the feedback version read before re-pricing, so a drift
+// event racing it triggers another re-price rather than being lost —
+// replaces the old one in the cache.
+func (a *Answerer) repriceEntry(e *plancache.Entry, fb *feedback.Loop, fbV uint64) *plancache.Entry {
+	p := fb.Params(a.opts.Params)
+	scan := fb.ScanFactor()
+	arms := make([]cost.ArmStats, len(e.Fragments))
+	for i, f := range e.Fragments {
+		st := f.Stats
+		st.ResultTuples = fb.Correct(f.Key, e.StoreVersion, st.ResultTuples)
+		st.ScanTuples *= scan
+		arms[i] = st
+	}
+	final := fb.Correct(e.QueryKey, e.StoreVersion, e.RawRows)
+	ne := *e
+	ne.FeedbackVersion = fbV
+	ne.EstimatedCost = p.JUCQ(arms, final)
+	ne.EstimatedRows = final
+	a.opts.PlanCache.Reprice(&ne)
+	return &ne
 }
 
 // ChooseCover runs only the optimization stage: it returns the cover the
@@ -414,6 +554,7 @@ func (a *Answerer) chooseCover(ctx context.Context, q bgp.CQ, strategy Strategy)
 	}
 	rep.Cover = c
 	rep.EstimatedCost = s.coverCost(c)
+	rep.EstimatedRows = s.finalCorr
 	for _, f := range c {
 		info := s.frag(f)
 		rep.FragmentCQs = append(rep.FragmentCQs, info.numCQs)
@@ -476,16 +617,21 @@ func (a *Answerer) evaluateCover(ctx context.Context, q bgp.CQ, c cover.Cover, r
 		refSp.SetInt("total_cqs", rep.TotalCQs)
 		refSp.End()
 	}
-	return a.evaluateFrags(ctx, headVars(q), frags, rep)
+	return a.evaluateFrags(ctx, headVars(q), frags, rep, nil)
 }
 
 // fragArtifact pairs a cover fragment's subquery with its reformulation —
 // the unit of work evaluateFrags turns into an engine arm, whatever
 // produced it (a fresh Reformulate call, the searcher's memo, or a plan
-// cache entry).
+// cache entry). When the artifact came from a search or cache entry it
+// also carries the raw arm estimates and the fragment's canonical key,
+// which the feedback loop pairs with the observed cardinalities.
 type fragArtifact struct {
-	cq  bgp.CQ
-	ref *reformulate.Reformulation
+	cq       bgp.CQ
+	ref      *reformulate.Reformulation
+	stats    cost.ArmStats
+	key      string
+	hasStats bool
 }
 
 // headVars returns the head variable IDs of q (checkQuery enforces that
@@ -500,13 +646,25 @@ func headVars(q bgp.CQ) []uint32 {
 
 // evaluateFrags runs the evaluation stage over prepared fragment
 // artifacts, completing the report. A cached plan (rep.Cached) marks its
-// evaluate span so traces show the skipped stages.
-func (a *Answerer) evaluateFrags(ctx context.Context, head []uint32, frags []fragArtifact, rep Report) (*Answer, error) {
+// evaluate span so traces show the skipped stages. obs, when non-nil,
+// is the estimate side of a feedback observation: the observed arm
+// cardinalities, metrics and timing are filled in and the completed
+// observation folded into the loop — but only on success, so a
+// cancelled or failed evaluation never updates the coefficients.
+func (a *Answerer) evaluateFrags(ctx context.Context, head []uint32, frags []fragArtifact, rep Report, obs *feedback.Observation) (*Answer, error) {
 	arms := make([]engine.ArmSource, len(frags))
 	for i, fa := range frags {
 		arms[i] = armSource(fa.cq, fa.ref)
 	}
 	eng := engineFor(a.raw, ctx)
+	fb := a.opts.Feedback
+	var armRows []int64
+	if fb != nil && obs != nil {
+		// Each arm index is observed exactly once, so the callback can
+		// write into the preallocated slice without synchronization.
+		armRows = make([]int64, len(arms))
+		eng = eng.WithArmObserver(func(i int, n int64) { armRows[i] = n })
+	}
 	var evalSp *trace.Span
 	if a.opts.Trace != nil {
 		evalSp = a.opts.Trace.Child("evaluate")
@@ -524,7 +682,43 @@ func (a *Answerer) evaluateFrags(ctx context.Context, head []uint32, frags []fra
 	if err != nil {
 		return &Answer{Report: rep}, err
 	}
+	if fb != nil && obs != nil {
+		for i := range obs.Arms {
+			if i < len(armRows) {
+				obs.Arms[i].ActualRows = armRows[i]
+			}
+		}
+		obs.ActualRows = int64(rel.Len())
+		obs.Metrics = m
+		obs.EvalNs = rep.EvalTime.Nanoseconds()
+		a.annotateEstimates(evalSp, obs)
+		fb.Observe(*obs)
+		a.opts.Trace.Registry().Counter("feedback.observations").Add(1)
+	}
 	return &Answer{Rel: rel, Report: rep}, nil
+}
+
+// annotateEstimates records the optimizer's estimates as float attrs on
+// the evaluate span and its arm children, next to the observed integer
+// counters, so a rendered trace shows estimated vs observed side by
+// side. The per-arm estimates are corrected with the factors in force
+// before this observation folds in — i.e. what pricing used.
+func (a *Answerer) annotateEstimates(evalSp *trace.Span, obs *feedback.Observation) {
+	if evalSp == nil {
+		return
+	}
+	evalSp.SetFloat("est_cost", obs.EstimatedCost)
+	evalSp.SetFloat("est_rows", obs.EstimatedRows)
+	fb := a.opts.Feedback
+	scan := fb.ScanFactor()
+	for i, ao := range obs.Arms {
+		armSp := evalSp.Find(fmt.Sprintf("arm[%d]", i))
+		if armSp == nil {
+			continue
+		}
+		armSp.SetFloat("est_rows", fb.Correct(ao.Key, obs.StoreVersion, ao.Stats.ResultTuples))
+		armSp.SetFloat("est_scan_tuples", ao.Stats.ScanTuples*scan)
+	}
 }
 
 // ExplainPlan renders the engine's physical-plan description for the

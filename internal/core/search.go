@@ -11,6 +11,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/cover"
 	"repro/internal/engine"
+	"repro/internal/feedback"
 	"repro/internal/reformulate"
 	"repro/internal/trace"
 )
@@ -29,8 +30,19 @@ type searcher struct {
 	a     *Answerer
 	q     bgp.CQ
 	g     *cover.Graph
-	final float64 // estimated |q| — the JUCQ result size for the model
+	final float64 // raw estimated |q| — the JUCQ result size for the model
 	par   int     // pricing worker count; <= 1 searches sequentially
+
+	// Adaptive-pricing snapshot, taken once per query so every cover of
+	// one search is priced under the same corrections (a concurrent
+	// Observe mid-search cannot skew the comparison). All zero/identity
+	// when the answerer has no feedback loop.
+	fb        *feedback.Loop
+	params    cost.Params // effective constants (blended when fb != nil)
+	storeV    uint64      // store version the estimates describe
+	scanF     float64     // global scanned-tuples correction factor
+	finalKey  string      // canonical key of the whole query
+	finalCorr float64     // corrected final-cardinality estimate
 
 	start  time.Time
 	budget time.Duration
@@ -76,8 +88,10 @@ type fragInfo struct {
 	cq        bgp.CQ
 	ref       *reformulate.Reformulation
 	numCQs    int64
-	stats     cost.ArmStats
-	aloneCost float64 // cost of the fragment evaluated by itself
+	stats     cost.ArmStats // raw statistics-derived estimates
+	corr      cost.ArmStats // feedback-corrected estimates (== stats without a loop)
+	key       string        // canonical key of cq ("" without a loop)
+	aloneCost float64       // corrected cost of the fragment evaluated by itself
 }
 
 func newSearcher(a *Answerer, q bgp.CQ) (*searcher, error) {
@@ -85,17 +99,51 @@ func newSearcher(a *Answerer, q bgp.CQ) (*searcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &searcher{
+	s := &searcher{
 		a:      a,
 		q:      q,
 		g:      g,
 		final:  a.raw.Stats().CQCard(q),
 		par:    a.parallelism(),
+		params: a.opts.Params,
+		scanF:  1,
 		frags:  make(map[cover.Fragment]*fragEntry),
 		costs:  make(map[string]float64),
 		start:  time.Now(),
 		budget: a.opts.SearchBudget,
-	}, nil
+	}
+	//lint:ignore lockguard construction: s is not shared until newSearcher returns
+	s.finalCorr = s.final
+	if fb := a.opts.Feedback; fb != nil {
+		//lint:ignore lockguard construction: s is not shared until newSearcher returns
+		s.fb = fb
+		s.storeV = a.raw.Store().Version()
+		//lint:ignore lockguard construction: s is not shared until newSearcher returns
+		s.params = fb.Params(a.opts.Params)
+		s.scanF = fb.ScanFactor()
+		// The final-cardinality key lives in its own namespace: a
+		// single-fragment cover's arm key is the same canonical string,
+		// and sharing one correction entry between the arm estimate and
+		// the (post-dedup) final estimate would make the factor chase
+		// two different ratios.
+		s.finalKey = "q\x00" + q.CanonicalKey()
+		//lint:ignore lockguard construction: s is not shared until newSearcher returns
+		s.finalCorr = fb.Correct(s.finalKey, s.storeV, s.final)
+	}
+	return s, nil
+}
+
+// corrected applies the feedback corrections to raw arm statistics: the
+// per-pattern cardinality factor scales the result estimate, the global
+// scan factor scales the scanned-tuples estimate. Identity without a
+// feedback loop.
+func (s *searcher) corrected(st cost.ArmStats, key string) cost.ArmStats {
+	if s.fb == nil {
+		return st
+	}
+	st.ResultTuples = s.fb.Correct(key, s.storeV, st.ResultTuples)
+	st.ScanTuples *= s.scanF
+	return st
 }
 
 func (s *searcher) expired() bool {
@@ -202,7 +250,11 @@ func (s *searcher) computeFrag(f cover.Fragment) *fragInfo {
 	}
 	info := &fragInfo{cq: cq, ref: ref, numCQs: ref.NumCQs()}
 	info.stats = s.armStats(ref)
-	info.aloneCost = s.a.opts.Params.UCQ(info.stats)
+	if s.fb != nil {
+		info.key = cq.CanonicalKey()
+	}
+	info.corr = s.corrected(info.stats, info.key)
+	info.aloneCost = s.params.UCQ(info.corr)
 	return info
 }
 
@@ -340,9 +392,9 @@ func (s *searcher) coverCost(c cover.Cover) float64 {
 	default:
 		arms := make([]cost.ArmStats, len(c))
 		for i, f := range c {
-			arms[i] = s.frag(f).stats
+			arms[i] = s.frag(f).corr
 		}
-		v = s.a.opts.Params.JUCQ(arms, s.final)
+		v = s.params.JUCQ(arms, s.finalCorr)
 	}
 	s.mu.Lock()
 	s.costs[key] = v

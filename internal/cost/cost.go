@@ -43,6 +43,22 @@ type Params struct {
 	// linearly — set for engine profiles without hash joins, where the
 	// linear model of the paper badly underestimates SCQ-shaped plans.
 	NestedLoopArmJoin bool
+
+	// Provenance records how the constants were obtained ("default",
+	// "calibrated", "calibrated+decode", "feedback", ...) so reports and
+	// tests can tell a fitted model from the neutral one.
+	Provenance string
+
+	// Representation is the storage representation the constants were
+	// measured against: "" (unknown), "flat", or "frozen" (the
+	// compressed block-columnar store). ForRepresentation uses it to
+	// decide whether a decode adjustment applies.
+	Representation string
+
+	// DecodeRatio is the measured per-tuple scan-cost ratio
+	// frozen/flat (> 1 when decoding compressed blocks is slower than
+	// walking the flat arrays). 0 means unmeasured.
+	DecodeRatio float64
 }
 
 // DefaultParams is a neutral parameterization (all unit weights) that
@@ -55,6 +71,34 @@ var DefaultParams = Params{
 	CL:             1.0,
 	CK:             0.2,
 	SpillThreshold: 1 << 20,
+	Provenance:     "default",
+}
+
+// ForRepresentation adjusts the constants for the store representation
+// they will actually price. When the parameters were measured against
+// the other representation and a decode ratio is known, the per-tuple
+// scan constant is scaled by it (frozen scans decode compressed blocks,
+// flat scans walk arrays directly); otherwise p is returned unchanged.
+// The adjustment is a uniform positive scale on one constant, so it
+// never produces NaN or negative costs.
+func (p Params) ForRepresentation(frozen bool) Params {
+	want := "flat"
+	if frozen {
+		want = "frozen"
+	}
+	if p.Representation == "" || p.Representation == want || p.DecodeRatio <= 0 {
+		return p
+	}
+	if frozen {
+		p.CT *= p.DecodeRatio
+	} else {
+		p.CT /= p.DecodeRatio
+	}
+	p.Representation = want
+	if p.Provenance != "" {
+		p.Provenance += "+decode"
+	}
+	return p
 }
 
 // ArmStats summarizes one UCQ arm of a JUCQ for the model.
@@ -69,12 +113,21 @@ type ArmStats struct {
 }
 
 // Unique prices duplicate elimination over n result tuples.
+//
+// Two edge cases matter here. A NaN estimate must not leak through: NaN
+// fails every comparison, so `n <= 0` would NOT catch it and the NaN
+// would poison cover cost comparisons (NaN ordering makes min-cost
+// selection arbitrary). And past the spill threshold, log2(n) ≤ 0 for
+// n < 2 — reachable with a tiny or zero SpillThreshold, e.g. during
+// calibration or feedback blending — which would price dedup negatively.
+// Both are clamped: non-positive (or NaN) sizes cost 0, and the spill
+// branch charges at least one log factor per tuple.
 func (p Params) Unique(n float64) float64 {
-	if n <= 0 {
+	if !(n > 0) { // catches NaN as well as n <= 0
 		return 0
 	}
 	if n > p.SpillThreshold {
-		return p.CK * n * math.Log2(n)
+		return p.CK * n * math.Max(math.Log2(n), 1)
 	}
 	return p.CL * n
 }
@@ -141,6 +194,13 @@ func (p Params) UCQ(arm ArmStats) float64 {
 
 // String renders the parameters compactly for reports.
 func (p Params) String() string {
-	return fmt.Sprintf("c_db=%.3g c_t=%.3g c_j=%.3g c_m=%.3g c_l=%.3g c_k=%.3g spill=%.3g nl=%v",
+	s := fmt.Sprintf("c_db=%.3g c_t=%.3g c_j=%.3g c_m=%.3g c_l=%.3g c_k=%.3g spill=%.3g nl=%v",
 		p.CDB, p.CT, p.CJ, p.CM, p.CL, p.CK, p.SpillThreshold, p.NestedLoopArmJoin)
+	if p.Provenance != "" {
+		s += " src=" + p.Provenance
+	}
+	if p.Representation != "" {
+		s += " repr=" + p.Representation
+	}
+	return s
 }

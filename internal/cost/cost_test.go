@@ -94,3 +94,80 @@ func TestStringIncludesConstants(t *testing.T) {
 		t.Error("empty String")
 	}
 }
+
+// Regression: |q| log|q| spill pricing with |q| < 2 used to go negative
+// (log2(n) ≤ 0), and a NaN estimate slipped through the `n <= 0` guard,
+// poisoning cover comparisons via NaN ordering.
+func TestUniqueSpillEdgeCases(t *testing.T) {
+	p := DefaultParams
+	p.SpillThreshold = 0 // everything spills
+	for _, n := range []float64{0.25, 0.5, 1, 1.5, 1.99} {
+		if got := p.Unique(n); got < 0 || math.IsNaN(got) {
+			t.Errorf("Unique(%v) = %v with zero spill threshold; want ≥ 0", n, got)
+		}
+		if got, min := p.Unique(n), p.CK*n; got < min {
+			t.Errorf("Unique(%v) = %v, want at least one log factor %v", n, got, min)
+		}
+	}
+	if got := p.Unique(math.NaN()); got != 0 {
+		t.Errorf("Unique(NaN) = %v, want 0", got)
+	}
+	if got := p.Unique(math.Inf(-1)); got != 0 {
+		t.Errorf("Unique(-Inf) = %v, want 0", got)
+	}
+}
+
+// Regression: pricing covers containing zero-row arm estimates must stay
+// finite, non-negative, and comparable even when dedup is forced to the
+// spill regime.
+func TestJUCQZeroRowArms(t *testing.T) {
+	p := DefaultParams
+	p.SpillThreshold = 0
+	arms := []ArmStats{
+		{Arms: 1, ScanTuples: 0, ResultTuples: 0},
+		{Arms: 2, ScanTuples: 10, ResultTuples: 1},
+	}
+	got := p.JUCQ(arms, 0)
+	if math.IsNaN(got) || got < p.CDB {
+		t.Errorf("JUCQ with zero-row arms = %v, want finite ≥ c_db", got)
+	}
+	// A NaN-free model must give a total order: the zero-arm cover is
+	// not more expensive than the same cover with extra work.
+	more := p.JUCQ([]ArmStats{{Arms: 2, ScanTuples: 100, ResultTuples: 50}, arms[1]}, 40)
+	if !(got <= more) {
+		t.Errorf("zero-row cover (%v) should not exceed a strictly larger one (%v)", got, more)
+	}
+}
+
+func TestForRepresentation(t *testing.T) {
+	p := DefaultParams
+	p.Provenance = "calibrated"
+	p.Representation = "flat"
+	p.DecodeRatio = 2.5
+
+	frozen := p.ForRepresentation(true)
+	if frozen.CT != p.CT*2.5 {
+		t.Errorf("frozen CT = %v, want %v", frozen.CT, p.CT*2.5)
+	}
+	if frozen.Representation != "frozen" || frozen.Provenance != "calibrated+decode" {
+		t.Errorf("frozen adjustment mislabeled: %+v", frozen)
+	}
+	// Round trip restores the original scan constant.
+	back := frozen.ForRepresentation(false)
+	if math.Abs(back.CT-p.CT) > 1e-12 {
+		t.Errorf("round-trip CT = %v, want %v", back.CT, p.CT)
+	}
+	// Matching or unknown representation is a no-op.
+	if q := p.ForRepresentation(false); q != p {
+		t.Errorf("matching representation changed params: %v", q)
+	}
+	var unk Params
+	if q := unk.ForRepresentation(true); q != unk {
+		t.Errorf("unknown representation changed params: %v", q)
+	}
+	noRatio := p
+	noRatio.DecodeRatio = 0
+	if q := noRatio.ForRepresentation(true); q != noRatio {
+		t.Errorf("unmeasured decode ratio changed params: %v", q)
+	}
+}

@@ -184,6 +184,9 @@ type Engine struct {
 	// completion or budget exhaustion; the hot path then pays nothing
 	// for cancellation beyond one nil check per budget charge.
 	ctx context.Context
+	// armObs, when non-nil, is called once per evaluated arm with its
+	// observed result cardinality (see WithArmObserver).
+	armObs func(arm int, rows int64)
 }
 
 // New returns an engine over the store with the given statistics and
@@ -251,6 +254,19 @@ func (e *Engine) WithContext(ctx context.Context) *Engine {
 func (e *Engine) WithSharedScan(on bool) *Engine {
 	e2 := *e
 	e2.noShared = !on
+	return &e2
+}
+
+// WithArmObserver returns a copy of the engine that calls f once per
+// evaluated UCQ arm with the arm's index and observed result row count.
+// The adaptive cost model uses this to compare estimated against actual
+// arm cardinalities without allocating a trace tree. f may be called
+// concurrently for distinct arm indices (parallel arm evaluation), but
+// never twice for the same index, so writing into a caller-owned slice
+// indexed by arm is race-free. A nil f disables observation.
+func (e *Engine) WithArmObserver(f func(arm int, rows int64)) *Engine {
+	e2 := *e
+	e2.armObs = f
 	return &e2
 }
 

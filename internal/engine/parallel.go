@@ -58,6 +58,9 @@ func (e *Engine) evalAllArms(ctx *evalCtx, arms []ArmSource) ([]*Relation, error
 				return nil, err
 			}
 			rels[i] = rel
+			if e.armObs != nil {
+				e.armObs(i, int64(rel.Len()))
+			}
 		}
 		return rels, nil
 	}
@@ -74,6 +77,9 @@ func (e *Engine) evalAllArms(ctx *evalCtx, arms []ArmSource) ([]*Relation, error
 		go func(i int) {
 			defer wg.Done()
 			rels[i], errs[i] = e.evalArm(ctx, spans[i], arms[i])
+			if e.armObs != nil && errs[i] == nil {
+				e.armObs(i, int64(rels[i].Len()))
+			}
 		}(i)
 	}
 	wg.Wait()

@@ -1,0 +1,581 @@
+// Package feedback closes the paper's estimate → observe → recalibrate
+// loop. The paper (Sec. 4.1) calibrates the cost constants c(·) once per
+// engine and prices covers statically ever after; this package compares
+// the optimizer's estimated ArmStats against the counters the engine
+// actually observed, and maintains two online-updated corrections:
+//
+//   - per-pattern cardinality correction factors, keyed by the fragment
+//     CQ's canonical key (the same key the stats memo and plan cache
+//     use) and stamped with the store version they were observed
+//     against, combined by an exponentially-weighted geometric mean;
+//
+//   - cost coefficients, fitted per engine profile by an
+//     exponentially-weighted least-squares regression of observed
+//     evaluation times over the observed stage counters (scan, join,
+//     materialize, dedup), blended into the calibrated baseline with a
+//     weight that grows with observation count, plus a global
+//     log-scale integral correction that tracks systematic over/under
+//     pricing even while the regression is still warming up.
+//
+// Feedback is strictly advisory: corrections perturb only the *pricing*
+// of covers, never their evaluation, and Theorem 3.1 guarantees every
+// cover computes the same answer set — so answers are identical with
+// feedback on or off (enforced by tests in internal/core). The Loop's
+// Version is bumped whenever an observation drifts past the configured
+// threshold; the plan cache stores the version a cached plan was priced
+// under, and hits with a stale version are re-priced before being
+// reported, exactly like the store-version stamps keep answers exact
+// under mutation.
+package feedback
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cost"
+	"repro/internal/engine"
+)
+
+// Config tunes a Loop. The zero value selects the defaults.
+type Config struct {
+	// Alpha is the exponential weight of the newest observation in the
+	// per-pattern cardinality corrections and the scan/cost scale
+	// corrections (0 < Alpha ≤ 1; default 0.5).
+	Alpha float64
+	// Lambda is the forgetting factor of the coefficient regression
+	// (0 < Lambda ≤ 1; default 0.97).
+	Lambda float64
+	// DriftThreshold is the relative error past which an observation
+	// counts as drift and bumps Version, forcing cached plans to be
+	// re-priced (default 0.5, i.e. 50% relative error).
+	DriftThreshold float64
+	// MinObservations gates the regression: fitted coefficients blend
+	// in only after this many observations, and the blend weight is
+	// obs/(obs+MinObservations), capped at 0.8 (default 16).
+	MinObservations int64
+	// MaxCorrections bounds the per-pattern correction map; on
+	// overflow the map is reset (mirroring the bounded stats memo),
+	// which only costs accuracy, never exactness (default 16384).
+	MaxCorrections int
+}
+
+func (c Config) withDefaults() Config {
+	if !(c.Alpha > 0 && c.Alpha <= 1) {
+		c.Alpha = 0.5
+	}
+	if !(c.Lambda > 0 && c.Lambda <= 1) {
+		c.Lambda = 0.97
+	}
+	if !(c.DriftThreshold > 0) {
+		c.DriftThreshold = 0.5
+	}
+	if c.MinObservations <= 0 {
+		c.MinObservations = 16
+	}
+	if c.MaxCorrections <= 0 {
+		c.MaxCorrections = 1 << 14
+	}
+	return c
+}
+
+// ArmObservation pairs one UCQ arm's estimated stats with its observed
+// result cardinality.
+type ArmObservation struct {
+	// Key is the fragment CQ's canonical key — the correction-factor
+	// key, shared with the stats memo and plan-cache fragments.
+	Key string
+	// Stats is the *raw* (uncorrected) estimate the searcher computed.
+	Stats cost.ArmStats
+	// ActualRows is the arm's observed result cardinality.
+	ActualRows int64
+}
+
+// Observation is one completed evaluation's estimate/actual pairing.
+// Observations are only recorded for successful evaluations: a
+// cancelled or failed query never updates coefficients, so there is no
+// torn state to guard against on error paths.
+type Observation struct {
+	// StoreVersion is the store mutation version the estimates were
+	// computed against; corrections are stamped with it.
+	StoreVersion uint64
+	// QueryKey is the canonical key of the whole query (final-result
+	// cardinality correction).
+	QueryKey string
+	// EstimatedCost is the corrected cost the optimizer reported.
+	EstimatedCost float64
+	// EstimatedRows is the corrected final-cardinality estimate.
+	EstimatedRows float64
+	// RawRows is the uncorrected final-cardinality estimate.
+	RawRows float64
+	// Arms holds the per-arm estimate/actual pairs.
+	Arms []ArmObservation
+	// ActualRows is the observed final result cardinality.
+	ActualRows int64
+	// Metrics are the engine's observed counters for the evaluation.
+	Metrics engine.Metrics
+	// EvalNs is the observed evaluation wall time in nanoseconds.
+	EvalNs int64
+}
+
+// correction is one per-pattern cardinality correction: an
+// exponentially-weighted geometric mean of observed/estimated ratios,
+// valid only for the store version it was observed against.
+type correction struct {
+	storeVersion uint64
+	logF         float64 // log of the correction factor
+	n            int64   // observations folded in
+}
+
+// Stats is a point-in-time snapshot of a Loop.
+type Stats struct {
+	Observations int64 // evaluations observed
+	DriftEvents  int64 // observations whose relative error crossed the threshold
+	Corrections  int   // live per-pattern correction entries
+	Resets       int64 // correction-map overflow resets
+	Version      uint64
+
+	// MeanCardError and MeanCostError are exponentially-weighted means
+	// of the relative cardinality / cost estimation error.
+	MeanCardError float64
+	MeanCostError float64
+
+	// Cumulative error sums and counts, for computing per-epoch means
+	// by differencing two snapshots (benchkit's warm-up sweep).
+	CardErrorSum   float64
+	CardErrorCount int64
+	CostErrorSum   float64
+	CostErrorCount int64
+}
+
+// regression is the 4-coefficient exponentially-weighted least-squares
+// state: normal equations A·c = b with A = Σ λ^age · x·xᵀ and
+// b = Σ λ^age · y·x over feature vectors
+// x = [1, scanned, joined+materialized, deduped+result] and target
+// y = observed evaluation nanoseconds.
+type regression struct {
+	a [4][4]float64
+	b [4]float64
+}
+
+func (r *regression) observe(lambda float64, x [4]float64, y float64) {
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			r.a[i][j] = lambda*r.a[i][j] + x[i]*x[j]
+		}
+		r.b[i] = lambda*r.b[i] + y*x[i]
+	}
+}
+
+// solve runs Gaussian elimination with partial pivoting, reporting
+// failure for ill-conditioned systems (near-zero pivots).
+func (r *regression) solve() ([4]float64, bool) {
+	var a [4][5]float64
+	maxDiag := 0.0
+	for i := 0; i < 4; i++ {
+		copy(a[i][:4], r.a[i][:])
+		a[i][4] = r.b[i]
+		if d := math.Abs(r.a[i][i]); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	if maxDiag == 0 {
+		return [4]float64{}, false
+	}
+	for col := 0; col < 4; col++ {
+		pivot := col
+		for row := col + 1; row < 4; row++ {
+			if math.Abs(a[row][col]) > math.Abs(a[pivot][col]) {
+				pivot = row
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		if math.Abs(a[col][col]) < 1e-9*maxDiag {
+			return [4]float64{}, false
+		}
+		for row := col + 1; row < 4; row++ {
+			f := a[row][col] / a[col][col]
+			for k := col; k < 5; k++ {
+				a[row][k] -= f * a[col][k]
+			}
+		}
+	}
+	var c [4]float64
+	for i := 3; i >= 0; i-- {
+		s := a[i][4]
+		for k := i + 1; k < 4; k++ {
+			s -= a[i][k] * c[k]
+		}
+		c[i] = s / a[i][i]
+	}
+	for _, v := range c {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return [4]float64{}, false
+		}
+	}
+	return c, true
+}
+
+// Loop is the shared adaptive-cost state for one engine profile. It is
+// safe for concurrent use: Observe folds a completed evaluation in
+// under one mutex (so a reader never sees a half-applied update), and
+// the read paths (Factor, ScanFactor, Params) take a read lock.
+//
+//lint:cache feedback
+type Loop struct {
+	cfg Config
+
+	// version counts drift events; cached plans stamp the version they
+	// were priced under and are re-priced when it moves (the same
+	// version-stamp discipline the plan cache applies to store
+	// mutations).
+	version atomic.Uint64
+
+	mu          sync.RWMutex
+	corrections map[string]*correction
+	reg         regression
+	fit         [4]float64 // solved coefficients, valid when fitOK
+	fitOK       bool
+	fitObs      int64 // observations folded into the regression
+
+	scanLog float64 // EW log of observed/estimated scanned tuples
+	scanN   int64
+	costLog float64 // integral log-scale correction of total cost
+
+	observations int64
+	driftEvents  int64
+	resets       int64
+
+	cardEW   float64 // EW mean relative cardinality error
+	costEW   float64 // EW mean relative cost error
+	cardSum  float64
+	cardCnt  int64
+	costSum  float64
+	costCnt  int64
+	firstErr bool // whether the EW error means have been seeded
+}
+
+// New returns a Loop with cfg's gaps filled by defaults.
+func New(cfg Config) *Loop {
+	return &Loop{
+		cfg:         cfg.withDefaults(),
+		corrections: make(map[string]*correction),
+	}
+}
+
+// Version returns the current drift version. Plans priced under an
+// older version must be re-priced before their estimates are reported.
+func (l *Loop) Version() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.version.Load()
+}
+
+// Factor returns the cardinality correction factor for the fragment key
+// at the given store version: observed/estimated (EW geometric mean),
+// or 1 when nothing is known. A correction recorded against a different
+// store version is ignored — the estimate it corrected no longer
+// describes the data, so replaying it could not be trusted.
+func (l *Loop) Factor(key string, storeVersion uint64) float64 {
+	if l == nil {
+		return 1
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	e := l.corrections[key]
+	if e == nil || e.storeVersion != storeVersion {
+		return 1
+	}
+	return math.Exp(e.logF)
+}
+
+// Correct applies the key's correction to a raw cardinality estimate.
+// The factor acts on raw+1, not raw: corrections learn the ratio
+// (actual+1)/(estimated+1), so a raw estimate of zero — which a bare
+// multiplicative factor could never move — is still correctable, and
+// for large estimates the shift is negligible. Unknown keys and stale
+// store versions return the estimate unchanged.
+func (l *Loop) Correct(key string, storeVersion uint64, raw float64) float64 {
+	if l == nil {
+		return raw
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	e := l.corrections[key]
+	if e == nil || e.storeVersion != storeVersion {
+		return raw
+	}
+	return applyShifted(raw, math.Exp(e.logF))
+}
+
+// applyShifted applies a (actual+1)/(estimated+1) ratio to a raw
+// estimate, clamping the result to stay a cardinality.
+func applyShifted(raw, factor float64) float64 {
+	if !(raw >= 0) { // NaN or negative estimates correct to nothing
+		raw = 0
+	}
+	c := (raw+1)*factor - 1
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// ScanFactor returns the global scanned-tuples correction factor
+// (observed/estimated, EW geometric mean), or 1 when unwarmed.
+func (l *Loop) ScanFactor() float64 {
+	if l == nil {
+		return 1
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.scanN == 0 {
+		return 1
+	}
+	return math.Exp(l.scanLog)
+}
+
+// Params blends the learned cost coefficients into base. The global
+// log-scale correction multiplies every constant uniformly (a positive
+// scale, so the relative order of covers under it alone is unchanged);
+// once the regression has enough observations and solves to a sane
+// model, its fitted constants blend in with weight obs/(obs+MinObs),
+// capped at 0.8 so the calibrated baseline always keeps a voice.
+func (l *Loop) Params(base cost.Params) cost.Params {
+	if l == nil {
+		return base
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+
+	out := base
+	scale := math.Exp(l.costLog)
+	out.CDB *= scale
+	out.CT *= scale
+	out.CJ *= scale
+	out.CM *= scale
+	out.CL *= scale
+	out.CK *= scale
+
+	if l.fitOK && l.fitObs >= l.cfg.MinObservations {
+		w := float64(l.fitObs) / float64(l.fitObs+l.cfg.MinObservations)
+		if w > 0.8 {
+			w = 0.8
+		}
+		blend := func(cur, fitted, floor, ceil float64) float64 {
+			if fitted <= 0 || math.IsNaN(fitted) || math.IsInf(fitted, 0) {
+				return cur
+			}
+			v := (1-w)*cur + w*fitted
+			return math.Min(math.Max(v, floor), ceil)
+		}
+		// Coefficient lattice: the regression fits
+		//   y ≈ c0 + c1·scanned + c2·(joined+materialized) + c3·(deduped+result)
+		// and the model's constants map onto it as CDB ≈ c0,
+		// CT+CJ ≈ c1 (every scanned tuple is charged both),
+		// CJ+CM ≈ c2, CL ≈ c3. Fitted values are clamped to a wide
+		// band around the baseline so one bad solve cannot launch the
+		// model into pricing nonsense.
+		out.CDB = blend(out.CDB, l.fit[0], math.Max(base.CDB/64, 1), math.Max(base.CDB*64, 1))
+		scanJoin := base.CT + base.CJ
+		half := blend(out.CT+out.CJ, l.fit[1], scanJoin/64, scanJoin*64) / 2
+		out.CT, out.CJ = half, half
+		out.CM = blend(out.CM, math.Max(l.fit[2]-out.CJ, l.fit[2]/4), base.CM/64, base.CM*64)
+		out.CL = blend(out.CL, l.fit[3], base.CL/64, base.CL*64)
+		out.CK = out.CL / 4
+	}
+	if base.Provenance != "" {
+		out.Provenance = base.Provenance + "+feedback"
+	} else {
+		out.Provenance = "feedback"
+	}
+	return out
+}
+
+// clampRatio keeps log-space updates finite and bounded.
+func clampRatio(actual, estimated float64) float64 {
+	if !(estimated > 0) {
+		estimated = 1e-9
+	}
+	if !(actual > 0) {
+		actual = 1e-9
+	}
+	r := actual / estimated
+	if r < 1e-4 {
+		return 1e-4
+	}
+	if r > 1e4 {
+		return 1e4
+	}
+	return r
+}
+
+// relErr is the symmetric-free relative error |actual-est| / max(actual, 1).
+func relErr(estimated, actual float64) float64 {
+	denom := math.Max(actual, 1)
+	return math.Abs(actual-estimated) / denom
+}
+
+// Observe folds one completed evaluation into the loop: updates the
+// per-pattern cardinality corrections, the scan and cost scale
+// corrections, the coefficient regression, and the error statistics;
+// bumps Version when any relative error crosses the drift threshold.
+// All state mutates under one mutex, so concurrent observers and
+// readers never see torn coefficients.
+func (l *Loop) Observe(o Observation) {
+	if l == nil {
+		return
+	}
+	alpha := l.cfg.Alpha
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	l.observations++
+	drift := false
+
+	// Per-arm cardinality corrections. The error is measured against
+	// the *corrected* estimate (the shifted factor applied to the raw
+	// one): that is what the optimizer actually used, so convergence
+	// shows up as this error shrinking even though updates target the
+	// raw ratio. The learned ratio is (actual+1)/(estimated+1) — see
+	// Correct — so zero estimates converge too.
+	var cardErrSum float64
+	var cardErrN int64
+	record := func(key string, rawEst float64, actual int64, storeV uint64) {
+		e := l.corrections[key]
+		prevF := 1.0
+		if e != nil && e.storeVersion == storeV {
+			prevF = math.Exp(e.logF)
+		}
+		corrected := applyShifted(rawEst, prevF)
+		err := relErr(corrected, float64(actual))
+		cardErrSum += err
+		cardErrN++
+		if err > l.cfg.DriftThreshold {
+			drift = true
+		}
+
+		if !(rawEst >= 0) {
+			rawEst = 0
+		}
+		ratio := clampRatio(float64(actual)+1, rawEst+1)
+		target := math.Log(ratio)
+		if e == nil || e.storeVersion != storeV {
+			if len(l.corrections) >= l.cfg.MaxCorrections {
+				l.corrections = make(map[string]*correction)
+				l.resets++
+			}
+			l.corrections[key] = &correction{storeVersion: storeV, logF: alpha * target, n: 1}
+			return
+		}
+		e.logF = (1-alpha)*e.logF + alpha*target
+		e.n++
+	}
+	for _, a := range o.Arms {
+		if a.Key == "" {
+			continue
+		}
+		record(a.Key, a.Stats.ResultTuples, a.ActualRows, o.StoreVersion)
+	}
+	if o.QueryKey != "" {
+		record(o.QueryKey, o.RawRows, o.ActualRows, o.StoreVersion)
+	}
+
+	// Global scanned-tuples correction (raw estimate vs engine counter).
+	var estScan float64
+	for _, a := range o.Arms {
+		estScan += a.Stats.ScanTuples
+	}
+	if estScan > 0 && o.Metrics.TuplesScanned > 0 {
+		t := math.Log(clampRatio(float64(o.Metrics.TuplesScanned), estScan))
+		l.scanLog = (1-alpha)*l.scanLog + alpha*t
+		l.scanN++
+	}
+
+	// Cost corrections: integral log-scale against the corrected
+	// estimate (self-correcting — the next estimate already includes
+	// this scale, so the update drives the ratio to 1)...
+	costErr := -1.0
+	if o.EstimatedCost > 0 && o.EvalNs > 0 {
+		costErr = relErr(o.EstimatedCost, float64(o.EvalNs))
+		if costErr > l.cfg.DriftThreshold {
+			drift = true
+		}
+		step := 0.3 * math.Log(clampRatio(float64(o.EvalNs), o.EstimatedCost))
+		l.costLog += step
+		const maxLog = 4.1588830833596715 // ln 64
+		if l.costLog > maxLog {
+			l.costLog = maxLog
+		} else if l.costLog < -maxLog {
+			l.costLog = -maxLog
+		}
+	}
+	// ...and the coefficient regression over observed stage counters.
+	if o.EvalNs > 0 {
+		m := o.Metrics
+		x := [4]float64{
+			1,
+			float64(m.TuplesScanned),
+			float64(m.RowsJoined + m.RowsMaterialized),
+			float64(m.RowsDeduped + o.ActualRows),
+		}
+		l.reg.observe(l.cfg.Lambda, x, float64(o.EvalNs))
+		l.fitObs++
+		if l.fitObs >= l.cfg.MinObservations {
+			if c, ok := l.reg.solve(); ok {
+				l.fit, l.fitOK = c, true
+			}
+		}
+	}
+
+	// Error statistics.
+	if cardErrN > 0 {
+		mean := cardErrSum / float64(cardErrN)
+		l.cardSum += mean
+		l.cardCnt++
+		if !l.firstErr {
+			l.cardEW = mean
+		} else {
+			l.cardEW = (1-alpha)*l.cardEW + alpha*mean
+		}
+	}
+	if costErr >= 0 {
+		l.costSum += costErr
+		l.costCnt++
+		if !l.firstErr {
+			l.costEW = costErr
+		} else {
+			l.costEW = (1-alpha)*l.costEW + alpha*costErr
+		}
+	}
+	l.firstErr = true
+
+	if drift {
+		l.driftEvents++
+		l.version.Add(1)
+	}
+}
+
+// Snapshot returns the loop's current statistics.
+func (l *Loop) Snapshot() Stats {
+	if l == nil {
+		return Stats{}
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return Stats{
+		Observations:   l.observations,
+		DriftEvents:    l.driftEvents,
+		Corrections:    len(l.corrections),
+		Resets:         l.resets,
+		Version:        l.version.Load(),
+		MeanCardError:  l.cardEW,
+		MeanCostError:  l.costEW,
+		CardErrorSum:   l.cardSum,
+		CardErrorCount: l.cardCnt,
+		CostErrorSum:   l.costSum,
+		CostErrorCount: l.costCnt,
+	}
+}

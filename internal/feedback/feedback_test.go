@@ -1,0 +1,232 @@
+package feedback
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/engine"
+)
+
+// obsWith builds a minimal observation: one arm whose raw estimate is
+// est while the engine observed actual rows.
+func obsWith(key string, est float64, actual int64, storeV uint64) Observation {
+	return Observation{
+		StoreVersion:  storeV,
+		QueryKey:      "q:" + key,
+		RawRows:       est,
+		EstimatedRows: est,
+		ActualRows:    actual,
+		Arms: []ArmObservation{{
+			Key:        key,
+			Stats:      cost.ArmStats{Arms: 1, ScanTuples: est * 2, ResultTuples: est},
+			ActualRows: actual,
+		}},
+	}
+}
+
+func TestFactorConvergesToObservedRatio(t *testing.T) {
+	l := New(Config{})
+	// The estimate is consistently 10x too low: actual = 1000, est = 100.
+	for i := 0; i < 12; i++ {
+		o := obsWith("frag", 100, 1000, 7)
+		o.Arms[0].ActualRows = 1000
+		l.Observe(o)
+	}
+	f := l.Factor("frag", 7)
+	if f < 5 || f > 10.5 {
+		t.Errorf("Factor = %v, want near 10 after repeated 10x underestimates", f)
+	}
+	// The corrected estimate's relative error must have shrunk well
+	// below the raw error of 0.9.
+	if s := l.Snapshot(); s.MeanCardError > 0.2 {
+		t.Errorf("EW card error = %v, want converged (< 0.2)", s.MeanCardError)
+	}
+}
+
+// A raw estimate of zero is the worst case for a multiplicative
+// correction; the shifted form must still converge on it.
+func TestCorrectConvergesOnZeroEstimate(t *testing.T) {
+	l := New(Config{})
+	for i := 0; i < 12; i++ {
+		l.Observe(obsWith("frag", 0, 40, 7))
+	}
+	if c := l.Correct("frag", 7, 0); c < 25 || c > 41 {
+		t.Errorf("Correct(0) = %v, want near the observed 40", c)
+	}
+	// Stale versions and unknown keys return the estimate unchanged.
+	if c := l.Correct("frag", 8, 0); c != 0 {
+		t.Errorf("Correct at newer store version = %v, want the raw 0", c)
+	}
+	if c := l.Correct("unknown", 7, 123); c != 123 {
+		t.Errorf("Correct of unknown key = %v, want the raw 123", c)
+	}
+	var nilLoop *Loop
+	if c := nilLoop.Correct("frag", 7, 9); c != 9 {
+		t.Errorf("nil loop Correct = %v, want 9", c)
+	}
+}
+
+func TestFactorIgnoresStaleStoreVersion(t *testing.T) {
+	l := New(Config{})
+	l.Observe(obsWith("frag", 10, 1000, 3))
+	if f := l.Factor("frag", 3); f <= 1 {
+		t.Errorf("Factor at matching version = %v, want > 1", f)
+	}
+	if f := l.Factor("frag", 4); f != 1 {
+		t.Errorf("Factor at newer store version = %v, want the neutral 1", f)
+	}
+	if f := l.Factor("unknown", 3); f != 1 {
+		t.Errorf("Factor of unknown key = %v, want 1", f)
+	}
+	// A new observation at the newer version replaces the stale entry.
+	l.Observe(obsWith("frag", 1000, 1000, 4))
+	if f := l.Factor("frag", 3); f != 1 {
+		t.Errorf("old version after refresh = %v, want 1", f)
+	}
+}
+
+func TestDriftBumpsVersion(t *testing.T) {
+	l := New(Config{})
+	v0 := l.Version()
+	// 10x off: far past the default 0.5 threshold.
+	l.Observe(obsWith("frag", 100, 1000, 1))
+	if l.Version() == v0 {
+		t.Error("large-error observation must bump the drift version")
+	}
+	v1 := l.Version()
+	// A dead-on observation (the correction has mostly converged after a
+	// few more rounds) eventually stops bumping.
+	for i := 0; i < 10; i++ {
+		l.Observe(obsWith("frag", 100, 1000, 1))
+	}
+	vStable := l.Version()
+	l.Observe(obsWith("frag", 100, 1000, 1))
+	if l.Version() != vStable {
+		t.Errorf("converged observations still drift: %d -> %d", vStable, l.Version())
+	}
+	if vStable < v1 {
+		t.Error("version must be monotone")
+	}
+}
+
+func TestParamsScaleTracksCostError(t *testing.T) {
+	l := New(Config{})
+	base := cost.DefaultParams
+	// Cost consistently 8x underestimated.
+	for i := 0; i < 20; i++ {
+		p := l.Params(base)
+		// Predicted cost under current params for a fixed workload.
+		pred := p.JUCQ([]cost.ArmStats{{Arms: 1, ScanTuples: 1000, ResultTuples: 100}}, 100)
+		o := obsWith("frag", 100, 100, 1)
+		o.EstimatedCost = pred
+		o.EvalNs = int64(8 * pred)
+		o.Metrics = engine.Metrics{TuplesScanned: 2000, RowsJoined: 100, RowsMaterialized: 100, RowsDeduped: 10}
+		l.Observe(o)
+	}
+	p := l.Params(base)
+	if p.CT <= base.CT {
+		t.Errorf("scan constant %v did not scale up under persistent cost underestimation (base %v)", p.CT, base.CT)
+	}
+	if p.Provenance != "default+feedback" {
+		t.Errorf("Provenance = %q, want default+feedback", p.Provenance)
+	}
+	for _, v := range []float64{p.CDB, p.CT, p.CJ, p.CM, p.CL, p.CK} {
+		if !(v > 0) || math.IsInf(v, 0) {
+			t.Errorf("blended constant %v must stay positive and finite", v)
+		}
+	}
+}
+
+func TestCorrectionMapResetOnOverflow(t *testing.T) {
+	l := New(Config{MaxCorrections: 8})
+	for i := 0; i < 20; i++ {
+		l.Observe(obsWith(fmt.Sprintf("frag%d", i), 10, 100, 1))
+	}
+	s := l.Snapshot()
+	if s.Resets == 0 {
+		t.Error("overflowing the correction map must reset it")
+	}
+	if s.Corrections > 2*8 {
+		t.Errorf("%d live corrections exceed the configured bound's reach", s.Corrections)
+	}
+}
+
+func TestNilLoopIsNeutral(t *testing.T) {
+	var l *Loop
+	if l.Factor("x", 1) != 1 || l.ScanFactor() != 1 || l.Version() != 0 {
+		t.Error("nil loop must be fully neutral")
+	}
+	base := cost.DefaultParams
+	if p := l.Params(base); p != base {
+		t.Error("nil loop must return params unchanged")
+	}
+	l.Observe(Observation{}) // must not panic
+	if s := l.Snapshot(); s != (Stats{}) {
+		t.Error("nil loop snapshot must be zero")
+	}
+}
+
+// Concurrent observers and readers under -race: no torn coefficients,
+// and the factors remain finite.
+func TestConcurrentObserveAndRead(t *testing.T) {
+	l := New(Config{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := fmt.Sprintf("frag%d", w%3)
+			for i := 0; i < 200; i++ {
+				o := obsWith(key, 100, int64(100+w*100), 1)
+				o.EstimatedCost = 1000
+				o.EvalNs = 2000
+				o.Metrics = engine.Metrics{TuplesScanned: 500, RowsJoined: 50, RowsDeduped: 5}
+				l.Observe(o)
+				f := l.Factor(key, 1)
+				if math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
+					t.Errorf("Factor = %v mid-stress", f)
+					return
+				}
+				p := l.Params(cost.DefaultParams)
+				if math.IsNaN(p.CT) || p.CT <= 0 {
+					t.Errorf("CT = %v mid-stress", p.CT)
+					return
+				}
+				_ = l.Snapshot()
+				_ = l.ScanFactor()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := l.Snapshot(); s.Observations != 8*200 {
+		t.Errorf("observations = %d, want %d", s.Observations, 8*200)
+	}
+}
+
+func TestRegressionSolveRejectsSingular(t *testing.T) {
+	var r regression
+	// Identical feature vectors: rank-deficient normal equations.
+	for i := 0; i < 40; i++ {
+		r.observe(0.97, [4]float64{1, 100, 100, 100}, 5000)
+	}
+	if _, ok := r.solve(); ok {
+		t.Error("singular system must not solve")
+	}
+	// Diverse features: solvable, and roughly recovers the generator.
+	var r2 regression
+	for i := 0; i < 60; i++ {
+		x := [4]float64{1, float64(100 + i*37%900), float64(50 + i*17%400), float64(10 + i*7%90)}
+		y := 1000 + 3*x[1] + 5*x[2] + 7*x[3]
+		r2.observe(1, x, y)
+	}
+	c, ok := r2.solve()
+	if !ok {
+		t.Fatal("well-conditioned system must solve")
+	}
+	if math.Abs(c[1]-3) > 0.5 || math.Abs(c[2]-5) > 0.5 || math.Abs(c[3]-7) > 0.5 {
+		t.Errorf("recovered coefficients %v, want ≈ [1000 3 5 7]", c)
+	}
+}

@@ -56,7 +56,13 @@ type Fragment struct {
 	CQ     bgp.CQ
 	Ref    *reformulate.Reformulation
 	NumCQs int64
-	Stats  cost.ArmStats
+	// Stats are the *raw* (uncorrected) arm estimates; feedback
+	// corrections are applied at pricing time, so re-pricing a cached
+	// plan under new correction factors starts from the same base.
+	Stats cost.ArmStats
+	// Key is the fragment subquery's canonical key — the feedback
+	// loop's correction-factor key ("" when no loop is configured).
+	Key string
 }
 
 // Entry is one cached plan. All fields are read-only after Put.
@@ -69,13 +75,29 @@ type Entry struct {
 	StoreVersion uint64
 	SchemaStamp  uint64
 
+	// FeedbackVersion is the adaptive-cost drift version the estimates
+	// were priced under (0 without a feedback loop). Unlike the pair
+	// above it does not invalidate the plan — the cover and
+	// reformulations stay valid — but a hit under a newer version must
+	// re-price the estimates from the raw stats before replaying them
+	// (Cache.Reprice).
+	FeedbackVersion uint64
+
 	// The plan itself.
 	Head      []uint32 // head variables of the query the plan answers
 	Cover     cover.Cover
 	Fragments []Fragment
 
+	// QueryKey is the whole query's canonical key — the feedback key of
+	// the final-cardinality correction ("" when no loop is configured).
+	QueryKey string
+
 	// Optimizer report fields, replayed on a hit.
-	EstimatedCost  float64
+	EstimatedCost float64
+	// EstimatedRows is the (corrected) final-cardinality estimate;
+	// RawRows is the uncorrected one re-pricing starts from.
+	EstimatedRows  float64
+	RawRows        float64
 	CoversExplored int
 	Exhaustive     bool
 	TotalCQs       int64
@@ -114,6 +136,7 @@ type Stats struct {
 	Invalidations int64 // stale entries dropped by Get
 	Evictions     int64 // entries displaced by capacity
 	Puts          int64
+	Reprices      int64 // entries refreshed by Reprice after feedback drift
 }
 
 // Lookups returns the total number of Get calls the snapshot covers.
@@ -138,6 +161,7 @@ type Cache struct {
 	invalidations atomic.Int64
 	evictions     atomic.Int64
 	puts          atomic.Int64
+	reprices      atomic.Int64
 }
 
 // New returns a cache holding up to capacity entries (DefaultCapacity if
@@ -226,6 +250,20 @@ func (c *Cache) Put(e *Entry) {
 	}
 }
 
+// Reprice replaces the entry under e.Key with e — a copy of a cached
+// plan whose estimates were recomputed under newer feedback correction
+// factors (e carries the feedback version it was re-priced under). It
+// shares Put's insertion path, so a racing eviction or displacement
+// resolves like any other put; only the dedicated counter differs.
+func (c *Cache) Reprice(e *Entry) {
+	if e == nil || e.Key == "" {
+		return
+	}
+	c.Put(e)
+	c.reprices.Add(1)
+	c.puts.Add(-1) // Put counted it; report it as a re-price instead
+}
+
 // Len returns the number of cached entries.
 func (c *Cache) Len() int {
 	n := 0
@@ -246,5 +284,6 @@ func (c *Cache) Snapshot() Stats {
 		Invalidations: c.invalidations.Load(),
 		Evictions:     c.evictions.Load(),
 		Puts:          c.puts.Load(),
+		Reprices:      c.reprices.Load(),
 	}
 }

@@ -12,6 +12,14 @@
 // run concurrently with queries: in-flight evaluations keep answering
 // against the snapshot they pinned, so answers are always those of some
 // consistent store state.
+//
+// Each profile's answerer owns a feedback loop (disable with
+// Config.NoFeedback) that recalibrates cost estimates from observed
+// evaluations; GET /statz reports each loop's drift counters. The plan
+// cache stays shared across profiles, so a plan inserted under one
+// profile's feedback version may be re-priced on a hit from another —
+// re-pricing is cheap and feedback advisory, so this thrash affects
+// only estimate freshness, never answers.
 package server
 
 import (
@@ -38,9 +46,16 @@ type Config struct {
 	// Store is the database to serve. Required; frozen on New.
 	Store *repro.Store
 	// Options are the base evaluation options for every profile's
-	// answerer. The Trace and PlanCache fields are ignored — the server
-	// owns both (per-run spans, one shared cache).
+	// answerer. The Trace, PlanCache and Feedback fields are ignored —
+	// the server owns all three (per-run spans, one shared cache, one
+	// feedback loop per profile).
 	Options repro.Options
+	// NoFeedback disables the adaptive cost model. By default every
+	// profile's answerer feeds observed cardinalities and timings back
+	// into its own feedback loop (per profile, because the loops learn
+	// cost constants that are specific to an engine profile's operators).
+	// Feedback is advisory — answers are identical either way.
+	NoFeedback bool
 	// CacheCap is the shared plan cache's capacity in entries
 	// (0 = the cache's default).
 	CacheCap int
@@ -70,7 +85,8 @@ type Server struct {
 	store           *repro.Store
 	cache           *repro.PlanCache
 	answerers       map[string]*repro.Answerer
-	profileNames    []string // sorted, for error messages
+	loops           map[string]*repro.FeedbackLoop // per profile; nil when disabled
+	profileNames    []string                       // sorted, for error messages
 	sem             chan struct{}
 	defaultProfile  string
 	defaultStrategy string
@@ -135,8 +151,18 @@ func New(cfg Config) (*Server, error) {
 	opts := cfg.Options
 	opts.Trace = nil
 	opts.PlanCache = s.cache
+	if !cfg.NoFeedback {
+		s.loops = make(map[string]*repro.FeedbackLoop, len(profiles))
+	}
 	for name, p := range profiles {
-		s.answerers[name] = cfg.Store.NewAnswerer(p, opts)
+		popts := opts
+		if s.loops != nil {
+			s.loops[name] = repro.NewFeedbackLoop()
+			popts.Feedback = s.loops[name]
+		} else {
+			popts.Feedback = nil
+		}
+		s.answerers[name] = cfg.Store.NewAnswerer(p, popts)
 		s.profileNames = append(s.profileNames, name)
 	}
 	sort.Strings(s.profileNames)
@@ -156,6 +182,12 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // CacheStats returns a snapshot of the shared plan cache's counters.
 func (s *Server) CacheStats() repro.PlanCacheStats { return s.cache.Snapshot() }
+
+// FeedbackStats returns a snapshot of the named profile's feedback loop,
+// or a zero snapshot when feedback is disabled or the profile unknown.
+func (s *Server) FeedbackStats(profile string) repro.FeedbackStats {
+	return s.loops[profile].Snapshot()
+}
 
 // QueryRequest is the body of POST /query.
 type QueryRequest struct {
@@ -362,6 +394,9 @@ type StatzResponse struct {
 	Served   int64      `json:"served"`
 	Rejected int64      `json:"rejected"`
 	Cache    CacheStatz `json:"cache"`
+	// Feedback reports each profile's adaptive-cost loop, keyed by
+	// profile name; absent when the server runs with NoFeedback.
+	Feedback map[string]FeedbackStatz `json:"feedback,omitempty"`
 }
 
 // CacheStatz reports the shared plan cache's counters.
@@ -371,12 +406,26 @@ type CacheStatz struct {
 	Misses        int64   `json:"misses"`
 	Invalidations int64   `json:"invalidations"`
 	Evictions     int64   `json:"evictions"`
+	Reprices      int64   `json:"reprices"`
 	HitRate       float64 `json:"hit_rate"`
+}
+
+// FeedbackStatz reports one profile's adaptive-cost loop: how many
+// evaluations it has observed, how often the estimates drifted past the
+// re-pricing threshold, and the exponentially-weighted mean relative
+// errors of the (corrected) cardinality and cost estimates.
+type FeedbackStatz struct {
+	Observations  int64   `json:"observations"`
+	DriftEvents   int64   `json:"drift_events"`
+	Corrections   int     `json:"corrections"`
+	Version       uint64  `json:"version"`
+	MeanCardError float64 `json:"mean_card_error"`
+	MeanCostError float64 `json:"mean_cost_error"`
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	st := s.cache.Snapshot()
-	writeJSON(w, http.StatusOK, StatzResponse{
+	resp := StatzResponse{
 		Triples:  s.store.NumTriples(),
 		Inflight: len(s.sem),
 		Served:   s.served.Load(),
@@ -387,9 +436,25 @@ func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 			Misses:        st.Misses,
 			Invalidations: st.Invalidations,
 			Evictions:     st.Evictions,
+			Reprices:      st.Reprices,
 			HitRate:       st.HitRate(),
 		},
-	})
+	}
+	if s.loops != nil {
+		resp.Feedback = make(map[string]FeedbackStatz, len(s.loops))
+		for name, l := range s.loops {
+			fs := l.Snapshot()
+			resp.Feedback[name] = FeedbackStatz{
+				Observations:  fs.Observations,
+				DriftEvents:   fs.DriftEvents,
+				Corrections:   fs.Corrections,
+				Version:       fs.Version,
+				MeanCardError: fs.MeanCardError,
+				MeanCostError: fs.MeanCostError,
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // writeJSON answers with a JSON body. A marshal failure of our own

@@ -40,9 +40,12 @@ func (s *Span) render(w io.Writer, depth, width int) error {
 	indent := strings.Repeat("  ", depth)
 	line := fmt.Sprintf("%s%-*s  %-9s", indent, width-len(indent), s.name, formatDur(s.Duration()))
 	for _, a := range s.Attrs() {
-		if a.IsStr {
+		switch {
+		case a.IsStr:
 			line += fmt.Sprintf(" %s=%s", a.Key, a.Str)
-		} else {
+		case a.IsFloat:
+			line += fmt.Sprintf(" %s=%.4g", a.Key, a.Float)
+		default:
 			line += fmt.Sprintf(" %s=%d", a.Key, a.Int)
 		}
 	}
@@ -75,28 +78,36 @@ func formatDur(d time.Duration) string {
 
 // spanJSON is the export shape of one span.
 type spanJSON struct {
-	Name     string            `json:"name"`
-	Ns       int64             `json:"ns"`
-	Counters map[string]int64  `json:"counters,omitempty"`
-	Labels   map[string]string `json:"labels,omitempty"`
-	Children []json.RawMessage `json:"children,omitempty"`
+	Name     string             `json:"name"`
+	Ns       int64              `json:"ns"`
+	Counters map[string]int64   `json:"counters,omitempty"`
+	Labels   map[string]string  `json:"labels,omitempty"`
+	Floats   map[string]float64 `json:"floats,omitempty"`
+	Children []json.RawMessage  `json:"children,omitempty"`
 }
 
 // MarshalJSON exports the span tree: per span its name, duration in
 // nanoseconds, numeric attributes as "counters", string attributes as
-// "labels", and children in creation order.
+// "labels", float attributes (optimizer estimates) as "floats", and
+// children in creation order.
 func (s *Span) MarshalJSON() ([]byte, error) {
 	if s == nil {
 		return []byte("null"), nil
 	}
 	out := spanJSON{Name: s.Name(), Ns: s.Duration().Nanoseconds()}
 	for _, a := range s.Attrs() {
-		if a.IsStr {
+		switch {
+		case a.IsStr:
 			if out.Labels == nil {
 				out.Labels = make(map[string]string)
 			}
 			out.Labels[a.Key] = a.Str
-		} else {
+		case a.IsFloat:
+			if out.Floats == nil {
+				out.Floats = make(map[string]float64)
+			}
+			out.Floats[a.Key] = a.Float
+		default:
 			if out.Counters == nil {
 				out.Counters = make(map[string]int64)
 			}

@@ -24,15 +24,19 @@ import (
 )
 
 // Attr is one key/value annotation of a span: an operator counter
-// (rows in/out, dedup hits, covers explored, ...) or a string label
-// (strategy, join algorithm).
+// (rows in/out, dedup hits, covers explored, ...), a string label
+// (strategy, join algorithm), or a float measurement (estimated
+// cardinalities and costs from the optimizer).
 type Attr struct {
 	Key string
-	// Int is the value of a numeric attribute (IsStr false).
+	// Int is the value of a numeric attribute (IsStr and IsFloat false).
 	Int int64
 	// Str is the value of a string attribute (IsStr true).
 	Str   string
 	IsStr bool
+	// Float is the value of a float attribute (IsFloat true).
+	Float   float64
+	IsFloat bool
 }
 
 // Span is one timed node of a query-lifecycle trace. The zero of the
@@ -108,7 +112,7 @@ func (s *Span) AddInt(key string, v int64) {
 
 func (s *Span) setIntLocked(key string, v int64, add bool) {
 	for i := range s.attrs {
-		if s.attrs[i].Key == key && !s.attrs[i].IsStr {
+		if s.attrs[i].Key == key && !s.attrs[i].IsStr && !s.attrs[i].IsFloat {
 			if add {
 				s.attrs[i].Int += v
 			} else {
@@ -134,6 +138,26 @@ func (s *Span) SetStr(key, v string) {
 		}
 	}
 	s.attrs = append(s.attrs, Attr{Key: key, Str: v, IsStr: true})
+	s.mu.Unlock()
+}
+
+// SetFloat sets (or overwrites) a float attribute. Floats carry the
+// optimizer's estimates (cardinalities, priced costs) next to the
+// observed integer counters, so a rendered trace shows estimated vs
+// actual side by side.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key && s.attrs[i].IsFloat {
+			s.attrs[i].Float = v
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Float: v, IsFloat: true})
 	s.mu.Unlock()
 }
 
@@ -215,8 +239,19 @@ func (s *Span) Find(name string) *Span {
 // span is nil or the attribute is absent).
 func (s *Span) IntAttr(key string) (int64, bool) {
 	for _, a := range s.Attrs() {
-		if a.Key == key && !a.IsStr {
+		if a.Key == key && !a.IsStr && !a.IsFloat {
 			return a.Int, true
+		}
+	}
+	return 0, false
+}
+
+// FloatAttr returns the value of a float attribute (0, false when the
+// span is nil or the attribute is absent).
+func (s *Span) FloatAttr(key string) (float64, bool) {
+	for _, a := range s.Attrs() {
+		if a.Key == key && a.IsFloat {
+			return a.Float, true
 		}
 	}
 	return 0, false

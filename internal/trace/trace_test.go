@@ -208,3 +208,51 @@ func TestJSONExport(t *testing.T) {
 		t.Errorf("registry JSON = %v", snap)
 	}
 }
+
+func TestFloatAttrs(t *testing.T) {
+	root := New("query")
+	ev := root.Child("evaluate")
+	ev.SetFloat("est_rows", 1234.5)
+	ev.SetFloat("est_rows", 99.25) // overwrite
+	ev.SetInt("rows_out", 80)
+	ev.SetInt("est_rows", 7) // distinct kind, same key: must not clobber the float
+	ev.End()
+	root.End()
+
+	if v, ok := ev.FloatAttr("est_rows"); !ok || v != 99.25 {
+		t.Errorf("FloatAttr(est_rows) = %v, %v; want 99.25, true", v, ok)
+	}
+	if v, ok := ev.IntAttr("est_rows"); !ok || v != 7 {
+		t.Errorf("IntAttr(est_rows) = %v, %v; want 7, true", v, ok)
+	}
+	if _, ok := ev.FloatAttr("rows_out"); ok {
+		t.Error("FloatAttr must not see int attrs")
+	}
+
+	var buf bytes.Buffer
+	if err := root.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "est_rows=99.25") {
+		t.Errorf("render missing float attr:\n%s", buf.String())
+	}
+
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got spanJSON
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Floats["est_rows"] != 99.25 || got.Counters["rows_out"] != 80 {
+		t.Errorf("float JSON = %+v", got)
+	}
+
+	// nil safety
+	var nilSpan *Span
+	nilSpan.SetFloat("x", 1)
+	if _, ok := nilSpan.FloatAttr("x"); ok {
+		t.Error("nil span FloatAttr must report absent")
+	}
+}

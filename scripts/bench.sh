@@ -14,7 +14,10 @@
 # -loadjson` (flat vs compressed load throughput and bytes/triple
 # across REPRO_LOAD_SCALES), and the HTTP serve throughput sweep from
 # `benchall -servejson` (an in-process rdfserver driven by the load
-# generator: QPS and latency percentiles per concurrency level).
+# generator: QPS and latency percentiles per concurrency level), and
+# the adaptive-cost warm-up sweep from `benchall -feedbackjson` (the
+# error trajectory of the feedback loop over repeated workload passes,
+# gated on the estimation error shrinking at least 2x).
 # `make bench-json` and CI run exactly this script.
 set -eu
 
@@ -27,7 +30,8 @@ raw="$(mktemp)"
 stages="$(mktemp)"
 load="$(mktemp)"
 serve="$(mktemp)"
-trap 'rm -f "$raw" "$stages" "$load" "$serve"' EXIT
+fbk="$(mktemp)"
+trap 'rm -f "$raw" "$stages" "$load" "$serve" "$fbk"' EXIT
 
 REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-tiny}"
 export REPRO_BENCH_SCALE
@@ -90,5 +94,8 @@ go run ./cmd/benchall -loadscales "$REPRO_LOAD_SCALES" -loadjson "$load"
 echo "==> benchall -servejson (HTTP serve throughput sweep)"
 go run ./cmd/benchall -scale "$REPRO_BENCH_SCALE" -servejson "$serve"
 
-go run ./cmd/benchjson -in "$raw" -stages "$stages" -load "$load" -serve "$serve" -out "$out"
+echo "==> benchall -feedbackjson (adaptive-cost warm-up sweep, gated at 2x)"
+go run ./cmd/benchall -scale "$REPRO_BENCH_SCALE" -feedbackjson "$fbk"
+
+go run ./cmd/benchjson -in "$raw" -stages "$stages" -load "$load" -serve "$serve" -feedback "$fbk" -out "$out"
 echo "==> wrote $out"

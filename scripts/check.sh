@@ -25,4 +25,7 @@ go test -race ./...
 echo "==> scripts/serve_smoke.sh (query service end-to-end)"
 ./scripts/serve_smoke.sh
 
+echo "==> benchall -feedback (adaptive-cost convergence smoke)"
+go run ./cmd/benchall -scale tiny -feedback
+
 echo "All checks passed."
