@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/rdf"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 	traceJSON := flag.Bool("tracejson", false, "with -trace, emit only the span tree as JSON on stdout (suppresses the answer table)")
 	parallelism := flag.Int("parallel", 0, "evaluation worker count (0 = all CPUs, 1 = sequential)")
 	noSharedScan := flag.Bool("nosharedscan", false, "disable the shared-scan layer (pattern-scan memo + merged member scans + cross-member planning memos)")
+	noFactorized := flag.Bool("nofactorized", false, "disable the factorized answer representation (always hold expanded answer rows)")
 	cacheCap := flag.Int("cache", 0, "plan-cache capacity in entries (0 = cache off)")
 	repeat := flag.Int("repeat", 1, "answer the query N times (with -cache, runs after the first hit the cache)")
 	feedbackFlag := flag.Bool("feedback", false, "feed observed cardinalities and timings back into the cost model (pairs well with -repeat and -trace)")
@@ -115,6 +117,7 @@ func main() {
 		Calibrate:    *calibrate,
 		Parallelism:  *parallelism,
 		NoSharedScan: *noSharedScan,
+		NoFactorized: *noFactorized,
 		Trace:        tr,
 		PlanCache:    pc,
 		Feedback:     fb,
@@ -165,8 +168,8 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			if len(ri.Rows) != len(res.Rows) {
-				fatal(fmt.Errorf("run %d returned %d rows, run 1 returned %d", i+1, len(ri.Rows), len(res.Rows)))
+			if ri.NumRows() != res.NumRows() {
+				fatal(fmt.Errorf("run %d returned %d rows, run 1 returned %d", i+1, ri.NumRows(), res.NumRows()))
 			}
 			report(i, ri.Report)
 		}
@@ -183,23 +186,28 @@ func main() {
 	}
 	// With -tracejson, stdout carries only the span-tree JSON so it can
 	// be piped into tooling; the row count still reports on stderr.
+	// Answers stream through the result cursor: a truncated print of a
+	// huge (possibly factorized) answer set never expands past -maxrows.
 	if !(*traceFlag && *traceJSON) {
 		fmt.Printf("%s\n", strings.Join(res.Vars, "\t"))
-		for i, row := range res.Rows {
+		i := 0
+		res.Each(func(row []rdf.Term) bool {
 			if *maxRows > 0 && i >= *maxRows {
-				fmt.Printf("... (%d more rows)\n", len(res.Rows)-i)
-				break
+				fmt.Printf("... (%d more rows)\n", res.NumRows()-i)
+				return false
 			}
 			parts := make([]string, len(row))
 			for j, term := range row {
 				parts[j] = term.Canonical()
 			}
 			fmt.Println(strings.Join(parts, "\t"))
-		}
+			i++
+			return true
+		})
 	}
 	rep := res.Report
-	fmt.Fprintf(os.Stderr, "\n%d rows; strategy=%s cover=%v |q_ref|=%d optimize=%v evaluate=%v\n",
-		len(res.Rows), rep.Strategy, rep.Cover, rep.TotalCQs,
+	fmt.Fprintf(os.Stderr, "\n%d rows (%d stored bytes); strategy=%s cover=%v |q_ref|=%d optimize=%v evaluate=%v\n",
+		res.NumRows(), res.StoredBytes(), rep.Strategy, rep.Cover, rep.TotalCQs,
 		rep.OptimizeTime.Round(time.Microsecond), rep.EvalTime.Round(time.Microsecond))
 
 	if tr != nil {

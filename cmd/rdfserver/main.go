@@ -44,6 +44,7 @@ func main() {
 	maxTimeout := flag.Duration("maxtimeout", 0, "cap on the deadline a request may ask for (0 = 4 x -timeout)")
 	profile := flag.String("profile", "", "default engine profile for requests that name none (default native)")
 	strategy := flag.String("strategy", "", "default strategy for requests that name none (default gcov)")
+	maxResponse := flag.Int64("maxresponse", 0, "max encoded response size in bytes, 413 beyond (0 = unlimited)")
 	flag.Parse()
 
 	if (*data == "") == (*lubmUnivs <= 0) {
@@ -98,14 +99,15 @@ func main() {
 	}
 
 	s, err := server.New(server.Config{
-		Store:           st,
-		Options:         repro.Options{Parallelism: *parallelism},
-		CacheCap:        *cacheCap,
-		MaxInflight:     *maxInflight,
-		DefaultTimeout:  *timeout,
-		MaxTimeout:      *maxTimeout,
-		DefaultProfile:  *profile,
-		DefaultStrategy: *strategy,
+		Store:            st,
+		Options:          repro.Options{Parallelism: *parallelism},
+		CacheCap:         *cacheCap,
+		MaxInflight:      *maxInflight,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		DefaultProfile:   *profile,
+		DefaultStrategy:  *strategy,
+		MaxResponseBytes: *maxResponse,
 	})
 	if err != nil {
 		fatal(err)

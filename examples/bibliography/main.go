@@ -56,7 +56,7 @@ func main() {
 		}
 		fmt.Fprintf(tw, "%s\t%v\t%.3g\t%d\t%d\t%v\n",
 			s, rep.Cover, rep.EstimatedCost, rep.CoversExplored,
-			len(res.Rows), res.Report.EvalTime.Round(10*time.Microsecond))
+			res.NumRows(), res.Report.EvalTime.Round(10*time.Microsecond))
 	}
 	if err := tw.Flush(); err != nil {
 		log.Fatal(err)
@@ -67,8 +67,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nsample answers (%d total):\n", len(res.Rows))
-	for i, row := range res.Rows {
+	fmt.Printf("\nsample answers (%d total):\n", res.NumRows())
+	for i, row := range res.Rows() {
 		if i >= 5 {
 			break
 		}

@@ -72,9 +72,9 @@ func main() {
 		}
 		satQueryTime += time.Since(start)
 
-		if len(refRes.Rows) != len(satRes.Rows) {
+		if refRes.NumRows() != satRes.NumRows() {
 			log.Fatalf("batch %d: reformulation sees %d rows, saturation %d",
-				b, len(refRes.Rows), len(satRes.Rows))
+				b, refRes.NumRows(), satRes.NumRows())
 		}
 	}
 
@@ -116,14 +116,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if len(refAfter.Rows) != len(satAfter.Rows) {
+	if refAfter.NumRows() != satAfter.NumRows() {
 		log.Fatalf("after retraction: reformulation sees %d rows, saturation %d",
-			len(refAfter.Rows), len(satAfter.Rows))
+			refAfter.NumRows(), satAfter.NumRows())
 	}
 	fmt.Printf("\nretracted all %d inserted triples (delete-and-rederive): %v\n",
 		removedTriples, removalTime.Round(time.Microsecond))
 	fmt.Printf("  store back to: %d triples (+%d implicit); both strategies agree on %d rows\n",
-		st.NumTriples(), st.NumImplicit(), len(refAfter.Rows))
+		st.NumTriples(), st.NumImplicit(), refAfter.NumRows())
 	fmt.Println("\nreformulation pays at query time; saturation pays at update time —")
 	fmt.Println("the trade-off the paper's Section 5.3 quantifies at scale.")
 }

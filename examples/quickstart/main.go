@@ -56,7 +56,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("Who wrote the thing connected to 1996?")
-	for _, row := range res.Rows {
+	for _, row := range res.Rows() {
 		fmt.Printf("  -> %s\n", row[0].Value)
 	}
 	fmt.Printf("(cover %v, %d member CQs, optimize %v, evaluate %v)\n\n",
@@ -73,7 +73,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("All class memberships (via a %d-member UCQ reformulation):\n", res2.Report.TotalCQs)
-	for _, row := range res2.Rows {
+	for _, row := range res2.Rows() {
 		fmt.Printf("  %s rdf:type %s\n", row[0].Value, row[1].Value)
 	}
 
@@ -86,9 +86,9 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nSaturation added %d implicit triples and agrees: %d rows both ways.\n",
-		st.NumImplicit(), len(res3.Rows))
-	if len(res3.Rows) != len(res2.Rows) {
+		st.NumImplicit(), res3.NumRows())
+	if res3.NumRows() != res2.NumRows() {
 		log.Fatalf("BUG: saturation (%d rows) and reformulation (%d rows) disagree",
-			len(res3.Rows), len(res2.Rows))
+			res3.NumRows(), res2.NumRows())
 	}
 }

@@ -85,7 +85,7 @@ func main() {
 			}
 			rep := res.Report
 			fmt.Fprintf(tw, "#%d\t%s\t%d\t%d\t%v\t%v\t%v\n",
-				qi+1, s, len(res.Rows), rep.TotalCQs, rep.Cover,
+				qi+1, s, res.NumRows(), rep.TotalCQs, rep.Cover,
 				rep.OptimizeTime.Round(10*time.Microsecond),
 				rep.EvalTime.Round(10*time.Microsecond))
 		}

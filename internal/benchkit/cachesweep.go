@@ -73,7 +73,7 @@ func (db *Database) CacheSweep(w io.Writer, queryNames []string, warm int) error
 			if !w2.Report.Cached {
 				return fmt.Errorf("benchkit: %s warm run %d missed the cache", name, i+1)
 			}
-			if !reflect.DeepEqual(w2.Rel.Rows, cold.Rel.Rows) {
+			if !reflect.DeepEqual(w2.Rel.Materialize(), cold.Rel.Materialize()) {
 				return fmt.Errorf("benchkit: %s cached answer differs from cold answer", name)
 			}
 		}

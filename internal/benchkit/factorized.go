@@ -1,0 +1,192 @@
+package benchkit
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/bgp"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sparql"
+)
+
+// FactorizedSpecs returns the cross-product-heavy queries of the
+// factorized-answer experiment: BGPs whose join graphs decompose into
+// independent components, so the answer set is a product the engine can
+// hold factorized. They are deliberately *not* part of lubm.Queries() —
+// the tracked workload and its regression gates stay untouched — but
+// they use the same LUBM vocabulary and run against the same database.
+func FactorizedSpecs() []Spec {
+	const prolog = "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>\n"
+	return []Spec{
+		{
+			Name: "FX1",
+			Text: prolog + `SELECT ?x ?y WHERE {
+				?x rdf:type ub:Professor .
+				?y rdf:type ub:Department }`,
+			Comment: "two-way product: professors (via subclass reformulation) x departments",
+		},
+		{
+			Name: "FX2",
+			Text: prolog + `SELECT ?x ?y ?z WHERE {
+				?x rdf:type ub:Department .
+				?y rdf:type ub:ResearchGroup .
+				?z rdf:type ub:University }`,
+			Comment: "three-way product: departments x research groups x universities",
+		},
+		{
+			Name: "FX3",
+			Text: prolog + `SELECT ?x ?d ?y WHERE {
+				?x ub:worksFor ?d .
+				?y rdf:type ub:GraduateCourse }`,
+			Comment: "connected pair x independent component",
+		},
+		{
+			Name: "FX4",
+			Text: prolog + `SELECT ?x ?y WHERE {
+				?x rdf:type ub:GraduateStudent .
+				?x ub:advisor ?p .
+				?y rdf:type ub:Department }`,
+			Comment: "control with a non-head variable inside one component",
+		},
+	}
+}
+
+// FactorizedOutcome is one query's measurement of the factorized answer
+// representation against the flat baseline, after the equality gate
+// (byte-identical expanded rows, identical engine metrics) has passed.
+type FactorizedOutcome struct {
+	Query    string `json:"query"`
+	Strategy string `json:"strategy"`
+	Rows     int    `json:"rows"`
+	// Stored bytes of the answer representation; the flat figure is
+	// rows x arity x 4.
+	StoredBytesFactorized int64 `json:"stored_bytes_factorized"`
+	StoredBytesFlat       int64 `json:"stored_bytes_flat"`
+	// Bytes per answer under each representation, and their ratio
+	// (flat / factorized; higher is better).
+	BytesPerAnswerFactorized float64 `json:"bytes_per_answer_factorized"`
+	BytesPerAnswerFlat       float64 `json:"bytes_per_answer_flat"`
+	CompressionRatio         float64 `json:"compression_ratio"`
+	// Warm-averaged evaluation times and the factorized answer rate.
+	EvalNsFactorized int64   `json:"eval_ns_factorized"`
+	EvalNsFlat       int64   `json:"eval_ns_flat"`
+	AnswersPerSec    float64 `json:"answers_per_sec"`
+}
+
+// FactorizedSweep measures the factorized answer representation on this
+// database: for each cross-product query it answers with factorization
+// on and off, asserts the expanded rows are byte-identical and the
+// engine metrics strictly equal (factorization must be invisible in
+// everything but the footprint), and reports stored bytes per answer
+// and the answer rate under both representations. w may be nil to skip
+// the rendered table.
+func (db *Database) FactorizedSweep(w io.Writer, warm int) ([]FactorizedOutcome, error) {
+	if warm < 1 {
+		warm = 3
+	}
+	const strat = core.UCQ
+	fact := db.Answerer(engine.Native, core.Options{Parallelism: 1})
+	flat := db.Answerer(engine.Native, core.Options{Parallelism: 1, NoFactorized: true})
+
+	var tw *tabwriter.Writer
+	if w != nil {
+		fmt.Fprintf(w, "%s: factorized-answer sweep (strategy %s, %d warm runs)\n\n", db.Name, strat, warm)
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "Query\tRows\tB/answer fact\tB/answer flat\tRatio\tEval fact\tEval flat\tAnswers/s\n")
+	}
+	var outs []FactorizedOutcome
+	for _, spec := range FactorizedSpecs() {
+		q, err := db.EncodeSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		ansFact, err := fact.Answer(q, strat)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: %s factorized: %w", spec.Name, err)
+		}
+		ansFlat, err := flat.Answer(q, strat)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: %s flat: %w", spec.Name, err)
+		}
+		if ansFact.Report.Metrics != ansFlat.Report.Metrics {
+			return nil, fmt.Errorf("benchkit: %s: metrics diverge: factorized %+v, flat %+v",
+				spec.Name, ansFact.Report.Metrics, ansFlat.Report.Metrics)
+		}
+		if !reflect.DeepEqual(ansFact.Rel.Materialize(), ansFlat.Rel.Materialize()) {
+			return nil, fmt.Errorf("benchkit: %s: factorized expansion differs from flat rows", spec.Name)
+		}
+
+		evalFact, err := db.warmEval(fact, q, strat, warm)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: %s factorized warm runs: %w", spec.Name, err)
+		}
+		evalFlat, err := db.warmEval(flat, q, strat, warm)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: %s flat warm runs: %w", spec.Name, err)
+		}
+
+		rows := ansFact.Rel.Len()
+		out := FactorizedOutcome{
+			Query:                 spec.Name,
+			Strategy:              string(strat),
+			Rows:                  rows,
+			StoredBytesFactorized: ansFact.Rel.StoredBytes(),
+			StoredBytesFlat:       ansFlat.Rel.StoredBytes(),
+			EvalNsFactorized:      evalFact.Nanoseconds(),
+			EvalNsFlat:            evalFlat.Nanoseconds(),
+		}
+		if rows > 0 {
+			out.BytesPerAnswerFactorized = float64(out.StoredBytesFactorized) / float64(rows)
+			out.BytesPerAnswerFlat = float64(out.StoredBytesFlat) / float64(rows)
+		}
+		if out.StoredBytesFactorized > 0 {
+			out.CompressionRatio = float64(out.StoredBytesFlat) / float64(out.StoredBytesFactorized)
+		}
+		if evalFact > 0 {
+			out.AnswersPerSec = float64(rows) / evalFact.Seconds()
+		}
+		outs = append(outs, out)
+		if tw != nil {
+			fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%.1fx\t%v\t%v\t%.0f\n",
+				out.Query, out.Rows,
+				out.BytesPerAnswerFactorized, out.BytesPerAnswerFlat, out.CompressionRatio,
+				evalFact.Round(time.Microsecond), evalFlat.Round(time.Microsecond),
+				out.AnswersPerSec)
+		}
+	}
+	if tw != nil {
+		return outs, tw.Flush()
+	}
+	return outs, nil
+}
+
+// EncodeSpec parses and dictionary-encodes a query spec that is not part
+// of the database's tracked workload.
+func (db *Database) EncodeSpec(s Spec) (bgp.CQ, error) {
+	q, err := sparql.Parse(s.Text)
+	if err != nil {
+		return bgp.CQ{}, fmt.Errorf("benchkit: parsing %s: %w", s.Name, err)
+	}
+	enc, err := sparql.Encode(q, db.Dict)
+	if err != nil {
+		return bgp.CQ{}, fmt.Errorf("benchkit: encoding %s: %w", s.Name, err)
+	}
+	return enc.CQ, nil
+}
+
+// warmEval averages the evaluation time of n warm answers.
+func (db *Database) warmEval(a *core.Answerer, q bgp.CQ, strat core.Strategy, n int) (time.Duration, error) {
+	var total time.Duration
+	for i := 0; i < n; i++ {
+		ans, err := a.Answer(q, strat)
+		if err != nil {
+			return 0, err
+		}
+		total += ans.Report.EvalTime
+	}
+	return total / time.Duration(n), nil
+}

@@ -151,8 +151,8 @@ func canonicalRows(ans *core.Answer) []string {
 	if ans == nil || ans.Rel == nil {
 		return nil
 	}
-	seen := make(map[string]struct{}, len(ans.Rel.Rows))
-	for _, row := range ans.Rel.Rows {
+	seen := make(map[string]struct{}, ans.Rel.Len())
+	for _, row := range ans.Rel.Materialize() {
 		seen[fmt.Sprint(row)] = struct{}{}
 	}
 	out := make([]string, 0, len(seen))

@@ -93,6 +93,7 @@ func (e *Engine) EvalArms(head []uint32, arms []ArmSource) (*Relation, Metrics, 
 		span:   e.span,
 		snap:   e.store.Snapshot(),
 		shared: !e.noShared,
+		fact:   !e.noFact,
 	}
 	if e.ctx != nil {
 		ctx.done, ctx.cctx = e.ctx.Done(), e.ctx
@@ -220,6 +221,12 @@ func (e *Engine) evalArms(ctx *evalCtx, head []uint32, arms []ArmSource) (*Relat
 	}
 	if sp := ctx.span; sp != nil {
 		sp.SetInt("rows_out", int64(out.Len()))
+		if f := out.Factorized(); f != nil {
+			sp.SetInt("factorized", 1)
+			sp.SetInt("components", int64(f.Components()))
+			sp.SetInt("stored_rows", f.StoredRows())
+			sp.SetInt("logical_rows", f.LogicalRows())
+		}
 	}
 	return out, nil
 }
@@ -238,6 +245,9 @@ func projectDistinct(ctx *evalCtx, cur *Relation, cols []int, head []uint32) (*R
 		sp.SetInt("rows_in", int64(cur.Len()))
 		defer sp.End()
 	}
+	if cur.fact != nil && cur.Rows == nil {
+		return projectDistinctFactorized(ctx, sp, cur, cols, head)
+	}
 	if ctx.par > 1 && len(cur.Rows) >= parallelRowThreshold {
 		return projectDistinctParallel(ctx, sp, cur, cols, head)
 	}
@@ -249,15 +259,12 @@ func projectDistinct(ctx *evalCtx, cur *Relation, cols []int, head []uint32) (*R
 		for i, c := range cols {
 			proj[i] = row[c]
 		}
-		fresh, err := dedup.add(proj)
+		fresh, err := dedup.addOwned(proj)
 		if err != nil {
 			return nil, err
 		}
 		if fresh {
 			out.Rows = append(out.Rows, proj)
-			if err := ctx.checkRows(len(out.Rows)); err != nil {
-				return nil, err
-			}
 		} else {
 			arena.release(proj)
 		}
@@ -298,6 +305,17 @@ func (e *Engine) evalArm(ctx *evalCtx, sp *trace.Span, arm ArmSource) (*Relation
 		sp.SetInt("members", arm.NumCQs)
 		defer sp.End()
 	}
+	// The factorized path intercepts before the parallelism dispatch:
+	// whether an arm factorizes depends on its member plans alone, never
+	// on the worker count, so serial and parallel evaluations stay
+	// byte-identical. An arm that does not decompose reports handled ==
+	// false and falls through unchanged.
+	if ctx.fact {
+		rel, handled, err := e.evalArmFactorized(ctx, sp, arm)
+		if handled || err != nil {
+			return rel, err
+		}
+	}
 	if ctx.par > 1 {
 		return e.evalArmSharded(ctx, sp, arm)
 	}
@@ -335,7 +353,7 @@ func (e *Engine) evalArm(ctx *evalCtx, sp *trace.Span, arm ArmSource) (*Relation
 	if sp != nil {
 		sp.SetInt("rows_out", int64(out.Len()))
 		sp.SetInt("dedup_hits", dedup.hits)
-		sp.SetInt("arena_chunks", int64(sc.arena.chunks))
+		sp.SetInt("arena_chunks", int64(dedup.arena.chunks))
 	}
 	return out, nil
 }
@@ -643,7 +661,8 @@ func maskPos(p storage.Pattern, pos int) storage.Pattern {
 
 // evalMember evaluates one planned member CQ by an index bind-join in
 // its chosen atom order, emitting projected head rows. Fresh rows are
-// copied out of the shared row buffer through the scratch arena. The
+// copied out of the shared row buffer into the dedup set's arena (the
+// set stores and returns the copy, so emission is one copy total). The
 // depth-0 scan replays the plan's pre-located merged range when one
 // exists; every other scan goes through the evaluation's scan memo.
 // Either way the triples consumed — and hence every metric — are those
@@ -669,12 +688,12 @@ func (e *Engine) evalMember(ctx *evalCtx, sc *armScratch, p *memberPlan, dedup *
 					row[i] = h.Const()
 				}
 			}
-			fresh, err := dedup.add(row)
+			stored, fresh, err := dedup.add(row)
 			if err != nil {
 				return err
 			}
 			if fresh {
-				out.Rows = append(out.Rows, sc.arena.copy(row))
+				out.Rows = append(out.Rows, stored)
 			}
 			return nil
 		}

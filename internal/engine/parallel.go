@@ -152,7 +152,7 @@ func (e *Engine) evalArmSharded(ctx *evalCtx, sp *trace.Span, arm ArmSource) (*R
 				shardSp.SetInt("members", members)
 				shardSp.SetInt("rows_out", rows)
 				shardSp.SetInt("dedup_hits", dedup.hits)
-				shardSp.SetInt("arena_chunks", int64(sc.arena.chunks))
+				shardSp.SetInt("arena_chunks", int64(dedup.arena.chunks))
 				shardSp.End()
 			}
 		}(chans[s], res, shardSp)
@@ -272,7 +272,7 @@ func projectDistinctParallel(ctx *evalCtx, sp *trace.Span, cur *Relation, cols [
 				for i, c := range cols {
 					proj[i] = row[c]
 				}
-				fresh, err := dedup.add(proj)
+				fresh, err := dedup.addOwned(proj)
 				if err != nil {
 					results[w].err = err
 					return

@@ -17,11 +17,12 @@ import (
 // relEqual reports whether two relations are byte-identical: same column
 // order and same rows in the same order.
 func relEqual(a, b *engine.Relation) bool {
-	if !reflect.DeepEqual(a.Vars, b.Vars) || len(a.Rows) != len(b.Rows) {
+	ar, br := a.Materialize(), b.Materialize()
+	if !reflect.DeepEqual(a.Vars, b.Vars) || len(ar) != len(br) {
 		return false
 	}
-	for i := range a.Rows {
-		if !reflect.DeepEqual(a.Rows[i], b.Rows[i]) {
+	for i := range ar {
+		if !reflect.DeepEqual(ar[i], br[i]) {
 			return false
 		}
 	}

@@ -117,8 +117,8 @@ func TestSharedScanCountersObservable(t *testing.T) {
 	}
 	sp.End()
 	// 10 subjects x 1 dept, identical across the 4 members after dedup.
-	if len(rel.Rows) != 10 {
-		t.Fatalf("got %d rows, want 10", len(rel.Rows))
+	if rel.Len() != 10 {
+		t.Fatalf("got %d rows, want 10", rel.Len())
 	}
 
 	snap := sp.Registry().Snapshot()

@@ -23,6 +23,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -38,6 +39,7 @@ import (
 
 	"repro"
 	"repro/internal/ntriples"
+	"repro/internal/rdf"
 	"repro/internal/sparql"
 )
 
@@ -68,6 +70,12 @@ type Config struct {
 	// MaxTimeout caps the deadline a request may ask for
 	// (0 = 4 x DefaultTimeout).
 	MaxTimeout time.Duration
+	// MaxResponseBytes caps the encoded size of a query response body.
+	// Answers are streamed from the (possibly factorized) result one row
+	// at a time, so a query whose *expanded* answer set exceeds the cap
+	// is rejected with 413 response_too_large as soon as the cap is hit,
+	// without ever materializing the rest. 0 = unlimited.
+	MaxResponseBytes int64
 	// Profiles extends or overrides the built-in engine profiles by
 	// name — tests inject tiny-budget profiles this way.
 	Profiles map[string]repro.Profile
@@ -92,6 +100,7 @@ type Server struct {
 	defaultStrategy string
 	defaultTimeout  time.Duration
 	maxTimeout      time.Duration
+	maxRespBytes    int64
 
 	mu sync.Mutex // serializes store mutations (update, compact)
 
@@ -147,6 +156,7 @@ func New(cfg Config) (*Server, error) {
 		defaultStrategy: cfg.DefaultStrategy,
 		defaultTimeout:  cfg.DefaultTimeout,
 		maxTimeout:      cfg.MaxTimeout,
+		maxRespBytes:    cfg.MaxResponseBytes,
 	}
 	opts := cfg.Options
 	opts.Trace = nil
@@ -303,21 +313,74 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.served.Add(1)
-	rows := make([][]string, len(res.Rows))
-	for i, row := range res.Rows {
+	var buf bytes.Buffer
+	elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+	if err := encodeQueryResponse(&buf, res, req.Strategy, req.Profile, elapsed, s.maxRespBytes); err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, ErrorResponse{
+			Error:   "response_too_large",
+			Message: fmt.Sprintf("encoded response exceeds the %d-byte limit", s.maxRespBytes),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return // client went away; nothing left to tell it
+	}
+}
+
+// errResponseTooLarge aborts response encoding at the size cap.
+var errResponseTooLarge = errors.New("server: encoded response exceeds the size limit")
+
+// encodeQueryResponse writes the QueryResponse JSON into buf by
+// streaming the answer rows through the result's cursor: a factorized
+// result is expanded and decoded one row at a time, so the only full
+// copy of a large cross-product answer ever built is the response body
+// itself — and with limit > 0 not even that: encoding stops with
+// errResponseTooLarge the moment the body outgrows the cap, before any
+// header is written.
+func encodeQueryResponse(buf *bytes.Buffer, res *repro.Result, strategy, profile string, elapsedMS float64, limit int64) error {
+	field := func(v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return // cannot happen for strings, []string, float64
+		}
+		buf.Write(data)
+	}
+	buf.WriteString(`{"vars":`)
+	field(res.Vars)
+	buf.WriteString(`,"rows":[`)
+	first, over := true, false
+	res.Each(func(row []rdf.Term) bool {
+		if !first {
+			buf.WriteByte(',')
+		}
+		first = false
 		out := make([]string, len(row))
 		for j, term := range row {
 			out[j] = term.Canonical()
 		}
-		rows[i] = out
-	}
-	writeJSON(w, http.StatusOK, QueryResponse{
-		Vars:      res.Vars,
-		Rows:      rows,
-		Strategy:  req.Strategy,
-		Profile:   req.Profile,
-		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		field(out)
+		if limit > 0 && int64(buf.Len()) > limit {
+			over = true
+			return false
+		}
+		return true
 	})
+	if over {
+		return errResponseTooLarge
+	}
+	buf.WriteString(`],"strategy":`)
+	field(strategy)
+	buf.WriteString(`,"profile":`)
+	field(profile)
+	buf.WriteString(`,"elapsed_ms":`)
+	field(elapsedMS)
+	buf.WriteByte('}')
+	if limit > 0 && int64(buf.Len()) > limit {
+		return errResponseTooLarge
+	}
+	return nil
 }
 
 // UpdateResponse is the body of a successful POST /update.

@@ -169,8 +169,8 @@ func directRows(t testing.TB, a *repro.Answerer, query string, strategy repro.St
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows := make([][]string, len(res.Rows))
-	for i, row := range res.Rows {
+	rows := make([][]string, res.NumRows())
+	for i, row := range res.Rows() {
 		out := make([]string, len(row))
 		for j, term := range row {
 			out[j] = term.Canonical()
@@ -659,5 +659,52 @@ func TestFeedbackStatzReportsObservations(t *testing.T) {
 	}
 	if s.FeedbackStats("no-such-profile") != (repro.FeedbackStats{}) {
 		t.Error("unknown profile must snapshot to zero")
+	}
+}
+
+// A response-byte cap must reject oversized answers with 413 and the
+// stable response_too_large code, before any partial body reaches the
+// client; a generous cap must stream the exact same answer a capless
+// server returns, complete with every response field.
+func TestMaxResponseBytesCaps(t *testing.T) {
+	st := bookStore(t, 40)
+	_, capped := newTestServer(t, server.Config{Store: st, MaxResponseBytes: 128})
+	code, body := postJSON(t, capped.URL+"/query", server.QueryRequest{Query: qAuthors, Strategy: "ucq"})
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("capped POST /query = %d, want 413: %s", code, body)
+	}
+	var er server.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("413 body is not an ErrorResponse: %v: %s", err, body)
+	}
+	if er.Error != "response_too_large" {
+		t.Fatalf("413 error code = %q, want response_too_large", er.Error)
+	}
+
+	// The capped server is not wedged: the rejection released its slot.
+	code, body = postJSON(t, capped.URL+"/query", server.QueryRequest{Query: qAuthors, Strategy: "ucq"})
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("second capped POST /query = %d, want 413: %s", code, body)
+	}
+
+	_, roomy := newTestServer(t, server.Config{Store: st, MaxResponseBytes: 1 << 20})
+	code, body = postJSON(t, roomy.URL+"/query", server.QueryRequest{Query: qAuthors, Strategy: "ucq"})
+	if code != http.StatusOK {
+		t.Fatalf("roomy POST /query = %d: %s", code, body)
+	}
+	var res server.QueryResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("streamed response is not a QueryResponse: %v", err)
+	}
+	if len(res.Vars) != 2 || res.Strategy != "ucq" || res.Profile == "" || res.ElapsedMS < 0 {
+		t.Fatalf("streamed response lost fields: %+v", res)
+	}
+	got := sortedRows(res.Rows)
+	want := directRows(t, bookStore(t, 40).NewAnswerer(repro.Native, repro.Options{}), qAuthors, "ucq")
+	if len(want) == 0 {
+		t.Fatal("empty direct answer — bad fixture")
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("streamed answer differs from direct evaluation\n got: %v\nwant: %v", got, want)
 	}
 }

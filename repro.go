@@ -177,6 +177,12 @@ type Options struct {
 	// ablation knob; answers and metrics are identical either way, only
 	// evaluation time changes.
 	NoSharedScan bool
+	// NoFactorized disables the factorized answer representation
+	// (union-of-products relations expanded lazily at the client
+	// boundary) — an ablation knob; expanded answers and metrics are
+	// identical either way, only the stored footprint of cross-product
+	// results changes.
+	NoFactorized bool
 	// Trace, when non-nil, records every query's lifecycle (parse,
 	// optimize, reformulate, evaluate, with per-operator counters) as
 	// children of the given root span. nil disables tracing at zero cost.
@@ -475,6 +481,7 @@ func (s *Store) NewAnswerer(p Profile, opts Options) *Answerer {
 		SearchBudget: opts.SearchBudget,
 		Parallelism:  opts.Parallelism,
 		NoSharedScan: opts.NoSharedScan,
+		NoFactorized: opts.NoFactorized,
 		Trace:        opts.Trace,
 		PlanCache:    opts.PlanCache,
 		Feedback:     opts.Feedback,
@@ -509,21 +516,82 @@ func (a *Answerer) WithTrace(tr *Trace) *Answerer {
 // Params returns the cost-model constants in use.
 func (a *Answerer) Params() CostParams { return a.params }
 
-// Result is an answer set at the surface level.
+// Result is an answer set at the surface level. Answers may be held
+// factorized (as a union of cross-products of column groups); NumRows,
+// Each and Boolean never expand the product, Rows expands it on first
+// call.
 type Result struct {
 	// Vars names the columns (the SELECT variables, in order); empty for
 	// ASK queries.
 	Vars []string
-	// Rows holds the answers; Rows[i][j] is the value of Vars[j]. For an
-	// ASK query, a true answer is a single empty row.
-	Rows [][]rdf.Term
 	// Report describes how the answer was computed.
 	Report Report
+
+	rel  *engine.Relation
+	dict *dict.Dict
+	rows [][]rdf.Term // decoded expansion, built lazily by Rows
+}
+
+// NumRows returns the number of answers without expanding a factorized
+// result.
+func (r *Result) NumRows() int {
+	if r.rel == nil {
+		return len(r.rows)
+	}
+	return r.rel.Len()
+}
+
+// Rows expands and decodes the full answer set; Rows()[i][j] is the
+// value of Vars[j]. For an ASK query, a true answer is a single empty
+// row. The expansion is cached, so repeated calls are cheap — but on a
+// large cross-product result it materializes every row; prefer Each to
+// stream.
+func (r *Result) Rows() [][]rdf.Term {
+	if r.rows == nil && r.rel != nil {
+		rows := make([][]rdf.Term, 0, r.rel.Len())
+		r.Each(func(row []rdf.Term) bool {
+			rows = append(rows, row)
+			return true
+		})
+		r.rows = rows
+	}
+	return r.rows
+}
+
+// Each streams the decoded answers in their canonical order, expanding a
+// factorized result one row at a time; f returning false stops the
+// iteration. Each row slice is freshly allocated and may be retained.
+func (r *Result) Each(f func(row []rdf.Term) bool) {
+	if r.rows != nil || r.rel == nil {
+		for _, row := range r.rows {
+			if !f(row) {
+				return
+			}
+		}
+		return
+	}
+	r.rel.Each(func(ids []dict.ID) bool {
+		out := make([]rdf.Term, len(ids))
+		for i, id := range ids {
+			out[i] = r.dict.Term(id)
+		}
+		return f(out)
+	})
+}
+
+// StoredBytes estimates the bytes held by the answer representation —
+// for a factorized result, the component columns rather than the
+// expanded product. Divide by NumRows for bytes per answer.
+func (r *Result) StoredBytes() int64 {
+	if r.rel == nil {
+		return 0
+	}
+	return r.rel.StoredBytes()
 }
 
 // Boolean interprets the result as an ASK answer: true when the BGP has
 // at least one match.
-func (r *Result) Boolean() bool { return len(r.Rows) > 0 }
+func (r *Result) Boolean() bool { return r.NumRows() > 0 }
 
 // Query parses and answers a SPARQL BGP query.
 func (a *Answerer) Query(text string, strategy Strategy) (*Result, error) {
@@ -626,16 +694,9 @@ func (a *Answerer) ExplainPlan(text string, strategy Strategy) (string, error) {
 }
 
 func (a *Answerer) decode(q *sparql.Query, ans *core.Answer) (*Result, error) {
-	res := &Result{Report: ans.Report}
+	res := &Result{Report: ans.Report, rel: ans.Rel, dict: a.store.dict}
 	for _, v := range q.Select {
 		res.Vars = append(res.Vars, string(v))
-	}
-	for _, row := range ans.Rel.Rows {
-		out := make([]rdf.Term, len(row))
-		for i, id := range row {
-			out[i] = a.store.dict.Term(id)
-		}
-		res.Rows = append(res.Rows, out)
 	}
 	return res, nil
 }

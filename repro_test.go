@@ -37,8 +37,8 @@ func dblpStore(t testing.TB, nPubs int) *repro.Store {
 }
 
 func rowsKey(res *repro.Result) string {
-	keys := make([]string, len(res.Rows))
-	for i, row := range res.Rows {
+	keys := make([]string, res.NumRows())
+	for i, row := range res.Rows() {
 		var b strings.Builder
 		for _, term := range row {
 			b.WriteString(term.Canonical())
@@ -65,14 +65,14 @@ func TestLUBMStrategiesAgree(t *testing.T) {
 			k := rowsKey(res)
 			if i == 0 {
 				want = k
-				if len(res.Rows) == 0 {
+				if res.NumRows() == 0 {
 					t.Logf("note: %s returns no rows on the tiny dataset", spec.Name)
 				}
 				continue
 			}
 			if k != want {
 				t.Errorf("%s: %s answers differ from saturation (%d rows vs %d)",
-					spec.Name, strat, len(res.Rows), strings.Count(want, "\n")+1)
+					spec.Name, strat, res.NumRows(), strings.Count(want, "\n")+1)
 			}
 		}
 	}
@@ -151,8 +151,8 @@ func TestStoreLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 1 {
-		t.Fatalf("got %d rows, want 1", len(res.Rows))
+	if res.NumRows() != 1 {
+		t.Fatalf("got %d rows, want 1", res.NumRows())
 	}
 
 	// Post-freeze data addition must be visible to both strategies.
@@ -162,8 +162,8 @@ func TestStoreLifecycle(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(res.Rows) != 2 {
-			t.Errorf("%s sees %d rows after incremental add, want 2", strat, len(res.Rows))
+		if res.NumRows() != 2 {
+			t.Errorf("%s sees %d rows after incremental add, want 2", strat, res.NumRows())
 		}
 	}
 
@@ -194,8 +194,8 @@ func TestStoreRemove(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(res.Rows) != 2 {
-			t.Fatalf("%s: %d rows before removal, want 2", strat, len(res.Rows))
+		if res.NumRows() != 2 {
+			t.Fatalf("%s: %d rows before removal, want 2", strat, res.NumRows())
 		}
 	}
 
@@ -208,8 +208,8 @@ func TestStoreRemove(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(res.Rows) != 1 {
-			t.Errorf("%s: %d rows after removal, want 1", strat, len(res.Rows))
+		if res.NumRows() != 1 {
+			t.Errorf("%s: %d rows after removal, want 1", strat, res.NumRows())
 		}
 	}
 
@@ -287,8 +287,8 @@ func TestLoadTurtle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 1 {
-		t.Errorf("got %d rows, want 1 (implicit typing through the loaded schema)", len(res.Rows))
+	if res.NumRows() != 1 {
+		t.Errorf("got %d rows, want 1 (implicit typing through the loaded schema)", res.NumRows())
 	}
 }
 
